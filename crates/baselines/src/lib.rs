@@ -1,0 +1,24 @@
+//! # lc-baselines — the alternatives CORBA-LC argues against
+//!
+//! Section 4 of the paper contrasts CORBA-LC with the CCM/EJB world:
+//! fixed assemblies deployed at design time, centralized services, and
+//! strongly consistent membership. The experiments need those systems as
+//! comparison points, so this crate provides them:
+//!
+//! * [`flat`] — a **centralized registry** configuration: one registry
+//!   node knows everyone (the hierarchy degenerates to a single group).
+//!   E2 compares its query traffic concentration against the MRM tree.
+//! * [`strong`] — a **strong-consistency membership protocol**
+//!   (coordinator-driven view agreement with per-change acknowledged
+//!   broadcasts, after Cristian & Schmuck's group-membership model the
+//!   paper cites). E3 compares its control bandwidth under churn with
+//!   soft-consistency keep-alives.
+//! * **Static deployment** is already expressible in `lc-core` as
+//!   [`lc_core::PlacementStrategy::StaticRoundRobin`]; re-exported here
+//!   for discoverability.
+
+pub mod flat;
+pub mod strong;
+
+pub use flat::flat_config;
+pub use lc_core::PlacementStrategy;

@@ -1,0 +1,76 @@
+//! Criterion bench: DES kernel event throughput and fabric send cost —
+//! the substrate budget every simulated experiment draws from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_des::{Actor, AnyMsg, Ctx, Sim, SimTime};
+use lc_net::{HostCfg, Net, NetMsg, Topology};
+use std::hint::black_box;
+
+struct PingPong {
+    peer: lc_des::ActorId,
+    left: u64,
+}
+struct Tick;
+
+impl Actor for PingPong {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send_in(SimTime::from_nanos(100), self.peer, Tick);
+        }
+    }
+}
+
+struct Sender {
+    net: Net,
+    left: u64,
+}
+struct Sink;
+impl Actor for Sink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        let _ = msg.downcast::<NetMsg>();
+    }
+}
+impl Actor for Sender {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+        if self.left > 0 {
+            self.left -= 1;
+            let _ = self.net.send(ctx, lc_net::HostId(0), lc_net::HostId(1), 256, ());
+            ctx.timer_in(SimTime::from_micros(1), Tick);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("des_ping_pong_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.spawn(PingPong { peer: lc_des::ActorId(1), left: 5_000 });
+            let bb = sim.spawn(PingPong { peer: a, left: 5_000 });
+            sim.send_in(SimTime::ZERO, bb, Tick);
+            sim.run();
+            black_box(sim.events_fired())
+        })
+    });
+
+    c.bench_function("net_send_10k_messages", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new();
+            let s = topo.add_site("l");
+            topo.add_host(HostCfg::new(s));
+            topo.add_host(HostCfg::new(s));
+            let net = Net::new(topo);
+            let mut sim = Sim::new(1);
+            let sink = sim.spawn(Sink);
+            net.bind(lc_net::HostId(1), sink);
+            let snd = sim.spawn(Sender { net: net.clone(), left: 10_000 });
+            net.bind(lc_net::HostId(0), snd);
+            sim.send_in(SimTime::ZERO, snd, Tick);
+            sim.run();
+            black_box(sim.events_fired())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

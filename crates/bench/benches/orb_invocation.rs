@@ -1,0 +1,64 @@
+//! Criterion bench for E1: invocation cost through the lightweight ORB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_orb::{Invocation, LocalOrb, OrbError, Servant, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct BenchImpl {
+    total: i64,
+}
+
+impl Servant for BenchImpl {
+    fn interface_id(&self) -> &str {
+        "IDL:Bench:1.0"
+    }
+    fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+        match inv.op {
+            "bump" => {
+                self.total += inv.args[0].as_long().unwrap() as i64;
+                inv.set_ret(Value::Long(self.total as i32));
+                Ok(())
+            }
+            "echo" => {
+                inv.set_ret(inv.args[0].clone());
+                Ok(())
+            }
+            op => Err(OrbError::BadOperation(op.into())),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let repo = Arc::new(
+        lc_idl::compile("interface Bench { long bump(in long d); string echo(in string s); };")
+            .unwrap(),
+    );
+    let mut g = c.benchmark_group("orb_invocation");
+
+    let mut raw = BenchImpl { total: 0 };
+    g.bench_function("direct_dispatch", |b| {
+        b.iter(|| {
+            let args = [Value::Long(1)];
+            let mut inv = Invocation::new("bump", &args);
+            raw.dispatch(black_box(&mut inv)).unwrap();
+        })
+    });
+
+    let orb = LocalOrb::new(repo.clone());
+    let obj = orb.activate(Box::new(BenchImpl { total: 0 }));
+    g.bench_function("orb_typed", |b| {
+        b.iter(|| orb.invoke(black_box(&obj), "bump", &[Value::Long(1)]).unwrap())
+    });
+    g.bench_function("orb_marshalled", |b| {
+        b.iter(|| orb.invoke_marshalled(black_box(&obj), "bump", &[Value::Long(1)]).unwrap())
+    });
+    let payload = Value::string(&"x".repeat(256));
+    g.bench_function("orb_echo_string256", |b| {
+        b.iter(|| orb.invoke(black_box(&obj), "echo", std::slice::from_ref(&payload)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

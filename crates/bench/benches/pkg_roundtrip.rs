@@ -1,0 +1,44 @@
+//! Criterion bench for E9: package pack / parse+verify throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lc_pkg::{ComponentDescriptor, Package, Platform, SigningKey, Version};
+use std::hint::black_box;
+
+fn code_payload(size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|i| match i % 16 {
+            0..=7 => 0x90,
+            8..=11 => (i / 64) as u8,
+            _ => 0xCC,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let key = SigningKey::new("v", b"s");
+    let mut g = c.benchmark_group("pkg_roundtrip");
+    for &size in &[16 * 1024usize, 256 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let payload = code_payload(size);
+        g.bench_with_input(BenchmarkId::new("pack", size), &payload, |b, payload| {
+            b.iter(|| {
+                let desc = ComponentDescriptor::new("P", Version::new(1, 0), "v");
+                let mut pkg =
+                    Package::new(desc).with_binary(Platform::reference(), "x", payload);
+                pkg.seal(&key);
+                black_box(pkg.to_bytes())
+            })
+        });
+        let desc = ComponentDescriptor::new("P", Version::new(1, 0), "v");
+        let mut pkg = Package::new(desc).with_binary(Platform::reference(), "x", &payload);
+        pkg.seal(&key);
+        let bytes = pkg.to_bytes();
+        g.bench_with_input(BenchmarkId::new("parse_verify", size), &bytes, |b, bytes| {
+            b.iter(|| Package::from_bytes(black_box(bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! E2 — scalability of distributed component queries (requirement R4).
+//!
+//! Compares the hierarchical MRM protocol against the flat/centralized
+//! registry baseline while the network grows, and sweeps the hierarchy
+//! fanout as the ablation DESIGN.md §5 calls for.
+//!
+//! Reported per configuration: messages per query, mean first-offer
+//! latency, and the *hotspot load* — bytes received by the busiest host —
+//! which is what melts a centralized registry ("the protocol must allow
+//! logical grouping and incremental resource lookup. … This reduces
+//! network load and exploits locality", §2.4.3).
+
+use lc_baselines::flat_config;
+use lc_bench::{f2, human_bytes, print_table};
+use lc_core::cohesion::CohesionConfig;
+use lc_core::demo;
+use lc_core::node::{NodeCmd, QueryResult};
+use lc_core::testkit::{build_world, World};
+use lc_core::{ComponentQuery, NodeConfig};
+use lc_des::SimTime;
+use lc_net::{HostId, Topology};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+struct Outcome {
+    msgs_per_query: f64,
+    first_offer_ms: f64,
+    hotspot_recv: u64,
+    hit_rate: f64,
+}
+
+fn run(n: usize, cohesion: CohesionConfig, seed: u64) -> Outcome {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let report_period = cohesion.report_period;
+    // Component owners: one per 16 nodes, spread out, never group MRMs.
+    let owners: Vec<HostId> =
+        (0..n).filter(|i| i % 16 == 7).map(|i| HostId(i as u32)).collect();
+    let owners_for_closure = owners.clone();
+    let mut world: World = build_world(
+        Topology::campus(n / 8, 8),
+        seed,
+        NodeConfig {
+            cohesion,
+            query_timeout: SimTime::from_millis(800),
+            require_signature: false,
+            ..Default::default()
+        },
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        move |host| {
+            if owners_for_closure.contains(&host) {
+                vec![demo::counter_package()]
+            } else {
+                Vec::new()
+            }
+        },
+    );
+    // Let the soft state converge (reports + summaries).
+    world.sim.run_until(report_period * 4);
+    let msgs_before = world.sim.metrics_ref().counter("query.msgs");
+
+    // 20 queries from scattered origins.
+    let sinks: Vec<Rc<RefCell<QueryResult>>> = (0..20)
+        .map(|k| {
+            let origin = HostId(((k * 13 + 3) % n) as u32);
+            let sink: Rc<RefCell<QueryResult>> = Rc::default();
+            world.cmd(
+                origin,
+                NodeCmd::Query {
+                    query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                    sink: sink.clone(),
+                    first_wins: true,
+                },
+            );
+            // space queries out so latencies are independent
+            let deadline = world.sim.now() + SimTime::from_millis(150);
+            world.sim.run_until(deadline);
+            sink
+        })
+        .collect();
+    let deadline = world.sim.now() + SimTime::from_secs(2);
+    world.sim.run_until(deadline);
+
+    let msgs = world.sim.metrics_ref().counter("query.msgs") - msgs_before;
+    let mut first_ms = Vec::new();
+    let mut hits = 0usize;
+    for s in &sinks {
+        let r = s.borrow();
+        if let Some(at) = r.first_offer_at {
+            first_ms.push((at - r.started).as_secs_f64() * 1e3);
+            hits += 1;
+        }
+    }
+    let hotspot = (0..n as u32)
+        .map(|h| world.net.host_traffic(HostId(h)).1)
+        .max()
+        .unwrap_or(0);
+    Outcome {
+        msgs_per_query: msgs as f64 / sinks.len() as f64,
+        first_offer_ms: first_ms.iter().sum::<f64>() / first_ms.len().max(1) as f64,
+        hotspot_recv: hotspot,
+        hit_rate: hits as f64 / sinks.len() as f64,
+    }
+}
+
+fn main() {
+    let period = SimTime::from_millis(500);
+    println!("E2: distributed query scalability — hierarchical MRMs vs flat registry");
+
+    let mut rows = Vec::new();
+    for &n in &[16usize, 64, 256, 1024] {
+        for (label, cfg) in [
+            (
+                "hier f=8",
+                CohesionConfig {
+                    fanout: 8,
+                    replicas: 2,
+                    report_period: period,
+                    timeout_intervals: 3,
+                },
+            ),
+            ("flat", flat_config(n, 2, period)),
+        ] {
+            let o = run(n, cfg, 42 + n as u64);
+            rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                f2(o.msgs_per_query),
+                f2(o.first_offer_ms),
+                human_bytes(o.hotspot_recv),
+                f2(o.hit_rate * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "query cost vs network size",
+        &["nodes", "protocol", "msgs/query", "first-offer ms", "hotspot recv", "hit %"],
+        &rows,
+    );
+
+    // Ablation: fanout sweep at N=256.
+    let mut rows = Vec::new();
+    for &fanout in &[4usize, 8, 16, 32] {
+        let o = run(
+            256,
+            CohesionConfig {
+                fanout,
+                replicas: 2,
+                report_period: period,
+                timeout_intervals: 3,
+            },
+            7,
+        );
+        rows.push(vec![
+            fanout.to_string(),
+            f2(o.msgs_per_query),
+            f2(o.first_offer_ms),
+            human_bytes(o.hotspot_recv),
+            f2(o.hit_rate * 100.0),
+        ]);
+    }
+    print_table(
+        "ablation: hierarchy fanout at N=256",
+        &["fanout", "msgs/query", "first-offer ms", "hotspot recv", "hit %"],
+        &rows,
+    );
+}

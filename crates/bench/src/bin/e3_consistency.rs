@@ -1,0 +1,218 @@
+//! E3 — soft vs strong network consistency under churn (R4).
+//!
+//! "Instead of maintaining a 'strong' network consistency in which MRMs
+//! have perfect knowledge of the set of hosts they manage, MRMs have an
+//! approximate view … This soft consistency protocol leads to lower
+//! bandwidth utilization and better scalability" (§2.4.3).
+//!
+//! Both protocols run on identical 64-host fabrics with identical churn;
+//! the table reports control traffic (messages and bytes per node per
+//! second) and the membership-change work each protocol performs.
+
+use lc_baselines::strong::{StrongConfig, StrongMember};
+use lc_bench::{f2, print_table};
+use lc_core::demo;
+use lc_core::testkit::build_world;
+use lc_core::{CohesionConfig, NodeConfig};
+use lc_des::{Sim, SimTime};
+use lc_net::{ChurnConfig, ChurnDriver, ChurnHooks, Net, Topology};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const N: usize = 64;
+const RUN_SECS: u64 = 120;
+const PERIOD_MS: u64 = 2000;
+
+struct Row {
+    msgs_per_node_s: f64,
+    bytes_per_node_s: f64,
+    changes: u64,
+}
+
+/// Soft consistency: the CORBA-LC cohesion protocol under churn.
+fn run_soft(mean_uptime: Option<SimTime>, seed: u64) -> Row {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let world = build_world(
+        Topology::campus(8, 8),
+        seed,
+        NodeConfig {
+            cohesion: CohesionConfig {
+                fanout: 8,
+                replicas: 2,
+                report_period: SimTime::from_millis(PERIOD_MS),
+                timeout_intervals: 3,
+            },
+            ..Default::default()
+        },
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |_| Vec::new(),
+    );
+    let mut sim = world.sim;
+    let net = world.net.clone();
+    let seeds = world.seeds.clone();
+    let actors = Rc::new(RefCell::new(world.actors.clone()));
+
+    if let Some(up) = mean_uptime {
+        // Crash/recover the non-MRM hosts (MRM failover is E4's topic).
+        let victims: Vec<_> = net
+            .host_ids()
+            .into_iter()
+            .filter(|h| h.0 % 8 >= 2) // spare the 2 MRM replicas per group
+            .collect();
+        let a1 = actors.clone();
+        let a2 = actors.clone();
+        ChurnDriver::new(
+            net.clone(),
+            ChurnConfig {
+                mean_uptime: up,
+                mean_downtime: SimTime::from_secs(10),
+                victims,
+                until: SimTime::from_secs(RUN_SECS),
+            },
+            ChurnHooks {
+                on_crash: Box::new(move |sim, h| {
+                    sim.kill(a1.borrow()[h.0 as usize]);
+                }),
+                on_recover: Box::new(move |sim, h| {
+                    let a = seeds[h.0 as usize].spawn(sim);
+                    a2.borrow_mut()[h.0 as usize] = a;
+                }),
+            },
+        )
+        .install(&mut sim);
+    }
+
+    sim.run_until(SimTime::from_secs(RUN_SECS));
+    let m = sim.metrics_ref();
+    let msgs = m.counter("cohesion.reports") + m.counter("cohesion.summaries");
+    Row {
+        msgs_per_node_s: msgs as f64 / N as f64 / RUN_SECS as f64,
+        bytes_per_node_s: m.counter("net.bytes") as f64 / N as f64 / RUN_SECS as f64,
+        changes: m.counter("cohesion.evictions"),
+    }
+}
+
+/// Strong consistency baseline under identical churn.
+fn run_strong(mean_uptime: Option<SimTime>, seed: u64) -> Row {
+    let net = Net::new(Topology::campus(8, 8));
+    let mut sim = Sim::new(seed);
+    let cfg = StrongConfig {
+        period: SimTime::from_millis(PERIOD_MS),
+        timeout_intervals: 3,
+    };
+    let actors = Rc::new(RefCell::new(StrongMember::install(&mut sim, &net, &cfg)));
+    if let Some(up) = mean_uptime {
+        let victims: Vec<_> =
+            net.host_ids().into_iter().filter(|h| h.0 % 8 >= 2 && h.0 != 0).collect();
+        let a1 = actors.clone();
+        let a2 = actors.clone();
+        let net2 = net.clone();
+        let cfg2 = cfg.clone();
+        ChurnDriver::new(
+            net.clone(),
+            ChurnConfig {
+                mean_uptime: up,
+                mean_downtime: SimTime::from_secs(10),
+                victims,
+                until: SimTime::from_secs(RUN_SECS),
+            },
+            ChurnHooks {
+                on_crash: Box::new(move |sim, h| {
+                    sim.kill(a1.borrow()[h.0 as usize]);
+                }),
+                on_recover: Box::new(move |sim, h| {
+                    let a = StrongMember::install_one(sim, &net2, &cfg2, h);
+                    a2.borrow_mut()[h.0 as usize] = a;
+                }),
+            },
+        )
+        .install(&mut sim);
+    }
+    sim.run_until(SimTime::from_secs(RUN_SECS));
+    let m = sim.metrics_ref();
+    let msgs =
+        m.counter("strong.heartbeats") + m.counter("strong.view_msgs") + m.counter("strong.acks");
+    Row {
+        msgs_per_node_s: msgs as f64 / N as f64 / RUN_SECS as f64,
+        bytes_per_node_s: m.counter("net.bytes") as f64 / N as f64 / RUN_SECS as f64,
+        changes: m.counter("strong.view_changes"),
+    }
+}
+
+fn main() {
+    println!(
+        "E3: control-plane cost, soft vs strong consistency ({N} hosts, {RUN_SECS}s, \
+         report/heartbeat period {PERIOD_MS}ms)"
+    );
+    let mut rows = Vec::new();
+    for (label, uptime) in [
+        ("stable", None),
+        ("churn 1/300s", Some(SimTime::from_secs(300))),
+        ("churn 1/60s", Some(SimTime::from_secs(60))),
+        ("churn 1/20s", Some(SimTime::from_secs(20))),
+    ] {
+        let soft = run_soft(uptime, 101);
+        let strong = run_strong(uptime, 101);
+        rows.push(vec![
+            label.to_string(),
+            "soft".into(),
+            f2(soft.msgs_per_node_s),
+            f2(soft.bytes_per_node_s),
+            soft.changes.to_string(),
+        ]);
+        rows.push(vec![
+            label.to_string(),
+            "strong".into(),
+            f2(strong.msgs_per_node_s),
+            f2(strong.bytes_per_node_s),
+            strong.changes.to_string(),
+        ]);
+    }
+    print_table(
+        "control traffic under churn",
+        &["churn", "protocol", "msgs/node/s", "bytes/node/s", "membership changes"],
+        &rows,
+    );
+
+    // Ablation: keep-alive period vs bandwidth (soft only, stable).
+    let mut rows = Vec::new();
+    for period_ms in [500u64, 1000, 2000, 5000] {
+        let behaviors = lc_core::BehaviorRegistry::new();
+        demo::register_demo_behaviors(&behaviors);
+        let world = build_world(
+            Topology::campus(8, 8),
+            55,
+            NodeConfig {
+                cohesion: CohesionConfig {
+                    fanout: 8,
+                    replicas: 2,
+                    report_period: SimTime::from_millis(period_ms),
+                    timeout_intervals: 3,
+                },
+                ..Default::default()
+            },
+            behaviors,
+            demo::demo_trust(),
+            Arc::new(demo::demo_idl()),
+            |_| Vec::new(),
+        );
+        let mut sim = world.sim;
+        sim.run_until(SimTime::from_secs(60));
+        let bytes = sim.metrics_ref().counter("net.bytes") as f64 / N as f64 / 60.0;
+        // staleness bound = eviction timeout
+        rows.push(vec![
+            period_ms.to_string(),
+            f2(bytes),
+            format!("{}", 3 * period_ms),
+        ]);
+    }
+    print_table(
+        "ablation: report period vs bandwidth and staleness bound",
+        &["period ms", "bytes/node/s", "staleness bound ms"],
+        &rows,
+    );
+}

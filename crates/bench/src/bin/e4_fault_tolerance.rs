@@ -1,0 +1,165 @@
+//! E4 — MRM replication and fault tolerance (R4).
+//!
+//! "To enhance fault-tolerance, the protocol must allow replicated peer
+//! MRMs per group. The number of these replicas must be decided by the
+//! protocol depending on FT requirements" (§2.4.3).
+//!
+//! 64 nodes, fanout 8, replica count k ∈ {1, 2, 3, 4}. Churn crashes MRM
+//! seat holders (the first k hosts of every group). A query is issued
+//! every 250ms from a rotating non-MRM origin; the table reports query
+//! availability (hit rate), failovers taken, and the scripted-outage
+//! recovery time: crash *all* configured primaries at once and measure
+//! how long until queries succeed again.
+
+use lc_bench::{f2, print_table};
+use lc_core::cohesion::CohesionConfig;
+use lc_core::demo;
+use lc_core::node::{NodeCmd, QueryResult};
+use lc_core::testkit::build_world;
+use lc_core::{ComponentQuery, NodeConfig};
+use lc_des::SimTime;
+use lc_net::{ChurnConfig, ChurnDriver, ChurnHooks, HostId, Topology};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const N: usize = 64;
+
+fn world_with_replicas(k: usize, seed: u64) -> lc_core::testkit::World {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    build_world(
+        Topology::campus(8, 8),
+        seed,
+        NodeConfig {
+            cohesion: CohesionConfig {
+                fanout: 8,
+                replicas: k,
+                report_period: SimTime::from_millis(500),
+                timeout_intervals: 3,
+            },
+            query_timeout: SimTime::from_millis(600),
+            require_signature: false,
+            ..Default::default()
+        },
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        // every group's host ≡ 7 (mod 8) owns the component
+        |host| if host.0 % 8 == 7 { vec![demo::counter_package()] } else { Vec::new() },
+    )
+}
+
+/// Availability under continuous MRM churn.
+fn churn_run(k: usize) -> (f64, u64) {
+    let world = world_with_replicas(k, 200 + k as u64);
+    let mut sim = world.sim;
+    let net = world.net.clone();
+    let seeds = world.seeds.clone();
+    let actors = Rc::new(RefCell::new(world.actors.clone()));
+
+    // Churn targets every MRM seat holder (hosts 0..k of each group).
+    let victims: Vec<HostId> =
+        net.host_ids().into_iter().filter(|h| (h.0 % 8) < k as u32).collect();
+    let a1 = actors.clone();
+    let a2 = actors.clone();
+    ChurnDriver::new(
+        net.clone(),
+        ChurnConfig {
+            mean_uptime: SimTime::from_secs(20),
+            mean_downtime: SimTime::from_secs(8),
+            victims,
+            until: SimTime::from_secs(60),
+        },
+        ChurnHooks {
+            on_crash: Box::new(move |sim, h| sim.kill(a1.borrow()[h.0 as usize])),
+            on_recover: Box::new(move |sim, h| {
+                let a = seeds[h.0 as usize].spawn(sim);
+                a2.borrow_mut()[h.0 as usize] = a;
+            }),
+        },
+    )
+    .install(&mut sim);
+
+    sim.run_until(SimTime::from_secs(3)); // converge first
+
+    let mut sinks = Vec::new();
+    let mut k_query = 0u32;
+    while sim.now() < SimTime::from_secs(60) {
+        let origin = HostId(((k_query * 13 + 4) % N as u32) | 4); // never an MRM seat
+        let sink: Rc<RefCell<QueryResult>> = Rc::default();
+        let actor = actors.borrow()[origin.0 as usize];
+        sim.send_in(
+            SimTime::ZERO,
+            actor,
+            NodeCmd::Query {
+                query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                sink: sink.clone(),
+                first_wins: true,
+            },
+        );
+        sinks.push(sink);
+        let deadline = sim.now() + SimTime::from_millis(250);
+        sim.run_until(deadline);
+        k_query += 1;
+    }
+    sim.run_until(SimTime::from_secs(62));
+    let hits = sinks.iter().filter(|s| !s.borrow().offers.is_empty()).count();
+    let availability = hits as f64 / sinks.len() as f64;
+    (availability, sim.metrics_ref().counter("query.failover"))
+}
+
+/// Scripted outage: crash the configured primaries of every group at
+/// t=5s, measure time until a query from each group succeeds again.
+fn failover_run(k: usize) -> Option<SimTime> {
+    let mut world = world_with_replicas(k, 300 + k as u64);
+    world.sim.run_until(SimTime::from_secs(3));
+    // Crash every group's configured primary (host ≡ 0 mod 8).
+    for g in 0..8u32 {
+        world.crash(HostId(g * 8));
+    }
+    let outage_at = world.sim.now();
+    // Probe every 100ms until a query succeeds.
+    for probe in 0..100 {
+        let sink: Rc<RefCell<QueryResult>> = Rc::default();
+        let origin = HostId(12); // group 1 member
+        world.cmd(
+            origin,
+            NodeCmd::Query {
+                query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                sink: sink.clone(),
+                first_wins: true,
+            },
+        );
+        let deadline = world.sim.now() + SimTime::from_millis(100);
+        world.sim.run_until(deadline);
+        if !sink.borrow().offers.is_empty() {
+            return Some(world.sim.now() - outage_at);
+        }
+        let _ = probe;
+    }
+    None
+}
+
+fn main() {
+    println!("E4: MRM replication — availability under churn and failover time");
+    let mut rows = Vec::new();
+    for k in 1..=4usize {
+        let (avail, failovers) = churn_run(k);
+        let failover = failover_run(k);
+        rows.push(vec![
+            k.to_string(),
+            f2(avail * 100.0),
+            failovers.to_string(),
+            match failover {
+                Some(t) => format!("{:.0} ms", t.as_secs_f64() * 1e3),
+                None => "NEVER (group lost)".into(),
+            },
+        ]);
+    }
+    print_table(
+        "availability vs replica count (MRM-seat churn, 60s)",
+        &["replicas k", "query availability %", "failovers", "all-primaries-crash recovery"],
+        &rows,
+    );
+}

@@ -1,0 +1,224 @@
+//! E6 — the paper's MPEG example: use-remote vs fetch-local vs migrate.
+//!
+//! "Once selected, the network can decide either to instantiate the
+//! component in its original node or to fetch the component to be
+//! locally installed, instantiated and run. For example, a component
+//! decoding a MPEG video stream would work much faster if it is
+//! installed locally" (§2.4.3). §2.2 adds mid-stream migration: capture
+//! state, move the binary, restore, continue.
+//!
+//! Topology: a video server site and a viewer site joined by a slow WAN
+//! link. The decoder (512 KiB binary) turns 4 KiB encoded chunks into
+//! 32 KiB decoded frames drawn to the viewer's display. Strategies:
+//!
+//! * **remote-decode** — decoder stays at the server: every *decoded*
+//!   frame crosses the WAN (as display traffic).
+//! * **fetch-local** — pay the package transfer once, then only
+//!   *encoded* chunks cross.
+//! * **migrate@25%** — start remote (instant start), migrate the decoder
+//!   (with its frame counter state) to the viewer a quarter into the
+//!   stream.
+//!
+//! The table sweeps stream length and reports WAN bytes per strategy —
+//! the crossover DESIGN.md §5 calls out.
+
+use lc_bench::{human_bytes, print_table};
+use lc_core::node::NodeCmd;
+use lc_core::testkit::{build_world, fast_cohesion, World};
+use lc_core::NodeConfig;
+use lc_cscw::{DisplayServant, VideoDecoderServant};
+use lc_des::SimTime;
+use lc_net::{HostCfg, HostId, Topology};
+use lc_orb::Value;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const CHUNK: usize = 4 * 1024;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Strategy {
+    RemoteDecode,
+    FetchLocal,
+    MigrateQuarter,
+}
+
+fn build() -> World {
+    let mut topo = Topology::new();
+    let server_site = topo.add_site("video-server");
+    let viewer_site = topo.add_site("home");
+    topo.set_site_pair_latency(server_site, viewer_site, SimTime::from_millis(30));
+    topo.add_host(HostCfg::new(server_site).server()); // 0: video server
+    topo.add_host(HostCfg::new(viewer_site)); // 1: viewer
+    let behaviors = lc_core::BehaviorRegistry::new();
+    lc_cscw::register_cscw_behaviors(&behaviors);
+    build_world(
+        Topology::clone(&topo),
+        66,
+        NodeConfig { cohesion: fast_cohesion(), ..Default::default() },
+        behaviors,
+        lc_cscw::cscw_trust(),
+        Arc::new(lc_cscw::cscw_idl()),
+        |host| {
+            let mut pkgs = vec![lc_cscw::display_package()];
+            if host == HostId(0) {
+                pkgs.push(lc_cscw::video_decoder_package()); // 512 KiB binary
+            }
+            pkgs
+        },
+    )
+}
+
+fn spawn(world: &mut World, host: HostId, component: &str, name: &str) -> lc_orb::ObjectRef {
+    let sink: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        host,
+        NodeCmd::SpawnLocal {
+            component: component.into(),
+            min_version: lc_pkg::Version::new(1, 0),
+            instance_name: Some(name.into()),
+            sink: sink.clone(),
+        },
+    );
+    world.sim.run_until(world.sim.now() + SimTime::from_millis(20));
+    let result = sink.borrow().clone();
+    result.unwrap().unwrap()
+}
+
+fn connect_display(world: &mut World, decoder: &lc_orb::ObjectRef, display: &lc_orb::ObjectRef) {
+    world.cmd(
+        decoder.key.host,
+        NodeCmd::Invoke {
+            target: decoder.clone(),
+            op: "_connect_display".into(),
+            args: vec![Value::ObjRef(display.clone())],
+            oneway: true,
+            sink: None,
+        },
+    );
+    world.sim.run_until(world.sim.now() + SimTime::from_millis(20));
+}
+
+/// Stream `frames` chunks; returns (WAN bytes, frames decoded at viewer).
+fn run(strategy: Strategy, frames: u32) -> (u64, u64) {
+    let mut world = build();
+    let server = HostId(0);
+    let viewer = HostId(1);
+    world.sim.run_until(SimTime::from_millis(50));
+    let viewer_display = spawn(&mut world, viewer, "CscwDisplay", "screen");
+
+    // Where does the decoder start?
+    let mut decoder = match strategy {
+        Strategy::RemoteDecode | Strategy::MigrateQuarter => {
+            spawn(&mut world, server, "VideoDecoder", "dec")
+        }
+        Strategy::FetchLocal => {
+            // The real dependency-resolution path: the viewer's screen
+            // needs a video source; with a long expected stream the
+            // planner picks FetchAndRunLocal, pulling the package over
+            // the WAN from the server (§2.4.3's MPEG decision).
+            let screen_inst =
+                world.node(viewer).unwrap().registry.named("screen").unwrap().id;
+            let provider: lc_core::SpawnSink = Rc::default();
+            world.cmd(
+                viewer,
+                NodeCmd::Resolve {
+                    instance: screen_inst,
+                    port: "video_in".into(),
+                    query: lc_core::ComponentQuery::by_name(
+                        "VideoDecoder",
+                        lc_pkg::Version::new(1, 0),
+                    ),
+                    policy: lc_core::ResolvePolicy {
+                        expected_traffic: frames as u64 * CHUNK as u64 * 8,
+                        ..Default::default()
+                    },
+                    sink: Some(provider.clone()),
+                },
+            );
+            world.sim.run_until(world.sim.now() + SimTime::from_secs(30));
+            let r = provider.borrow().clone().expect("resolved").expect("fetch-local decoder");
+            assert_eq!(r.key.host, viewer, "planner must choose local install");
+            r
+        }
+    };
+    connect_display(&mut world, &decoder, &viewer_display);
+
+    let wan_before = world.sim.metrics_ref().counter("net.bytes.inter");
+
+    let migrate_at = frames / 4;
+    for f in 0..frames {
+        if strategy == Strategy::MigrateQuarter && f == migrate_at {
+            // Mid-stream migration, state and all (§2.2).
+            let inst = world.node(server).unwrap().registry.named("dec").unwrap().id;
+            let msink: lc_core::MigrateSink = Rc::default();
+            world.cmd(server, NodeCmd::Migrate { instance: inst, to: viewer, sink: Some(msink.clone()) });
+            world.sim.run_until(world.sim.now() + SimTime::from_secs(30));
+            decoder = msink.borrow().clone().unwrap().expect("migration done");
+            connect_display(&mut world, &decoder, &viewer_display);
+        }
+        // The camera/file source lives at the server site.
+        world.cmd(
+            server,
+            NodeCmd::Invoke {
+                target: decoder.clone(),
+                op: "push_chunk".into(),
+                args: vec![Value::blob(&vec![0x5A; CHUNK])],
+                oneway: true,
+                sink: None,
+            },
+        );
+        world.sim.run_until(world.sim.now() + SimTime::from_millis(40)); // 25 fps
+    }
+    world.sim.run_until(world.sim.now() + SimTime::from_secs(5));
+
+    let wan = world.sim.metrics_ref().counter("net.bytes.inter") - wan_before;
+    let node = world.node(viewer).unwrap();
+    let frames_drawn = node
+        .registry
+        .named("screen")
+        .and_then(|i| node.servant_of::<DisplayServant>(i.id))
+        .map(|d| d.draws)
+        .unwrap_or(0);
+    // sanity: decoder processed all frames wherever it lives
+    let total_decoded: u64 = [server, viewer]
+        .iter()
+        .filter_map(|h| {
+            let node = world.node(*h)?;
+            let inst = node
+                .registry
+                .instances()
+                .find(|i| i.component == "VideoDecoder" && i.name.as_deref() != Some("warm"))?;
+            node.servant_of::<VideoDecoderServant>(inst.id).map(|d| d.frames)
+        })
+        .sum();
+    assert!(total_decoded >= frames as u64, "decoded {total_decoded}/{frames}");
+    (wan, frames_drawn)
+}
+
+fn main() {
+    println!("E6: video decoder placement — WAN bytes by strategy and stream length");
+    println!("(4 KiB encoded chunks -> 16 KiB painted frames; 512 KiB decoder binary)");
+    let mut rows = Vec::new();
+    for &frames in &[50u32, 200, 800, 2000] {
+        let (remote, _) = run(Strategy::RemoteDecode, frames);
+        let (fetch, _) = run(Strategy::FetchLocal, frames);
+        let (migrate, drawn) = run(Strategy::MigrateQuarter, frames);
+        rows.push(vec![
+            frames.to_string(),
+            human_bytes(remote),
+            human_bytes(fetch),
+            human_bytes(migrate),
+            drawn.to_string(),
+        ]);
+    }
+    print_table(
+        "WAN traffic per strategy",
+        &["frames", "remote-decode", "fetch-local", "migrate@25%", "frames on screen (migrate)"],
+        &rows,
+    );
+    println!(
+        "\nShape check: fetch-local pays ~the package size up front and wins once the\n\
+         stream is long; remote-decode ships every decoded frame over the WAN;\n\
+         migration lands in between, approaching fetch-local for long streams."
+    );
+}

@@ -1,0 +1,125 @@
+//! E8 — Grid data-parallel aggregation: speedup, efficiency, idle
+//! harvesting and volunteer loss (§3.2, §2.1.1 "Aggregation").
+//!
+//! A `PiMaster` aggregation component splits a Monte-Carlo job over W
+//! `PiWorker` instances, one per volunteer host. The table reports
+//! makespan, speedup and efficiency vs worker count; a second table
+//! shows idle-cycle harvesting on a heterogeneous volunteer pool, and a
+//! third re-runs the job while half the volunteers crash mid-flight.
+
+use lc_bench::{f2, f3, print_table};
+use lc_des::SimTime;
+use lc_grid::harness::deploy;
+use lc_net::{HostCfg, HostId, Topology};
+
+const WORK: u64 = 64_000_000;
+
+fn main() {
+    println!("E8: data-parallel aggregation (total work {WORK} units, 100ms/Munit)");
+
+    // --- speedup vs worker count -----------------------------------
+    let mut rows = Vec::new();
+    let mut base = None;
+    for &w in &[1usize, 2, 4, 8, 16, 32] {
+        let hosts: Vec<HostId> = (1..=w as u32).map(HostId).collect();
+        let mut sess = deploy(Topology::lan(w + 1), 800 + w as u64, &hosts);
+        let elapsed = sess
+            .run_job(WORK, (w * 4) as u32, SimTime::from_secs(1200))
+            .expect("job finishes");
+        let secs = elapsed.as_secs_f64();
+        let base_secs = *base.get_or_insert(secs);
+        let speedup = base_secs / secs;
+        let pi = sess.master_servant().unwrap().pi_estimate();
+        rows.push(vec![
+            w.to_string(),
+            f2(secs),
+            f2(speedup),
+            f2(speedup / w as f64 * 100.0),
+            f3(pi),
+        ]);
+    }
+    print_table(
+        "speedup vs workers (homogeneous volunteers)",
+        &["workers", "makespan s", "speedup", "efficiency %", "pi estimate"],
+        &rows,
+    );
+
+    // --- idle harvesting on a heterogeneous pool ---------------------
+    // 4 volunteers: a 4x server, two 1x workstations, a 0.5x relic.
+    let mut topo = Topology::new();
+    let s = topo.add_site("campus");
+    topo.add_host(HostCfg::new(s)); // master
+    topo.add_host(HostCfg::new(s).server());
+    topo.add_host(HostCfg::new(s));
+    topo.add_host(HostCfg::new(s));
+    topo.add_host(HostCfg::new(s).cpu(0.5));
+    let volunteers: Vec<HostId> = (1..=4).map(HostId).collect();
+    let mut sess = deploy(topo, 900, &volunteers);
+    let elapsed = sess.run_job(WORK / 4, 32, SimTime::from_secs(1200)).expect("finishes");
+    let mut rows = Vec::new();
+    for (host, units) in sess.worker_units() {
+        let node = sess.world.node(host).unwrap();
+        let power = node.resources.static_info().cpu_power;
+        rows.push(vec![
+            host.to_string(),
+            f2(power),
+            units.to_string(),
+            f2(units as f64 / 1e6 * 100.0 / power / 1e3), // busy seconds
+        ]);
+    }
+    rows.push(vec!["makespan".into(), "".into(), "".into(), f2(elapsed.as_secs_f64())]);
+    print_table(
+        "idle harvesting: heterogeneous volunteers (16M units, 32 chunks)",
+        &["host", "cpu power", "units done", "busy s"],
+        &rows,
+    );
+
+    // --- volunteer loss ----------------------------------------------
+    let hosts: Vec<HostId> = (1..=8).map(HostId).collect();
+    let mut sess = deploy(Topology::lan(9), 901, &hosts);
+    sess.world.cmd(
+        sess.master_host,
+        lc_core::node::NodeCmd::Invoke {
+            target: sess.master.clone(),
+            op: "start".into(),
+            args: vec![lc_orb::Value::ULongLong(WORK / 2), lc_orb::Value::ULong(32)],
+            oneway: true,
+            sink: None,
+        },
+    );
+    let t0 = sess.world.sim.now();
+    sess.world.sim.run_until(t0 + SimTime::from_millis(150));
+    for h in [2u32, 3, 4, 5] {
+        sess.world.crash(HostId(h));
+    }
+    let mut done = None;
+    while sess.world.sim.now() - t0 < SimTime::from_secs(1200) {
+        let d = sess.world.sim.now() + SimTime::from_millis(500);
+        sess.world.sim.run_until(d);
+        sess.world.cmd(
+            sess.master_host,
+            lc_core::node::NodeCmd::Invoke {
+                target: sess.master.clone(),
+                op: "nudge".into(),
+                args: vec![],
+                oneway: true,
+                sink: None,
+            },
+        );
+        if let Some(m) = sess.master_servant() {
+            if let Some(e) = m.elapsed() {
+                done = Some(e);
+                break;
+            }
+        }
+    }
+    let master = sess.master_servant().unwrap();
+    println!("\n== volunteer loss: 8 workers, 4 crash at t+150ms ==");
+    println!(
+        "job completed: {} (makespan {}), chunks re-dispatched: {}, pi = {:.3}",
+        done.is_some(),
+        done.map(|e| format!("{:.2}s", e.as_secs_f64())).unwrap_or_else(|| "-".into()),
+        master.redispatches,
+        master.pi_estimate()
+    );
+}

@@ -1,0 +1,174 @@
+//! F2 — reproduce Figure 2: the CSCW application model.
+//!
+//! Builds the whiteboard application assembly (Application + GUI parts +
+//! per-host Display), type-checks it against the CSCW IDL, deploys it
+//! across a simulated network, and prints the component/port graph in
+//! the shape of the paper's Figure 2 — including the "GUI components can
+//! be local or remote" property: one GUI part runs on the application's
+//! host, one on a remote workstation, and the PDA participant's GUI part
+//! runs remotely while painting on the PDA's display.
+
+use lc_core::node::NodeCmd;
+use lc_core::testkit::{build_world, fast_cohesion};
+use lc_core::NodeConfig;
+use lc_des::SimTime;
+use lc_net::{HostCfg, Topology};
+use lc_orb::Value;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn main() {
+    println!("F2: Figure 2 — CSCW application model");
+    println!("-------------------------------------");
+
+    // The assembly, type-checked against the IDL like a visual builder
+    // would before letting the user hit 'run'.
+    let assembly = lc_cscw::whiteboard_assembly(3);
+    let idl = lc_cscw::cscw_idl();
+    let mut descs = std::collections::BTreeMap::new();
+    for bytes in [
+        lc_cscw::gui_package(),
+        lc_cscw::whiteboard_package(),
+        lc_cscw::display_package(),
+    ] {
+        let pkg = lc_pkg::Package::from_bytes(&bytes).unwrap();
+        descs.insert(pkg.descriptor.name.clone(), pkg.descriptor);
+    }
+    assembly.typecheck(&descs, &idl).expect("assembly typechecks");
+    println!("\nassembly '{}' (typechecked):", assembly.name);
+    for i in &assembly.instances {
+        println!("  instance {:<6} : {} >= {}", i.name, i.component, i.min_version);
+    }
+    for c in &assembly.connections {
+        let arrow = match c.kind {
+            lc_core::ConnectionKind::Interface => "--uses-->",
+            lc_core::ConnectionKind::Event => "~~consumes~~>",
+        };
+        println!("  {}.{} {arrow} {}.{}", c.from, c.from_port, c.to, c.to_port);
+    }
+
+    // Deploy: app host + workstation + PDA.
+    let mut topo = Topology::new();
+    let office = topo.add_site("office");
+    let app_host = topo.add_host(HostCfg::new(office).server());
+    let workstation = topo.add_host(HostCfg::new(office));
+    let pda = topo.add_host(HostCfg::new(office).pda());
+    let behaviors = lc_core::BehaviorRegistry::new();
+    lc_cscw::register_cscw_behaviors(&behaviors);
+    let mut world = build_world(
+        topo,
+        2,
+        NodeConfig { cohesion: fast_cohesion(), ..Default::default() },
+        behaviors,
+        lc_cscw::cscw_trust(),
+        Arc::new(lc_cscw::cscw_idl()),
+        |_| {
+            vec![
+                lc_cscw::display_package(),
+                lc_cscw::gui_package(),
+                lc_cscw::whiteboard_package(),
+            ]
+        },
+    );
+    world.sim.run_until(SimTime::from_millis(50));
+
+    let spawn = |world: &mut lc_core::testkit::World, host, component: &str, name: &str| {
+        let sink: lc_core::SpawnSink = Rc::default();
+        world.cmd(
+            host,
+            NodeCmd::SpawnLocal {
+                component: component.into(),
+                min_version: lc_pkg::Version::new(1, 0),
+                instance_name: Some(name.into()),
+                sink: sink.clone(),
+            },
+        );
+        world.sim.run_until(world.sim.now() + SimTime::from_millis(20));
+        let r = sink.borrow().clone();
+        r.unwrap().unwrap()
+    };
+
+    let board = spawn(&mut world, app_host, "Whiteboard", "application");
+    // local GUI part (same host as the application)
+    let gui_local = spawn(&mut world, app_host, "CscwGuiPart", "gui-part-1");
+    let disp_local = spawn(&mut world, app_host, "CscwDisplay", "display-app");
+    // remote GUI part on the workstation
+    let gui_remote = spawn(&mut world, workstation, "CscwGuiPart", "gui-part-2");
+    let disp_remote = spawn(&mut world, workstation, "CscwDisplay", "display-ws");
+    // PDA: display local (firmware), GUI part hosted on the server
+    let disp_pda = spawn(&mut world, pda, "CscwDisplay", "display-pda");
+    let gui_pda = spawn(&mut world, app_host, "CscwGuiPart", "gui-part-pda");
+
+    for (host, gui, disp) in [
+        (app_host, &gui_local, &disp_local),
+        (workstation, &gui_remote, &disp_remote),
+        (app_host, &gui_pda, &disp_pda),
+    ] {
+        world.cmd(
+            host,
+            NodeCmd::Invoke {
+                target: gui.clone(),
+                op: "_connect_display".into(),
+                args: vec![Value::ObjRef(disp.clone())],
+                oneway: true,
+                sink: None,
+            },
+        );
+        world.cmd(
+            host,
+            NodeCmd::Subscribe {
+                producer: board.clone(),
+                port: "strokes".into(),
+                consumer: gui.clone(),
+                delivery_op: "_push_strokes".into(),
+            },
+        );
+    }
+    world.sim.run_until(world.sim.now() + SimTime::from_millis(200));
+
+    // One stroke to light the wires up.
+    world.cmd(
+        app_host,
+        NodeCmd::Invoke {
+            target: board,
+            op: "user_stroke".into(),
+            args: vec![Value::Long(1), Value::Long(2), Value::Long(3), Value::Long(4)],
+            oneway: true,
+            sink: None,
+        },
+    );
+    world.sim.run_until(world.sim.now() + SimTime::from_secs(1));
+
+    println!("\ndeployed model (cf. Fig. 2):\n");
+    println!("  Application Window           Node                    Network");
+    for (label, host) in
+        [("application host", app_host), ("workstation", workstation), ("PDA", pda)]
+    {
+        let node = world.node(host).unwrap();
+        println!("  [{label} = {}]", host);
+        for inst in node.registry.instances() {
+            let ports: Vec<String> = inst
+                .provides
+                .iter()
+                .map(|p| format!("provides {}", p.name))
+                .chain(inst.uses.iter().map(|p| format!("uses {}", p.name)))
+                .chain(inst.emits.iter().map(|p| format!("emits {}", p.name)))
+                .chain(inst.consumes.iter().map(|p| format!("consumes {}", p.name)))
+                .collect();
+            println!(
+                "    {} '{}' ({})",
+                inst.component,
+                inst.name.clone().unwrap_or_default(),
+                ports.join(", ")
+            );
+        }
+        for c in node.registry.connections() {
+            println!("      wire: {}.{} -> {}", c.from, c.from_port, c.to);
+        }
+    }
+    println!(
+        "\n  stroke delivered to 3 GUI parts (1 local, 1 remote, 1 serving the PDA);\n\
+         events published: {}",
+        world.sim.metrics_ref().counter("events.published")
+    );
+}

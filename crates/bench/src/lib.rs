@@ -1,0 +1,79 @@
+//! # lc-bench — the experiment harness
+//!
+//! One binary per figure/experiment of DESIGN.md §4 (`cargo run -p
+//! lc-bench --release --bin <id>`), plus Criterion micro-benchmarks for
+//! the hot paths (`cargo bench`). Every binary prints the table (or
+//! figure facsimile) it regenerates; EXPERIMENTS.md records the outputs
+//! and compares them against the paper's qualitative claims.
+
+use std::fmt::Write as _;
+
+/// Print a titled ASCII table with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(100)));
+    for row in rows {
+        let mut out = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        println!("{out}");
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format bytes human-readably.
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // rounds
+        assert_eq!(human_bytes(100), "100 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.00 MiB");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["col1", "column2"],
+            &[vec!["a".into(), "b".into()], vec!["longer".into(), "x".into()]],
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! # lc-core — CORBA Lightweight Components (CORBA-LC)
+//!
+//! The paper's primary contribution: a lightweight, distributed,
+//! *reflective* component model on CORBA, with a peer/network-centered
+//! deployment model in which "the whole network acts as a repository for
+//! managing and assigning the whole set of resources: components, CPU
+//! cycles, memory" and "application deployment is automatically and
+//! adaptively performed at run-time".
+//!
+//! Module map (↔ the paper's sections):
+//!
+//! | module | paper |
+//! |---|---|
+//! | [`behavior`] | §2.1.1 dynamic loading (DLL substitute) |
+//! | [`repository`] | §2.4.1 Component Repository + Acceptor checks |
+//! | [`registry`] | §2.4.2 Component Registry, queries, offers |
+//! | [`resource`] | §2.4.1/2 Resource Manager |
+//! | [`cohesion`] | §2.4.3 hierarchy, soft consistency, MRM replication |
+//! | [`proto`] | §2.4.3 the Distributed Registry's wire protocol |
+//! | [`deploy`] | §2.4.3/4 offer selection & run-time placement |
+//! | [`assembly`] | §2.4.4 applications as components |
+//! | [`node`] | §2.4.1 the Node service (Fig. 1) + container (§2.2) |
+//! | [`reflect`] | §2.4.2 Reflection Architecture snapshots |
+//!
+//! The crate runs on the simulated substrates: [`lc_des`] (virtual time),
+//! [`lc_net`] (the fabric), [`lc_orb`] (typed invocation), [`lc_pkg`]
+//! (packaging), [`lc_idl`]/[`lc_xml`] (descriptors).
+
+pub mod assembly;
+pub mod behavior;
+pub mod demo;
+pub mod cohesion;
+pub mod deploy;
+pub mod node;
+pub mod proto;
+pub mod reflect;
+pub mod registry;
+pub mod repository;
+pub mod resource;
+
+pub use assembly::{AssemblyConnection, AssemblyDescriptor, AssemblyInstance, ConnectionKind};
+pub use behavior::BehaviorRegistry;
+pub use cohesion::{CohesionConfig, Hierarchy};
+pub use deploy::{NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
+pub use node::{
+    AssemblySink, InvokeSink, LoadBalanceConfig, MigrateSink, Node, NodeCmd, NodeConfig,
+    NodeSeed, QueryResult, QuerySink, SpawnSink,
+};
+pub use proto::{CtrlMsg, GroupSummary, QueryId};
+pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, Offer};
+pub use repository::{ComponentRepository, InstallError};
+pub use resource::{ResourceManager, ResourceReport};
+
+/// Convenience test-kit for building simulated CORBA-LC networks; used by
+/// unit tests, integration tests, examples and every experiment binary.
+pub mod testkit {
+    use crate::behavior::BehaviorRegistry;
+    use crate::cohesion::{CohesionConfig, Hierarchy};
+    use crate::node::{NodeConfig, NodeSeed};
+    use lc_des::{ActorId, Sim};
+    use lc_net::{Net, Topology};
+    use lc_orb::SimOrb;
+    use lc_pkg::TrustStore;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    /// A fully wired simulated CORBA-LC network.
+    pub struct World {
+        /// The simulation.
+        pub sim: Sim,
+        /// The fabric.
+        pub net: Net,
+        /// ORB plumbing.
+        pub orb: SimOrb,
+        /// One seed per host (respawn material).
+        pub seeds: Vec<NodeSeed>,
+        /// One node actor per host.
+        pub actors: Vec<ActorId>,
+    }
+
+    /// Build a world: one node per host of `topo`, common config.
+    pub fn build_world(
+        topo: Topology,
+        seed: u64,
+        config: NodeConfig,
+        behaviors: BehaviorRegistry,
+        trust: TrustStore,
+        idl: Arc<lc_idl::Repository>,
+        preinstalled: impl Fn(lc_net::HostId) -> Vec<Rc<Vec<u8>>>,
+    ) -> World {
+        let net = Net::new(topo);
+        let orb = SimOrb::new(net.clone());
+        let hierarchy = Rc::new(Hierarchy::build(&net.host_ids(), config.cohesion.clone()));
+        let mut sim = Sim::new(seed);
+        let mut seeds = Vec::new();
+        let mut actors = Vec::new();
+        for host in net.host_ids() {
+            let node_seed = NodeSeed {
+                host,
+                config: config.clone(),
+                net: net.clone(),
+                orb: orb.clone(),
+                hierarchy: hierarchy.clone(),
+                behaviors: behaviors.clone(),
+                trust: trust.clone(),
+                idl: idl.clone(),
+                preinstalled: preinstalled(host),
+            };
+            let actor = node_seed.spawn(&mut sim);
+            seeds.push(node_seed);
+            actors.push(actor);
+        }
+        World { sim, net, orb, seeds, actors }
+    }
+
+    impl World {
+        /// Shorthand: a LAN world with default config and no components.
+        pub fn lan(n: usize, seed: u64) -> World {
+            build_world(
+                Topology::lan(n),
+                seed,
+                NodeConfig::default(),
+                BehaviorRegistry::new(),
+                TrustStore::new(),
+                Arc::new(lc_idl::Repository::default()),
+                |_| Vec::new(),
+            )
+        }
+
+        /// Crash a host: fabric down + node actor killed (soft state lost).
+        pub fn crash(&mut self, host: lc_net::HostId) {
+            self.net.set_host_up(host, false);
+            let actor = self.actors[host.0 as usize];
+            self.sim.kill(actor);
+        }
+
+        /// Recover a host: fabric up + fresh node from its seed
+        /// (installed packages persist, dynamic state starts empty).
+        pub fn recover(&mut self, host: lc_net::HostId) {
+            self.net.set_host_up(host, true);
+            let actor = self.seeds[host.0 as usize].spawn(&mut self.sim);
+            self.actors[host.0 as usize] = actor;
+        }
+
+        /// Send a [`crate::node::NodeCmd`] to a host's node, now.
+        pub fn cmd(&mut self, host: lc_net::HostId, cmd: crate::node::NodeCmd) {
+            let actor = self.actors[host.0 as usize];
+            self.sim.send_in(lc_des::SimTime::ZERO, actor, cmd);
+        }
+
+        /// Borrow a node's state for inspection.
+        pub fn node(&self, host: lc_net::HostId) -> Option<&crate::node::Node> {
+            self.sim.actor_as::<crate::node::Node>(self.actors[host.0 as usize])
+        }
+    }
+
+    /// The standard cohesion config used by most tests: fast timers so
+    /// tests converge in little virtual time.
+    pub fn fast_cohesion() -> CohesionConfig {
+        CohesionConfig {
+            fanout: 8,
+            replicas: 2,
+            report_period: lc_des::SimTime::from_millis(200),
+            timeout_intervals: 3,
+        }
+    }
+}

@@ -1,0 +1,1892 @@
+//! The Node: "each host participating must have running a server
+//! implementing the Node service" (§2.4.1, Fig. 1).
+//!
+//! One [`Node`] actor per simulated host bundles the four services of the
+//! paper's Figure 1 and the container runtime:
+//!
+//! * **Resource Manager** — [`crate::resource::ResourceManager`]; emits
+//!   the periodic reports that drive soft-consistency cohesion.
+//! * **Component Registry / Repository** — reflected local view +
+//!   verified package store; answers `QueryNode` messages with offers.
+//! * **Component Acceptor** — `CtrlMsg::Install` / [`NodeCmd::Install`]:
+//!   run-time installation with signature/platform/behaviour checks.
+//! * **Network Cohesion** — keep-alive reports, MRM duties (aggregation,
+//!   summaries, query routing, replica failover).
+//! * **Container** — instance life cycle, dependency resolution through
+//!   distributed queries, port connection, event channels, CPU
+//!   accounting, migration (state capture/restore, request forwarding).
+//!
+//! Nodes are driven by three inputs: [`NodeCmd`] messages (the local
+//! "application/driver" API), internal timer ticks, and network traffic
+//! ([`lc_net::NetMsg`] carrying [`CtrlMsg`] or [`lc_orb::OrbWire`]).
+
+use crate::assembly::{AssemblyDescriptor, ConnectionKind};
+use crate::behavior::BehaviorRegistry;
+use crate::cohesion::{effective_primary, CohesionConfig, DutyState, Hierarchy, MrmDuty};
+use crate::deploy::{choose, NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
+use crate::proto::{CtrlMsg, QueryId};
+use crate::registry::{
+    ComponentQuery, ComponentRegistry, Connection, InstanceId, InstanceInfo, InstancePort, Offer,
+};
+use crate::repository::ComponentRepository;
+use crate::resource::ResourceManager;
+use lc_des::{Actor, AnyMsg, AnyMsgExt, Ctx, SimTime};
+use lc_net::{HostId, Net, NetMsg};
+use lc_orb::{ObjectAdapter, ObjectKey, ObjectRef, OrbError, OrbWire, Outcome, RequestId, SimOrb, Value};
+use lc_pkg::{Platform, TrustStore, Version};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Automatic load-balancing policy (§2.4.3: "component instance
+/// migration and replication to achieve load balancing").
+#[derive(Clone, Debug)]
+pub struct LoadBalanceConfig {
+    /// How often a node examines its own load.
+    pub check_period: SimTime,
+    /// CPU utilisation above which the node tries to shed an instance.
+    pub overload_threshold: f64,
+}
+
+impl Default for LoadBalanceConfig {
+    fn default() -> Self {
+        LoadBalanceConfig {
+            check_period: SimTime::from_secs(2),
+            overload_threshold: 0.75,
+        }
+    }
+}
+
+/// Node-level configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Cohesion protocol parameters.
+    pub cohesion: CohesionConfig,
+    /// How long a query collects offers before it is finalized.
+    pub query_timeout: SimTime,
+    /// Security policy: refuse unsigned packages.
+    pub require_signature: bool,
+    /// Automatic load balancing (off by default; experiments and
+    /// deployments opt in).
+    pub load_balance: Option<LoadBalanceConfig>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            cohesion: CohesionConfig::default(),
+            query_timeout: SimTime::from_millis(500),
+            require_signature: false,
+            load_balance: None,
+        }
+    }
+}
+
+/// Where a driver observes query progress.
+#[derive(Debug, Default)]
+pub struct QueryResult {
+    /// Offers collected so far (deduplicated by (node, component, version)).
+    pub offers: Vec<Offer>,
+    /// Query finalized (timeout, done message, or first-offer short-circuit).
+    pub done: bool,
+    /// When the query started.
+    pub started: SimTime,
+    /// When the first offer arrived.
+    pub first_offer_at: Option<SimTime>,
+    /// When the query was finalized.
+    pub done_at: Option<SimTime>,
+}
+
+/// Shared handle the driver polls for query results.
+pub type QuerySink = Rc<RefCell<QueryResult>>;
+
+/// Shared handle for spawn results.
+pub type SpawnSink = Rc<RefCell<Option<Result<ObjectRef, String>>>>;
+
+/// Shared handle for invocation replies: `(reply time, outcome)` per call.
+pub type InvokeSink = Rc<RefCell<Vec<(SimTime, Result<Outcome, OrbError>)>>>;
+
+/// Shared handle for migration results.
+pub type MigrateSink = Rc<RefCell<Option<Result<ObjectRef, String>>>>;
+
+/// Shared handle for assembly deployment: instance name → reference.
+pub type AssemblySink = Rc<RefCell<BTreeMap<String, Result<ObjectRef, String>>>>;
+
+/// Commands from the local driver (application shell, experiments).
+pub enum NodeCmd {
+    /// Install a package from container bytes (local Component Acceptor).
+    Install(Rc<Vec<u8>>),
+    /// Issue a distributed component query.
+    Query {
+        /// The query.
+        query: ComponentQuery,
+        /// Result sink.
+        sink: QuerySink,
+        /// Finalize as soon as the first offers arrive.
+        first_wins: bool,
+    },
+    /// Create a local instance of an installed component.
+    SpawnLocal {
+        /// Component name.
+        component: String,
+        /// Minimum version.
+        min_version: Version,
+        /// Optional instance name.
+        instance_name: Option<String>,
+        /// Result sink.
+        sink: SpawnSink,
+    },
+    /// Ask a *remote* node to create an instance (driver-directed
+    /// placement, used by experiments that bypass the planner).
+    SpawnOn {
+        /// Target node.
+        node: HostId,
+        /// Component name.
+        component: String,
+        /// Minimum version.
+        min_version: Version,
+        /// Optional instance name.
+        instance_name: Option<String>,
+        /// Result sink.
+        sink: SpawnSink,
+    },
+    /// Resolve a `uses` port of a local instance through the network:
+    /// query → choose (connect/spawn/fetch) → connect.
+    Resolve {
+        /// The dependent instance.
+        instance: InstanceId,
+        /// Its `uses` port to satisfy.
+        port: String,
+        /// The query finding providers.
+        query: ComponentQuery,
+        /// Selection policy.
+        policy: ResolvePolicy,
+        /// Optional sink receiving the provider reference.
+        sink: Option<SpawnSink>,
+    },
+    /// Subscribe a consumer to a producer's event-source port.
+    Subscribe {
+        /// Producer instance reference.
+        producer: ObjectRef,
+        /// Producer's emits port.
+        port: String,
+        /// Consumer instance reference.
+        consumer: ObjectRef,
+        /// Delivery operation on the consumer servant.
+        delivery_op: String,
+    },
+    /// Invoke an operation on any object from this node (driver traffic).
+    Invoke {
+        /// Target object.
+        target: ObjectRef,
+        /// Operation.
+        op: String,
+        /// Arguments.
+        args: Vec<Value>,
+        /// Fire-and-forget?
+        oneway: bool,
+        /// Reply sink (ignored for oneway).
+        sink: Option<InvokeSink>,
+    },
+    /// Migrate a local instance to another node.
+    Migrate {
+        /// Instance to move.
+        instance: InstanceId,
+        /// Destination host.
+        to: HostId,
+        /// Result sink.
+        sink: Option<MigrateSink>,
+    },
+    /// Modify a running instance's reflected ports (§2.4.2: "CORBA-LC
+    /// offers operations which allow modifying the set of ports a
+    /// component exposes"). The change is immediately visible to
+    /// queries and visual builders through the Component Registry.
+    ModifyPorts {
+        /// The instance to modify.
+        instance: InstanceId,
+        /// Provided ports to add: `(port name, interface id)`.
+        add_provides: Vec<(String, String)>,
+        /// Provided ports to remove by name.
+        remove_provides: Vec<String>,
+    },
+    /// Deploy an application (assembly) with run-time placement.
+    ///
+    /// The placement view comes from this node's level-0 MRM duty soft
+    /// state, so the command should be sent to a node that is a leaf
+    /// MRM (any node can be configured as one).
+    StartAssembly {
+        /// The application descriptor.
+        assembly: AssemblyDescriptor,
+        /// Placement strategy (CORBA-LC vs static baseline).
+        strategy: PlacementStrategy,
+        /// Per-instance results.
+        sink: AssemblySink,
+    },
+}
+
+/// Internal timer messages.
+enum Tick {
+    /// Send the periodic resource report (keep-alive).
+    KeepAlive,
+    /// Sweep MRM soft state and push summaries.
+    MrmSweep,
+    /// Finalize a pending query.
+    QueryDeadline(u64),
+    /// A CPU-delayed reply is due.
+    SendReply {
+        to: HostId,
+        id: RequestId,
+        result: Result<Outcome, OrbError>,
+    },
+    /// Periodic load-balance self-check.
+    LoadBalance,
+}
+
+/// Why a query was started (what to do when it completes).
+enum QueryPurpose {
+    Collect { sink: QuerySink, first_wins: bool },
+    Resolve {
+        instance: InstanceId,
+        port: String,
+        policy: ResolvePolicy,
+        sink: Option<SpawnSink>,
+    },
+}
+
+struct PendingQuery {
+    purpose: QueryPurpose,
+    offers: Vec<Offer>,
+    started: SimTime,
+    first_offer_at: Option<SimTime>,
+    query: ComponentQuery,
+}
+
+/// What to do when a remote spawn completes.
+enum SpawnCont {
+    /// Hand the result to a driver sink (NodeCmd::SpawnOn).
+    Sink(SpawnSink),
+    Connect { instance: InstanceId, port: String, sink: Option<SpawnSink> },
+    Assembly { name: String, sink: AssemblySink, pending: Rc<RefCell<PendingAssembly>> },
+}
+
+/// What to do when a reply to an outgoing ORB request arrives.
+enum CallCont {
+    /// Route to a local instance's `_reply` op with this token.
+    ToInstance { oid: u64, token: u64 },
+    /// Hand to a driver sink.
+    Sink(InvokeSink),
+}
+
+/// What to do once a fetched package is installed.
+enum FetchCont {
+    SpawnAndConnect {
+        component: String,
+        min_version: Version,
+        instance: InstanceId,
+        port: String,
+        sink: Option<SpawnSink>,
+    },
+    FinishMigration {
+        rid: u64,
+        origin: HostId,
+        component: String,
+        version: Version,
+        state: Value,
+        instance_name: Option<String>,
+    },
+}
+
+struct PendingMigration {
+    instance: InstanceId,
+    sink: Option<MigrateSink>,
+}
+
+/// Assembly deployment in progress: connections fire once all spawns land.
+struct PendingAssembly {
+    assembly: AssemblyDescriptor,
+    refs: BTreeMap<String, ObjectRef>,
+    outstanding: usize,
+}
+
+/// One open push event channel: the event type plus its subscribers
+/// (consumer servant, delivery operation).
+type EventChannel = (String, Vec<(ObjectKey, String)>);
+
+/// Per-instance runtime bookkeeping the registry does not hold.
+struct InstanceRuntime {
+    qos: lc_pkg::QosSpec,
+    mobility: lc_pkg::Mobility,
+}
+
+/// Everything needed to (re)create a node — used for initial bring-up and
+/// for respawning after a crash (dynamic state is lost, installed
+/// packages persist like files on disk).
+#[derive(Clone)]
+pub struct NodeSeed {
+    /// The host this node runs on.
+    pub host: HostId,
+    /// Configuration.
+    pub config: NodeConfig,
+    /// The network fabric.
+    pub net: Net,
+    /// ORB plumbing.
+    pub orb: SimOrb,
+    /// Shared MRM hierarchy.
+    pub hierarchy: Rc<Hierarchy>,
+    /// Behaviour registry (the loadable code).
+    pub behaviors: BehaviorRegistry,
+    /// Trust store for package verification.
+    pub trust: TrustStore,
+    /// Base IDL repository (system interfaces).
+    pub idl: Arc<lc_idl::Repository>,
+    /// Packages present "on disk" at boot (installed before start).
+    pub preinstalled: Vec<Rc<Vec<u8>>>,
+}
+
+impl NodeSeed {
+    /// Spawn a node actor from this seed, bind it to the host, and start
+    /// its timers. Returns the actor id.
+    pub fn spawn(&self, sim: &mut lc_des::Sim) -> lc_des::ActorId {
+        let mut node = Node::new(self.clone());
+        for pkg in &self.preinstalled {
+            // Pre-installed packages bypass the network (local media).
+            let _ = node.install_bytes(pkg);
+        }
+        let actor = sim.spawn(node);
+        self.net.bind(self.host, actor);
+        // Deterministic de-synchronization: stagger the first keep-alive
+        // by host id so report storms do not align.
+        let jitter = SimTime::from_micros(137 * (self.host.0 as u64 + 1));
+        sim.send_in(jitter, actor, TickMsg(Tick::KeepAlive));
+        sim.send_in(
+            jitter + self.config.cohesion.report_period / 2,
+            actor,
+            TickMsg(Tick::MrmSweep),
+        );
+        if let Some(lb) = &self.config.load_balance {
+            sim.send_in(jitter + lb.check_period, actor, TickMsg(Tick::LoadBalance));
+        }
+        actor
+    }
+}
+
+/// Newtype so Tick stays private while remaining sendable.
+struct TickMsg(Tick);
+
+/// The node actor.
+pub struct Node {
+    /// The host this node serves.
+    pub host: HostId,
+    cfg: NodeConfig,
+    net: Net,
+    orb: SimOrb,
+    idl: Arc<lc_idl::Repository>,
+    adapter: ObjectAdapter,
+    /// The Component Repository (installed packages).
+    pub repository: ComponentRepository,
+    /// The Resource Manager.
+    pub resources: ResourceManager,
+    /// The Component Registry (instances + connections).
+    pub registry: ComponentRegistry,
+    behaviors: BehaviorRegistry,
+    trust: TrustStore,
+    hierarchy: Rc<Hierarchy>,
+    duties: Vec<MrmDuty>,
+    duty_state: Vec<DutyState>,
+    report_targets: Vec<HostId>,
+    // pending work
+    next_seq: u64,
+    queries: BTreeMap<u64, PendingQuery>,
+    spawns: BTreeMap<u64, SpawnCont>,
+    calls: BTreeMap<RequestId, CallCont>,
+    fetches: BTreeMap<String, Vec<FetchCont>>,
+    migrations: BTreeMap<u64, PendingMigration>,
+    // container state
+    instance_meta: BTreeMap<InstanceId, InstanceRuntime>,
+    oid_to_instance: BTreeMap<u64, InstanceId>,
+    /// Event subscriptions: (producer oid, port) → (event id, subscribers).
+    subs: BTreeMap<(u64, String), EventChannel>,
+    /// Requests to migrated-away instances are forwarded here.
+    forwards: BTreeMap<u64, ObjectRef>,
+    /// CPU FIFO: when the processor frees up.
+    cpu_free_at: SimTime,
+}
+
+impl Node {
+    /// Build a node from a seed (no packages installed yet).
+    pub fn new(seed: NodeSeed) -> Self {
+        let cfg = seed.config;
+        let host = seed.host;
+        let duties = seed.hierarchy.duties_of(host);
+        let duty_state = duties.iter().map(|_| DutyState::default()).collect();
+        let report_targets = seed.hierarchy.report_targets(host);
+        let host_cfg = seed.net.host_cfg(host);
+        Node {
+            host,
+            cfg,
+            net: seed.net,
+            orb: seed.orb,
+            idl: seed.idl.clone(),
+            adapter: ObjectAdapter::new(host, seed.idl),
+            repository: ComponentRepository::new(),
+            resources: ResourceManager::from_host_cfg(&host_cfg),
+            registry: ComponentRegistry::new(),
+            behaviors: seed.behaviors,
+            trust: seed.trust,
+            hierarchy: seed.hierarchy,
+            duties,
+            duty_state,
+            report_targets,
+            next_seq: 1,
+            queries: BTreeMap::new(),
+            spawns: BTreeMap::new(),
+            calls: BTreeMap::new(),
+            fetches: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            instance_meta: BTreeMap::new(),
+            oid_to_instance: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            forwards: BTreeMap::new(),
+            cpu_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// This node's platform.
+    pub fn platform(&self) -> Platform {
+        self.resources.static_info().platform.clone()
+    }
+
+    /// The shared MRM hierarchy this node participates in.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Downcast a local instance's servant for observation.
+    pub fn servant_of<T: std::any::Any>(&self, instance: InstanceId) -> Option<&T> {
+        let info = self.registry.instance(instance)?;
+        self.adapter.servant_as::<T>(info.objref.key.oid)
+    }
+
+    // ================= installation (Component Acceptor) ================
+
+    /// Install a package from bytes; merges the package IDL into the
+    /// node's repository so new port types become dispatchable.
+    pub fn install_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let platform = self.platform();
+        let desc = self
+            .repository
+            .install(bytes, &platform, &self.trust, &self.behaviors, self.cfg.require_signature)
+            .map_err(|e| e.to_string())?;
+        // Merge the package's IDL (if any) into the node's view.
+        let installed = self
+            .repository
+            .get(&desc.name, desc.version)
+            .expect("just installed");
+        if !installed.package.idl_sources.is_empty() {
+            let mut merged = (*self.idl).clone();
+            for (file, src) in &installed.package.idl_sources {
+                let unit = lc_idl::compile(src)
+                    .map_err(|e| format!("IDL {file} in package {}: {e}", desc.name))?;
+                merged.merge(unit).map_err(|e| e.to_string())?;
+            }
+            self.idl = Arc::new(merged);
+            self.adapter.set_repo(self.idl.clone());
+        }
+        Ok(())
+    }
+
+    // ================= instances (Container) ============================
+
+    /// Create a local instance of an installed component.
+    pub fn spawn_local(
+        &mut self,
+        component: &str,
+        min_version: Version,
+        instance_name: Option<String>,
+    ) -> Result<ObjectRef, String> {
+        let installed = self
+            .repository
+            .best_match(component, min_version)
+            .ok_or_else(|| format!("component '{component}' (≥{min_version}) not installed"))?
+            .clone();
+        if !self.resources.reserve(&installed.descriptor.qos) {
+            return Err(format!("node {} cannot admit QoS of '{component}'", self.host));
+        }
+        let Some(servant) = self.behaviors.instantiate(&installed.behavior_id) else {
+            self.resources.release(&installed.descriptor.qos);
+            return Err(format!("behavior '{}' not loadable", installed.behavior_id));
+        };
+        let objref = self.adapter.activate(servant);
+        let id = self.registry.next_id();
+        let port = |p: &lc_pkg::PortDecl| InstancePort {
+            name: p.name.clone(),
+            type_id: p.interface.clone(),
+        };
+        let evport = |p: &lc_pkg::EventPortDecl| InstancePort {
+            name: p.name.clone(),
+            type_id: p.event.clone(),
+        };
+        self.registry.add_instance(InstanceInfo {
+            id,
+            name: instance_name,
+            component: installed.descriptor.name.clone(),
+            version: installed.descriptor.version,
+            objref: objref.clone(),
+            provides: installed.descriptor.provides.iter().map(port).collect(),
+            uses: installed.descriptor.uses.iter().map(port).collect(),
+            emits: installed.descriptor.emits.iter().map(evport).collect(),
+            consumes: installed.descriptor.consumes.iter().map(evport).collect(),
+        });
+        self.instance_meta.insert(
+            id,
+            InstanceRuntime {
+                qos: installed.descriptor.qos,
+                mobility: installed.descriptor.mobility,
+            },
+        );
+        self.oid_to_instance.insert(objref.key.oid, id);
+        Ok(objref)
+    }
+
+    /// Destroy a local instance, releasing its resources.
+    pub fn destroy_instance(&mut self, id: InstanceId) -> bool {
+        let Some(info) = self.registry.remove_instance(id) else { return false };
+        self.adapter.deactivate(info.objref.key.oid);
+        self.oid_to_instance.remove(&info.objref.key.oid);
+        if let Some(meta) = self.instance_meta.remove(&id) {
+            self.resources.release(&meta.qos);
+        }
+        // Drop event channels rooted at this instance.
+        self.subs.retain(|(oid, _), _| *oid != info.objref.key.oid);
+        true
+    }
+
+    // ================= cohesion =========================================
+
+    fn send_report(&mut self, ctx: &mut Ctx<'_>) {
+        let report = self.resources.report(self.repository.names());
+        for &mrm in &self.report_targets.clone() {
+            if mrm == self.host {
+                // An MRM absorbs its own report locally (no network hop).
+                let now = ctx.now();
+                self.absorb_report(self.host, self.resources.report(self.repository.names()), now);
+                continue;
+            }
+            let msg = CtrlMsg::Report { from: self.host, report: report.clone() };
+            let size = msg.wire_size();
+            let _ = self.net.send(ctx, self.host, mrm, size, msg);
+            ctx.metrics().incr("cohesion.reports");
+        }
+    }
+
+    fn absorb_report(&mut self, from: HostId, report: crate::resource::ResourceReport, now: SimTime) {
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter_mut()) {
+            if duty.level == 0 && duty.members.contains(&from) {
+                state.on_report(from, report.clone(), now);
+            }
+        }
+    }
+
+    fn mrm_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let timeout = self.cfg.cohesion.eviction_timeout();
+        let now = ctx.now();
+        let duties = self.duties.clone();
+        for (i, duty) in duties.iter().enumerate() {
+            let evicted = self.duty_state[i].sweep(now, timeout);
+            if evicted > 0 {
+                ctx.metrics().add("cohesion.evictions", evicted as u64);
+            }
+            // Only the acting primary pushes summaries upward.
+            if duty.parent_replicas.is_empty() {
+                continue;
+            }
+            let acting = effective_primary(&duty.replicas, |h| self.net.is_up(h));
+            if acting != self.host {
+                continue;
+            }
+            let summary = self.duty_state[i].summarize();
+            for &parent in &duty.parent_replicas {
+                if parent == self.host {
+                    let s = summary.clone();
+                    self.absorb_summary(self.host, duty.level, s, now);
+                    continue;
+                }
+                let msg = CtrlMsg::Summary {
+                    from: self.host,
+                    level: duty.level,
+                    summary: summary.clone(),
+                };
+                let size = msg.wire_size();
+                let _ = self.net.send(ctx, self.host, parent, size, msg);
+                ctx.metrics().incr("cohesion.summaries");
+            }
+        }
+    }
+
+    /// Record a child-subtree summary into the duty one level above the
+    /// sender's duty (and only there — a host serving several levels must
+    /// not leak level-k records into level-j routing tables).
+    fn absorb_summary(
+        &mut self,
+        from: HostId,
+        sender_level: u8,
+        summary: crate::proto::GroupSummary,
+        now: SimTime,
+    ) {
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter_mut()) {
+            if duty.level == sender_level + 1 {
+                state.on_summary(from, summary.clone(), now);
+            }
+        }
+    }
+
+    /// The node views this node can see as a level-0 MRM (for placement).
+    pub fn placement_view(&self) -> Vec<NodeView> {
+        let mut out = Vec::new();
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter()) {
+            if duty.level != 0 {
+                continue;
+            }
+            for (host, rec) in &state.records {
+                if let crate::cohesion::MemberRecord::Node { report, .. } = rec {
+                    out.push(NodeView { host: *host, report: report.clone() });
+                }
+            }
+        }
+        out
+    }
+
+    // ================= queries ==========================================
+
+    fn start_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: ComponentQuery,
+        purpose: QueryPurpose,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let qid = QueryId { origin: self.host, seq };
+        let started = ctx.now();
+        if let QueryPurpose::Collect { sink, .. } = &purpose {
+            sink.borrow_mut().started = started;
+        }
+        self.queries.insert(
+            seq,
+            PendingQuery { purpose, offers: Vec::new(), started, first_offer_at: None, query: query.clone() },
+        );
+        ctx.metrics().incr("query.started");
+
+        // Answer locally first (own repository).
+        let local = self.registry.local_offers(
+            self.host,
+            &self.repository,
+            &query,
+            &self.idl,
+            self.resources.cpu_utilisation(),
+        );
+        if !local.is_empty() {
+            self.on_offers(ctx, qid, local);
+            if !self.queries.contains_key(&seq) {
+                return; // first_wins completed instantly
+            }
+        }
+
+        // Send to our leaf-group MRM (first reachable replica). The hop
+        // is *ascending*: a miss at the group escalates to the parent
+        // ("request higher hierarchy level requests").
+        let targets = self.report_targets.clone();
+        self.send_query_to_first_reachable(ctx, &targets, qid, query, 0, false);
+        ctx.timer_in(self.cfg.query_timeout, TickMsg(Tick::QueryDeadline(seq)));
+    }
+
+    fn send_query_to_first_reachable(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        replicas: &[HostId],
+        qid: QueryId,
+        query: ComponentQuery,
+        level: u8,
+        descending: bool,
+    ) -> bool {
+        for &mrm in replicas {
+            if mrm == self.host {
+                // We are our own MRM: route internally.
+                self.mrm_route_query(ctx, qid, query, level, descending);
+                return true;
+            }
+            if self.net.reachable(self.host, mrm) {
+                let msg = CtrlMsg::Query { qid, query, level, descending };
+                let size = msg.wire_size();
+                if self.net.send(ctx, self.host, mrm, size, msg).is_ok() {
+                    ctx.metrics().incr("query.msgs");
+                    return true;
+                }
+                return false; // send failed despite reachable — give up hop
+            }
+            ctx.metrics().incr("query.failover");
+        }
+        false
+    }
+
+    /// MRM query routing (§2.4.3: incremental resource lookup).
+    fn mrm_route_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        qid: QueryId,
+        query: ComponentQuery,
+        level: u8,
+        descending: bool,
+    ) {
+        let Some((duty_idx, duty)) = self
+            .duties
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.level == level)
+            .map(|(i, d)| (i, d.clone()))
+        else {
+            // Not an MRM at this level (stale addressing) — drop.
+            ctx.metrics().incr("query.misrouted");
+            return;
+        };
+
+        // Which members might hold a match? Name queries prune by
+        // summary; interface queries must visit the whole subtree.
+        let candidates: Vec<HostId> = match &query.name {
+            Some(name) => self.duty_state[duty_idx].may_have_component(name),
+            None => self.duty_state[duty_idx].alive().collect(),
+        };
+
+        let mut forwarded = 0usize;
+        if level == 0 {
+            for member in candidates {
+                if member == qid.origin {
+                    continue; // origin already answered locally
+                }
+                if member == self.host {
+                    // We are also a plain member: answer directly.
+                    let offers = self.registry.local_offers(
+                        self.host,
+                        &self.repository,
+                        &query,
+                        &self.idl,
+                        self.resources.cpu_utilisation(),
+                    );
+                    if !offers.is_empty() {
+                        self.send_offers(ctx, qid, offers);
+                        forwarded += 1;
+                    }
+                    continue;
+                }
+                let msg = CtrlMsg::Query { qid, query: query.clone(), level: u8::MAX, descending: true };
+                let size = msg.wire_size();
+                if self.net.send(ctx, self.host, member, size, msg).is_ok() {
+                    ctx.metrics().incr("query.msgs");
+                    forwarded += 1;
+                }
+            }
+        } else {
+            // Descend into matching child groups (members are child
+            // primaries; query them at level-1 duty).
+            for child in candidates {
+                if child == self.host {
+                    self.mrm_route_query(ctx, qid, query.clone(), level - 1, true);
+                    forwarded += 1;
+                    continue;
+                }
+                let msg = CtrlMsg::Query {
+                    qid,
+                    query: query.clone(),
+                    level: level - 1,
+                    descending: true,
+                };
+                let size = msg.wire_size();
+                if self.net.send(ctx, self.host, child, size, msg).is_ok() {
+                    ctx.metrics().incr("query.msgs");
+                    forwarded += 1;
+                }
+            }
+        }
+
+        if forwarded == 0 && !descending {
+            // Nothing here; escalate if we can ("request higher
+            // hierarchy level requests").
+            if !duty.parent_replicas.is_empty() {
+                let reps = duty.parent_replicas.clone();
+                ctx.metrics().incr("query.escalations");
+                self.send_query_to_first_reachable(ctx, &reps, qid, query, level + 1, false);
+            } else {
+                self.send_ctrl(ctx, qid.origin, CtrlMsg::QueryDone { qid });
+            }
+        } else if forwarded == 0 {
+            // Descending dead-end: report the miss so the origin can
+            // stop early when every branch misses (best effort — the
+            // origin's timeout is the backstop).
+            self.send_ctrl(ctx, qid.origin, CtrlMsg::QueryDone { qid });
+        }
+
+        // An ascending query also continues upward when this level had
+        // candidates but the origin wants *all* offers. Simplification:
+        // escalation only on miss; the origin's timeout bounds latency.
+    }
+
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_>, to: HostId, msg: CtrlMsg) {
+        if to == self.host {
+            // Local delivery without the network.
+            self.on_ctrl(ctx, self.host, msg);
+            return;
+        }
+        let size = msg.wire_size();
+        if matches!(
+            msg,
+            CtrlMsg::Query { .. } | CtrlMsg::Offers { .. } | CtrlMsg::QueryDone { .. }
+        ) {
+            ctx.metrics().incr("query.msgs");
+        }
+        let _ = self.net.send(ctx, self.host, to, size, msg);
+    }
+
+    fn send_offers(&mut self, ctx: &mut Ctx<'_>, qid: QueryId, offers: Vec<Offer>) {
+        self.send_ctrl(ctx, qid.origin, CtrlMsg::Offers { qid, offers });
+    }
+
+    fn on_offers(&mut self, ctx: &mut Ctx<'_>, qid: QueryId, offers: Vec<Offer>) {
+        debug_assert_eq!(qid.origin, self.host);
+        let now = ctx.now();
+        let Some(pq) = self.queries.get_mut(&qid.seq) else { return };
+        if pq.first_offer_at.is_none() && !offers.is_empty() {
+            pq.first_offer_at = Some(now);
+            ctx.metrics()
+                .record("query.first_offer_ms", (now - pq.started).as_secs_f64() * 1e3);
+        }
+        for offer in offers {
+            let dup = pq.offers.iter().any(|o| {
+                o.node == offer.node && o.component == offer.component && o.version == offer.version
+            });
+            if !dup {
+                pq.offers.push(offer);
+            }
+        }
+        let finish_now = match &pq.purpose {
+            QueryPurpose::Collect { first_wins, .. } => *first_wins && !pq.offers.is_empty(),
+            QueryPurpose::Resolve { .. } => !pq.offers.is_empty(),
+        };
+        if finish_now {
+            self.finish_query(ctx, qid.seq);
+        } else if let Some(pq) = self.queries.get_mut(&qid.seq) {
+            // keep collecting; sync collect sinks for observers
+            if let QueryPurpose::Collect { sink, .. } = &pq.purpose {
+                sink.borrow_mut().offers = pq.offers.clone();
+                sink.borrow_mut().first_offer_at = pq.first_offer_at;
+            }
+        }
+    }
+
+    fn finish_query(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        let Some(pq) = self.queries.remove(&seq) else { return };
+        let now = ctx.now();
+        ctx.metrics().record("query.duration_ms", (now - pq.started).as_secs_f64() * 1e3);
+        if pq.offers.is_empty() {
+            ctx.metrics().incr("query.misses");
+        } else {
+            ctx.metrics().incr("query.hits");
+        }
+        match pq.purpose {
+            QueryPurpose::Collect { sink, .. } => {
+                let mut s = sink.borrow_mut();
+                s.offers = pq.offers;
+                s.first_offer_at = pq.first_offer_at;
+                s.done = true;
+                s.done_at = Some(now);
+            }
+            QueryPurpose::Resolve { instance, port, policy, sink } => {
+                match choose(&pq.offers, &policy) {
+                    None => {
+                        if let Some(s) = sink {
+                            *s.borrow_mut() =
+                                Some(Err(format!("no offers for port '{port}'")));
+                        }
+                    }
+                    Some((_, action)) => {
+                        self.apply_resolve_action(ctx, instance, port, action, sink, &pq.query)
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_resolve_action(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        instance: InstanceId,
+        port: String,
+        action: ResolveAction,
+        sink: Option<SpawnSink>,
+        query: &ComponentQuery,
+    ) {
+        match action {
+            ResolveAction::ConnectExisting(provider) => {
+                self.connect_port(ctx, instance, &port, provider.clone());
+                if let Some(s) = sink {
+                    *s.borrow_mut() = Some(Ok(provider));
+                }
+            }
+            ResolveAction::SpawnRemote(node) => {
+                let rid = self.next_seq;
+                self.next_seq += 1;
+                self.spawns.insert(rid, SpawnCont::Connect { instance, port, sink });
+                let component = query.name.clone().unwrap_or_default();
+                let min_version = query.min_version.unwrap_or(Version::new(0, 0));
+                self.send_ctrl(
+                    ctx,
+                    node,
+                    CtrlMsg::Spawn {
+                        rid,
+                        origin: self.host,
+                        component,
+                        min_version,
+                        instance_name: None,
+                    },
+                );
+                ctx.metrics().incr("resolve.spawn_remote");
+            }
+            ResolveAction::FetchAndRunLocal { from } => {
+                let component = query.name.clone().unwrap_or_default();
+                let min_version = query.min_version.unwrap_or(Version::new(0, 0));
+                self.fetches.entry(component.clone()).or_default().push(
+                    FetchCont::SpawnAndConnect {
+                        component: component.clone(),
+                        min_version,
+                        instance,
+                        port,
+                        sink,
+                    },
+                );
+                self.send_ctrl(
+                    ctx,
+                    from,
+                    CtrlMsg::Fetch { name: component, version: min_version, reply_to: self.host },
+                );
+                ctx.metrics().incr("resolve.fetch_local");
+            }
+        }
+    }
+
+    /// Wire a `uses` port: record the connection and hand the provider
+    /// reference to the instance via its `_connect_<port>` system op.
+    fn connect_port(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        instance: InstanceId,
+        port: &str,
+        provider: ObjectRef,
+    ) {
+        if let Some(info) = self.registry.instance(instance) {
+            let key = info.objref.key;
+            self.registry.add_connection(Connection {
+                from: instance,
+                from_port: port.to_owned(),
+                to: provider.clone(),
+                to_port: String::new(),
+            });
+            let res = self.adapter.dispatch_raw(
+                key,
+                &format!("_connect_{port}"),
+                &[Value::ObjRef(provider)],
+            );
+            self.process_dispatch_effects(ctx, key.oid, res);
+            ctx.metrics().incr("resolve.connected");
+        }
+    }
+
+    // ================= dispatch plumbing ================================
+
+    /// Send out-calls and publish events produced by a dispatch.
+    fn process_dispatch_effects(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        producer_oid: u64,
+        res: lc_orb::DispatchResult,
+    ) {
+        for call in res.outbox {
+            let oneway = matches!(call.kind, lc_orb::OutCallKind::OneWay);
+            match self.orb.send_request(
+                ctx,
+                self.host,
+                call.target.key,
+                &call.op,
+                call.args,
+                oneway,
+            ) {
+                Ok(rid) => {
+                    if let lc_orb::OutCallKind::Request { token } = call.kind {
+                        self.calls.insert(rid, CallCont::ToInstance { oid: producer_oid, token });
+                    }
+                }
+                Err(_) => {
+                    if let lc_orb::OutCallKind::Request { token } = call.kind {
+                        // Deliver the failure immediately.
+                        let res = self.adapter.dispatch_raw(
+                            ObjectKey { host: self.host, oid: producer_oid },
+                            "_reply",
+                            &[Value::ULongLong(token), Value::Boolean(false)],
+                        );
+                        self.process_dispatch_effects(ctx, producer_oid, res);
+                    }
+                }
+            }
+        }
+        for (port, payload) in res.events {
+            self.publish_event(ctx, producer_oid, &port, payload);
+        }
+    }
+
+    fn publish_event(&mut self, ctx: &mut Ctx<'_>, producer_oid: u64, port: &str, payload: Value) {
+        let Some((event_id, subscribers)) = self.subs.get(&(producer_oid, port.to_owned())).cloned()
+        else {
+            return; // no channel opened for this port
+        };
+        ctx.metrics().incr("events.published");
+        for (consumer, op) in subscribers {
+            if consumer.host == self.host {
+                let res = self.adapter.dispatch_raw(consumer, &op, std::slice::from_ref(&payload));
+                self.process_dispatch_effects(ctx, consumer.oid, res);
+            } else {
+                let _ = self.orb.send_event(
+                    ctx,
+                    self.host,
+                    &event_id,
+                    payload.clone(),
+                    consumer,
+                    &op,
+                );
+            }
+        }
+    }
+
+    /// Handle an incoming ORB request (with CPU accounting and migration
+    /// forwarding).
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: RequestId,
+        reply_to: Option<HostId>,
+        target: ObjectKey,
+        op: String,
+        args: Vec<Value>,
+    ) {
+        // Forward requests to migrated instances (CORBA LOCATION_FORWARD:
+        // the old node proxies to the new location, reply goes straight
+        // back to the caller).
+        if let Some(new_ref) = self.forwards.get(&target.oid).cloned() {
+            if self.adapter.servant(target.oid).is_none() {
+                ctx.metrics().incr("migrate.forwarded_requests");
+                let size = SimOrb::request_size(&op, &args);
+                let wire = OrbWire::Request { id, reply_to, target: new_ref.key, op, args };
+                let _ = self.net.send(ctx, self.host, new_ref.key.host, size, wire);
+                return;
+            }
+        }
+
+        // System ops (`_connect_*`, `_reply`, `_get_state`…) are raw;
+        // IDL ops are type-checked. Attribute accessors (`_get_x`) exist
+        // in the interface metadata, so try typed dispatch first.
+        let typed = self
+            .adapter
+            .servant(target.oid)
+            .map(|s| s.interface_id().to_owned())
+            .and_then(|tid| self.idl.interface(&tid).map(|i| i.op(&op).is_some()))
+            .unwrap_or(false);
+        let res = if typed {
+            self.adapter.dispatch(target, &op, &args)
+        } else if op.starts_with('_') {
+            self.adapter.dispatch_raw(target, &op, &args)
+        } else {
+            self.adapter.dispatch(target, &op, &args)
+        };
+
+        let cpu_cost = res.cpu_cost;
+        let outcome = res.outcome.clone();
+        self.process_dispatch_effects(ctx, target.oid, res);
+
+        if cpu_cost > SimTime::ZERO {
+            // Occupy the CPU: FIFO over the node's processor, scaled by
+            // CPU power.
+            let scaled = cpu_cost.mul_f64(1.0 / self.resources.static_info().cpu_power);
+            let start = ctx.now().max(self.cpu_free_at);
+            let done = start + scaled;
+            self.cpu_free_at = done;
+            ctx.metrics().record("node.task_ms", scaled.as_secs_f64() * 1e3);
+            if let Some(back) = reply_to {
+                let delay = done.saturating_sub(ctx.now());
+                ctx.timer_in(delay, TickMsg(Tick::SendReply { to: back, id, result: outcome }));
+            }
+        } else if let Some(back) = reply_to {
+            let _ = self.orb.send_reply(ctx, self.host, back, id, outcome);
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Ctx<'_>, id: RequestId, result: Result<Outcome, OrbError>) {
+        match self.calls.remove(&id) {
+            None => {
+                ctx.metrics().incr("orb.orphan_replies");
+            }
+            Some(CallCont::Sink(sink)) => {
+                sink.borrow_mut().push((ctx.now(), result));
+            }
+            Some(CallCont::ToInstance { oid, token }) => {
+                let mut args = vec![Value::ULongLong(token), Value::Boolean(result.is_ok())];
+                if let Ok(out) = result {
+                    args.push(out.ret);
+                    args.extend(out.outs);
+                }
+                let res = self.adapter.dispatch_raw(
+                    ObjectKey { host: self.host, oid },
+                    "_reply",
+                    &args,
+                );
+                self.process_dispatch_effects(ctx, oid, res);
+            }
+        }
+    }
+
+    // ================= control messages =================================
+
+    fn on_ctrl(&mut self, ctx: &mut Ctx<'_>, from: HostId, msg: CtrlMsg) {
+        match msg {
+            CtrlMsg::Report { from, report } => {
+                let now = ctx.now();
+                self.absorb_report(from, report, now);
+            }
+            CtrlMsg::Summary { from, level, summary } => {
+                let now = ctx.now();
+                self.absorb_summary(from, level, summary, now);
+            }
+            CtrlMsg::Query { qid, query, level, descending } => {
+                if level == u8::MAX {
+                    // Direct node query: answer from the local registry.
+                    let offers = self.registry.local_offers(
+                        self.host,
+                        &self.repository,
+                        &query,
+                        &self.idl,
+                        self.resources.cpu_utilisation(),
+                    );
+                    if !offers.is_empty() {
+                        self.send_offers(ctx, qid, offers);
+                    }
+                } else {
+                    self.mrm_route_query(ctx, qid, query, level, descending);
+                }
+            }
+            CtrlMsg::Offers { qid, offers } => self.on_offers(ctx, qid, offers),
+            CtrlMsg::QueryDone { qid } => {
+                // Best-effort completion signal.
+                if self.queries.contains_key(&qid.seq) {
+                    self.finish_query(ctx, qid.seq);
+                }
+            }
+            CtrlMsg::Fetch { name, version, reply_to } => {
+                match self.repository.best_match(&name, version) {
+                    Some(inst) if inst.descriptor.mobility == lc_pkg::Mobility::Mobile => {
+                        let bytes = Rc::new(inst.package.to_bytes());
+                        ctx.metrics().incr("fetch.served");
+                        ctx.metrics().add("fetch.bytes", bytes.len() as u64);
+                        self.send_ctrl(
+                            ctx,
+                            reply_to,
+                            CtrlMsg::PackageBytes {
+                                name,
+                                version: inst.descriptor.version,
+                                bytes,
+                            },
+                        );
+                    }
+                    Some(_) => {
+                        self.send_ctrl(
+                            ctx,
+                            reply_to,
+                            CtrlMsg::FetchFailed {
+                                name,
+                                version,
+                                reason: "component is not mobile".into(),
+                            },
+                        );
+                    }
+                    None => {
+                        self.send_ctrl(
+                            ctx,
+                            reply_to,
+                            CtrlMsg::FetchFailed {
+                                name,
+                                version,
+                                reason: "not installed here".into(),
+                            },
+                        );
+                    }
+                }
+            }
+            CtrlMsg::PackageBytes { name, bytes, .. } => {
+                let install = self.install_bytes(&bytes);
+                ctx.metrics().incr("fetch.received");
+                let conts = self.fetches.remove(&name).unwrap_or_default();
+                for cont in conts {
+                    match (&install, cont) {
+                        (Ok(()), FetchCont::SpawnAndConnect {
+                            component,
+                            min_version,
+                            instance,
+                            port,
+                            sink,
+                        }) => {
+                            match self.spawn_local(&component, min_version, None) {
+                                Ok(provider) => {
+                                    self.connect_port(ctx, instance, &port, provider.clone());
+                                    if let Some(s) = sink {
+                                        *s.borrow_mut() = Some(Ok(provider));
+                                    }
+                                }
+                                Err(e) => {
+                                    if let Some(s) = sink {
+                                        *s.borrow_mut() = Some(Err(e));
+                                    }
+                                }
+                            }
+                        }
+                        (Ok(()), FetchCont::FinishMigration {
+                            rid,
+                            origin,
+                            component,
+                            version,
+                            state,
+                            instance_name,
+                        }) => {
+                            self.finish_migration_in(
+                                ctx,
+                                rid,
+                                origin,
+                                &component,
+                                version,
+                                state,
+                                instance_name,
+                            );
+                        }
+                        (Err(e), FetchCont::SpawnAndConnect { sink, .. }) => {
+                            if let Some(s) = sink {
+                                *s.borrow_mut() = Some(Err(e.clone()));
+                            }
+                        }
+                        (Err(e), FetchCont::FinishMigration { rid, origin, .. }) => {
+                            let e = e.clone();
+                            self.send_ctrl(
+                                ctx,
+                                origin,
+                                CtrlMsg::MigrateDone { rid, result: Err(e) },
+                            );
+                        }
+                    }
+                }
+            }
+            CtrlMsg::FetchFailed { name, reason, .. } => {
+                let conts = self.fetches.remove(&name).unwrap_or_default();
+                for cont in conts {
+                    match cont {
+                        FetchCont::SpawnAndConnect { sink, .. } => {
+                            if let Some(s) = sink {
+                                *s.borrow_mut() = Some(Err(reason.clone()));
+                            }
+                        }
+                        FetchCont::FinishMigration { rid, origin, .. } => {
+                            self.send_ctrl(
+                                ctx,
+                                origin,
+                                CtrlMsg::MigrateDone { rid, result: Err(reason.clone()) },
+                            );
+                        }
+                    }
+                }
+            }
+            CtrlMsg::Install { bytes } => {
+                let r = self.install_bytes(&bytes);
+                ctx.metrics().incr(if r.is_ok() { "acceptor.installed" } else { "acceptor.rejected" });
+            }
+            CtrlMsg::Spawn { rid, origin, component, min_version, instance_name } => {
+                let result = self
+                    .spawn_local(&component, min_version, instance_name)
+                    .map_err(|e| e.to_string());
+                self.send_ctrl(ctx, origin, CtrlMsg::SpawnDone { rid, result });
+            }
+            CtrlMsg::SpawnDone { rid, result } => match self.spawns.remove(&rid) {
+                None => {}
+                Some(SpawnCont::Sink(sink)) => {
+                    *sink.borrow_mut() = Some(result);
+                }
+                Some(SpawnCont::Connect { instance, port, sink }) => match result {
+                    Ok(provider) => {
+                        self.connect_port(ctx, instance, &port, provider.clone());
+                        if let Some(s) = sink {
+                            *s.borrow_mut() = Some(Ok(provider));
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(s) = sink {
+                            *s.borrow_mut() = Some(Err(e));
+                        }
+                    }
+                },
+                Some(SpawnCont::Assembly { name, sink, pending }) => {
+                    sink.borrow_mut().insert(name.clone(), result.clone());
+                    let mut p = pending.borrow_mut();
+                    if let Ok(objref) = result {
+                        p.refs.insert(name, objref);
+                    }
+                    p.outstanding -= 1;
+                    let ready = p.outstanding == 0;
+                    drop(p);
+                    if ready {
+                        self.wire_assembly(ctx, pending);
+                    }
+                }
+            },
+            CtrlMsg::Subscribe { producer, port, consumer, delivery_op } => {
+                // Find the event type from the producer instance's ports.
+                let event_id = self
+                    .oid_to_instance
+                    .get(&producer.oid)
+                    .and_then(|iid| self.registry.instance(*iid))
+                    .and_then(|info| {
+                        info.emits.iter().find(|p| p.name == port).map(|p| p.type_id.clone())
+                    });
+                match event_id {
+                    Some(event_id) => {
+                        self.subs
+                            .entry((producer.oid, port))
+                            .or_insert_with(|| (event_id, Vec::new()))
+                            .1
+                            .push((consumer, delivery_op));
+                        ctx.metrics().incr("events.subscriptions");
+                    }
+                    None => {
+                        ctx.metrics().incr("events.bad_subscription");
+                    }
+                }
+            }
+            CtrlMsg::OffloadQuery { from: asker, cpu_needed } => {
+                let target = self.pick_offload_target(asker, cpu_needed);
+                self.send_ctrl(ctx, asker, CtrlMsg::OffloadTarget { target });
+            }
+            CtrlMsg::OffloadTarget { target } => {
+                self.on_offload_target(ctx, target);
+            }
+            CtrlMsg::MigrateIn { rid, origin, component, version, state, instance_name } => {
+                if self.repository.best_match(&component, version).is_some() {
+                    self.finish_migration_in(
+                        ctx,
+                        rid,
+                        origin,
+                        &component,
+                        version,
+                        state,
+                        instance_name,
+                    );
+                } else {
+                    // Auto-fetch the package from the origin, then finish.
+                    self.fetches.entry(component.clone()).or_default().push(
+                        FetchCont::FinishMigration {
+                            rid,
+                            origin,
+                            component: component.clone(),
+                            version,
+                            state,
+                            instance_name,
+                        },
+                    );
+                    self.send_ctrl(
+                        ctx,
+                        origin,
+                        CtrlMsg::Fetch { name: component, version, reply_to: self.host },
+                    );
+                }
+            }
+            CtrlMsg::MigrateDone { rid, result } => {
+                let Some(pm) = self.migrations.remove(&rid) else { return };
+                match &result {
+                    Ok(new_ref) => {
+                        // Passivate and remove the old instance; forward
+                        // late requests.
+                        if let Some(info) = self.registry.instance(pm.instance) {
+                            let old_oid = info.objref.key.oid;
+                            self.destroy_instance(pm.instance);
+                            self.forwards.insert(old_oid, new_ref.clone());
+                        }
+                        ctx.metrics().incr("migrate.completed");
+                    }
+                    Err(_) => {
+                        ctx.metrics().incr("migrate.failed");
+                    }
+                }
+                if let Some(s) = pm.sink {
+                    *s.borrow_mut() = Some(result);
+                }
+            }
+        }
+        let _ = from;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_migration_in(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        rid: u64,
+        origin: HostId,
+        component: &str,
+        version: Version,
+        state: Value,
+        instance_name: Option<String>,
+    ) {
+        let result = match self.spawn_local(component, version, instance_name) {
+            Ok(objref) => {
+                if !matches!(state, Value::Void) {
+                    let res = self.adapter.dispatch_raw(objref.key, "_set_state", &[state]);
+                    self.process_dispatch_effects(ctx, objref.key.oid, res);
+                }
+                Ok(objref)
+            }
+            Err(e) => Err(e),
+        };
+        self.send_ctrl(ctx, origin, CtrlMsg::MigrateDone { rid, result });
+    }
+
+    // ================= assembly deployment ==============================
+
+    fn start_assembly(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        assembly: AssemblyDescriptor,
+        strategy: PlacementStrategy,
+        sink: AssemblySink,
+    ) {
+        if let Err(e) = assembly.validate() {
+            for inst in &assembly.instances {
+                sink.borrow_mut().insert(inst.name.clone(), Err(e.clone()));
+            }
+            return;
+        }
+        // Build the placement view from MRM soft state (plus self).
+        let mut views = self.placement_view();
+        if !views.iter().any(|v| v.host == self.host) {
+            views.push(NodeView {
+                host: self.host,
+                report: self.resources.report(self.repository.names()),
+            });
+        }
+        let qoses: Vec<lc_pkg::QosSpec> = assembly
+            .instances
+            .iter()
+            .map(|i| {
+                self.repository
+                    .best_match(&i.component, i.min_version)
+                    .map(|inst| inst.descriptor.qos)
+                    .unwrap_or_default()
+            })
+            .collect();
+        let placement = crate::deploy::plan_assembly(&qoses, &views, strategy);
+        ctx.metrics().incr("assembly.started");
+
+        let pending = Rc::new(RefCell::new(PendingAssembly {
+            assembly: assembly.clone(),
+            refs: BTreeMap::new(),
+            outstanding: assembly.instances.len(),
+        }));
+
+        for (inst, slot) in assembly.instances.iter().zip(placement) {
+            let Some(node_idx) = slot else {
+                sink.borrow_mut()
+                    .insert(inst.name.clone(), Err("no node admits this instance".into()));
+                pending.borrow_mut().outstanding -= 1;
+                continue;
+            };
+            let target = views[node_idx].host;
+            if target == self.host {
+                let result = self.spawn_local(
+                    &inst.component,
+                    inst.min_version,
+                    Some(inst.name.clone()),
+                );
+                sink.borrow_mut().insert(inst.name.clone(), result.clone());
+                let mut p = pending.borrow_mut();
+                if let Ok(r) = result {
+                    p.refs.insert(inst.name.clone(), r);
+                }
+                p.outstanding -= 1;
+            } else {
+                // Push the package first if the target lacks it (known
+                // from its report), then spawn.
+                let target_has = views[node_idx]
+                    .report
+                    .installed
+                    .iter()
+                    .any(|c| c == &inst.component);
+                if !target_has {
+                    if let Some(found) =
+                        self.repository.best_match(&inst.component, inst.min_version)
+                    {
+                        let bytes = Rc::new(found.package.to_bytes());
+                        ctx.metrics().add("assembly.push_bytes", bytes.len() as u64);
+                        self.send_ctrl(ctx, target, CtrlMsg::Install { bytes });
+                    }
+                }
+                let rid = self.next_seq;
+                self.next_seq += 1;
+                self.spawns.insert(
+                    rid,
+                    SpawnCont::Assembly {
+                        name: inst.name.clone(),
+                        sink: sink.clone(),
+                        pending: pending.clone(),
+                    },
+                );
+                self.send_ctrl(
+                    ctx,
+                    target,
+                    CtrlMsg::Spawn {
+                        rid,
+                        origin: self.host,
+                        component: inst.component.clone(),
+                        min_version: inst.min_version,
+                        instance_name: Some(inst.name.clone()),
+                    },
+                );
+            }
+        }
+        if pending.borrow().outstanding == 0 {
+            self.wire_assembly(ctx, pending);
+        }
+    }
+
+    /// All instances are up: apply the user-stated connection pattern.
+    fn wire_assembly(&mut self, ctx: &mut Ctx<'_>, pending: Rc<RefCell<PendingAssembly>>) {
+        // Collect the actions first so instance dispatch (which may
+        // recurse into this node) never overlaps the pending borrow.
+        enum Wire {
+            ConnectLocal { consumer: ObjectKey, op: String, provider: ObjectRef },
+            ConnectRemote { consumer: ObjectKey, op: String, provider: ObjectRef },
+            Subscribe { producer: ObjectRef, port: String, consumer: ObjectRef, delivery_op: String },
+        }
+        let actions: Vec<Wire> = {
+            let p = pending.borrow();
+            p.assembly
+                .connections
+                .iter()
+                .filter_map(|conn| {
+                    let from_ref = p.refs.get(&conn.from)?;
+                    let to_ref = p.refs.get(&conn.to)?;
+                    Some(match conn.kind {
+                        ConnectionKind::Interface => {
+                            let op = format!("_connect_{}", conn.from_port);
+                            if from_ref.key.host == self.host {
+                                Wire::ConnectLocal {
+                                    consumer: from_ref.key,
+                                    op,
+                                    provider: to_ref.clone(),
+                                }
+                            } else {
+                                Wire::ConnectRemote {
+                                    consumer: from_ref.key,
+                                    op,
+                                    provider: to_ref.clone(),
+                                }
+                            }
+                        }
+                        ConnectionKind::Event => Wire::Subscribe {
+                            producer: to_ref.clone(),
+                            port: conn.to_port.clone(),
+                            consumer: from_ref.clone(),
+                            delivery_op: format!("_push_{}", conn.from_port),
+                        },
+                    })
+                })
+                .collect()
+        };
+        for action in actions {
+            match action {
+                Wire::ConnectLocal { consumer, op, provider } => {
+                    let res =
+                        self.adapter.dispatch_raw(consumer, &op, &[Value::ObjRef(provider)]);
+                    self.process_dispatch_effects(ctx, consumer.oid, res);
+                }
+                Wire::ConnectRemote { consumer, op, provider } => {
+                    let _ = self.orb.send_request(
+                        ctx,
+                        self.host,
+                        consumer,
+                        &op,
+                        vec![Value::ObjRef(provider)],
+                        true,
+                    );
+                }
+                Wire::Subscribe { producer, port, consumer, delivery_op } => {
+                    let msg = CtrlMsg::Subscribe {
+                        producer: producer.key,
+                        port,
+                        consumer: consumer.key,
+                        delivery_op,
+                    };
+                    self.send_ctrl(ctx, producer.key.host, msg);
+                }
+            }
+        }
+        ctx.metrics().incr("assembly.wired");
+    }
+
+    // ================= command handling =================================
+
+    fn on_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: NodeCmd) {
+        match cmd {
+            NodeCmd::Install(bytes) => {
+                let r = self.install_bytes(&bytes);
+                ctx.metrics().incr(if r.is_ok() { "acceptor.installed" } else { "acceptor.rejected" });
+            }
+            NodeCmd::Query { query, sink, first_wins } => {
+                self.start_query(ctx, query, QueryPurpose::Collect { sink, first_wins });
+            }
+            NodeCmd::SpawnLocal { component, min_version, instance_name, sink } => {
+                *sink.borrow_mut() = Some(self.spawn_local(&component, min_version, instance_name));
+            }
+            NodeCmd::SpawnOn { node, component, min_version, instance_name, sink } => {
+                if node == self.host {
+                    *sink.borrow_mut() =
+                        Some(self.spawn_local(&component, min_version, instance_name));
+                } else {
+                    let rid = self.next_seq;
+                    self.next_seq += 1;
+                    self.spawns.insert(rid, SpawnCont::Sink(sink));
+                    self.send_ctrl(
+                        ctx,
+                        node,
+                        CtrlMsg::Spawn {
+                            rid,
+                            origin: self.host,
+                            component,
+                            min_version,
+                            instance_name,
+                        },
+                    );
+                }
+            }
+            NodeCmd::Resolve { instance, port, query, policy, sink } => {
+                self.start_query(
+                    ctx,
+                    query,
+                    QueryPurpose::Resolve { instance, port, policy, sink },
+                );
+            }
+            NodeCmd::Subscribe { producer, port, consumer, delivery_op } => {
+                let msg = CtrlMsg::Subscribe {
+                    producer: producer.key,
+                    port,
+                    consumer: consumer.key,
+                    delivery_op,
+                };
+                self.send_ctrl(ctx, producer.key.host, msg);
+            }
+            NodeCmd::Invoke { target, op, args, oneway, sink } => {
+                match self.orb.send_request(ctx, self.host, target.key, &op, args, oneway) {
+                    Ok(rid) => {
+                        if !oneway {
+                            if let Some(sink) = sink {
+                                self.calls.insert(rid, CallCont::Sink(sink));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        if let Some(sink) = sink {
+                            sink.borrow_mut().push((ctx.now(), Err(OrbError::CommFailure)));
+                        }
+                    }
+                }
+            }
+            NodeCmd::Migrate { instance, to, sink } => {
+                let Some(info) = self.registry.instance(instance).cloned() else {
+                    if let Some(s) = sink {
+                        *s.borrow_mut() = Some(Err(format!("no instance {instance}")));
+                    }
+                    return;
+                };
+                // Capture state via the framework's agreed local interface
+                // (§2.2: "the container can ask the component instance …
+                // to resume its execution returning its internal state").
+                let state = match self.adapter.dispatch_raw(info.objref.key, "_get_state", &[]) {
+                    lc_orb::DispatchResult { outcome: Ok(out), .. } => out.ret,
+                    _ => Value::Void,
+                };
+                let rid = self.next_seq;
+                self.next_seq += 1;
+                self.migrations.insert(rid, PendingMigration { instance, sink });
+                let msg = CtrlMsg::MigrateIn {
+                    rid,
+                    origin: self.host,
+                    component: info.component.clone(),
+                    version: info.version,
+                    state,
+                    instance_name: info.name.clone(),
+                };
+                ctx.metrics().incr("migrate.started");
+                self.send_ctrl(ctx, to, msg);
+            }
+            NodeCmd::ModifyPorts { instance, add_provides, remove_provides } => {
+                if let Some(info) = self.registry.instance_mut(instance) {
+                    for (name, iface) in add_provides {
+                        info.add_provides(&name, &iface);
+                    }
+                    for name in remove_provides {
+                        info.remove_provides(&name);
+                    }
+                    ctx.metrics().incr("reflect.port_changes");
+                }
+            }
+            NodeCmd::StartAssembly { assembly, strategy, sink } => {
+                self.start_assembly(ctx, assembly, strategy, sink);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>, tick: Tick) {
+        match tick {
+            Tick::KeepAlive => {
+                self.send_report(ctx);
+                let period = self.cfg.cohesion.report_period;
+                ctx.timer_in(period, TickMsg(Tick::KeepAlive));
+            }
+            Tick::MrmSweep => {
+                self.mrm_sweep(ctx);
+                let period = self.cfg.cohesion.report_period;
+                ctx.timer_in(period, TickMsg(Tick::MrmSweep));
+            }
+            Tick::QueryDeadline(seq) => {
+                if self.queries.contains_key(&seq) {
+                    ctx.metrics().incr("query.timeouts");
+                    self.finish_query(ctx, seq);
+                }
+            }
+            Tick::SendReply { to, id, result } => {
+                let _ = self.orb.send_reply(ctx, self.host, to, id, result);
+            }
+            Tick::LoadBalance => {
+                self.load_balance_check(ctx);
+                if let Some(lb) = &self.cfg.load_balance {
+                    let period = lb.check_period;
+                    ctx.timer_in(period, TickMsg(Tick::LoadBalance));
+                }
+            }
+        }
+    }
+
+    // ================= automatic load balancing =========================
+
+    /// §2.4.3: when this node is overloaded, ask the group MRM for a
+    /// lighter member and migrate the heaviest *mobile* instance there.
+    fn load_balance_check(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(lb) = self.cfg.load_balance.clone() else { return };
+        if self.resources.cpu_utilisation() < lb.overload_threshold {
+            return;
+        }
+        // Pick the heaviest mobile instance as the migration candidate.
+        let Some((_, cpu_needed)) = self.heaviest_mobile_instance() else { return };
+        let targets = self.report_targets.clone();
+        for mrm in targets {
+            if mrm == self.host {
+                // We are the MRM: answer ourselves.
+                let target = self.pick_offload_target(self.host, cpu_needed);
+                self.on_offload_target(ctx, target);
+                return;
+            }
+            if self.net.reachable(self.host, mrm) {
+                self.send_ctrl(ctx, mrm, CtrlMsg::OffloadQuery { from: self.host, cpu_needed });
+                return;
+            }
+        }
+    }
+
+    fn heaviest_mobile_instance(&self) -> Option<(InstanceId, f64)> {
+        self.instance_meta
+            .iter()
+            .filter(|(_, m)| m.mobility == lc_pkg::Mobility::Mobile)
+            .map(|(id, m)| (*id, m.qos.cpu_min))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cpu"))
+    }
+
+    /// MRM side: the least-utilised alive member that can absorb the load.
+    fn pick_offload_target(&self, asking: HostId, cpu_needed: f64) -> Option<HostId> {
+        let mut best: Option<(f64, HostId)> = None;
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter()) {
+            if duty.level != 0 {
+                continue;
+            }
+            for (host, rec) in &state.records {
+                if *host == asking {
+                    continue;
+                }
+                if let crate::cohesion::MemberRecord::Node { report, .. } = rec {
+                    let free =
+                        (report.static_info.cpu_power - report.dynamic.cpu_used).max(0.0);
+                    let util = report.dynamic.cpu_used / report.static_info.cpu_power;
+                    if free >= cpu_needed * 2.0
+                        && best.map(|(bu, _)| util < bu).unwrap_or(true)
+                    {
+                        best = Some((util, *host));
+                    }
+                }
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+
+    fn on_offload_target(&mut self, ctx: &mut Ctx<'_>, target: Option<HostId>) {
+        let Some(to) = target else {
+            ctx.metrics().incr("lb.no_target");
+            return;
+        };
+        let Some((instance, _)) = self.heaviest_mobile_instance() else { return };
+        ctx.metrics().incr("lb.migrations");
+        self.on_cmd(ctx, NodeCmd::Migrate { instance, to, sink: None });
+    }
+}
+
+impl Actor for Node {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        // Expose virtual time to servants dispatched during this event.
+        self.adapter.set_clock(ctx.now());
+        // Driver commands and timers arrive directly; network traffic
+        // arrives wrapped in NetMsg.
+        let msg = match msg.downcast_msg::<TickMsg>() {
+            Ok(TickMsg(tick)) => return self.on_tick(ctx, tick),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast_msg::<NodeCmd>() {
+            Ok(cmd) => return self.on_cmd(ctx, cmd),
+            Err(m) => m,
+        };
+        let net_msg = match msg.downcast_msg::<NetMsg>() {
+            Ok(nm) => nm,
+            Err(_) => return, // unknown message type: drop
+        };
+        let from = net_msg.from;
+        let payload = match net_msg.payload.downcast_msg::<CtrlMsg>() {
+            Ok(ctrl) => return self.on_ctrl(ctx, from, ctrl),
+            Err(p) => p,
+        };
+        match payload.downcast_msg::<OrbWire>() {
+            Ok(OrbWire::Request { id, reply_to, target, op, args }) => {
+                self.on_request(ctx, id, reply_to, target, op, args);
+            }
+            Ok(OrbWire::Reply { id, result }) => self.on_reply(ctx, id, result),
+            Ok(OrbWire::Event { payload, consumer, delivery_op, .. }) => {
+                let res = self.adapter.dispatch_raw(consumer, &delivery_op, &[payload]);
+                self.process_dispatch_effects(ctx, consumer.oid, res);
+            }
+            Err(_) => {}
+        }
+    }
+}

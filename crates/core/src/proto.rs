@@ -1,0 +1,303 @@
+//! The node-to-node control protocol of the Distributed Registry.
+//!
+//! Everything the paper's §2.4.3 requires of "the protocol" travels as
+//! [`CtrlMsg`] values inside [`lc_net::NetMsg`] payloads: soft-consistency
+//! keep-alive reports, hierarchical summaries, distributed component
+//! queries and their offers, package fetches (the network as a component
+//! repository), remote instantiation, event subscription, and migration.
+//! Each message knows its approximate wire size so the network model is
+//! charged honestly.
+
+use crate::registry::{ComponentQuery, Offer};
+use crate::resource::ResourceReport;
+use lc_orb::{ObjectKey, ObjectRef, Value};
+use lc_pkg::Version;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Aggregated view of a subtree, sent MRM → parent MRM.
+#[derive(Clone, Debug, Default)]
+pub struct GroupSummary {
+    /// Component names available somewhere in the subtree.
+    pub components: BTreeSet<String>,
+    /// Live nodes in the subtree.
+    pub node_count: u32,
+    /// Total free CPU (reference units) in the subtree.
+    pub cpu_free: f64,
+    /// Total free memory (bytes) in the subtree.
+    pub mem_free: u64,
+}
+
+impl GroupSummary {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        24 + self.components.iter().map(|c| c.len() as u64 + 4).sum::<u64>()
+    }
+
+    /// Merge another summary into this one.
+    pub fn absorb(&mut self, other: &GroupSummary) {
+        self.components.extend(other.components.iter().cloned());
+        self.node_count += other.node_count;
+        self.cpu_free += other.cpu_free;
+        self.mem_free += other.mem_free;
+    }
+}
+
+/// Identifier of a distributed query (unique per origin node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QueryId {
+    /// Node that issued the query.
+    pub origin: lc_net::HostId,
+    /// Origin-local sequence number.
+    pub seq: u64,
+}
+
+/// Control messages of the CORBA-LC runtime.
+#[derive(Debug)]
+pub enum CtrlMsg {
+    // ---- soft-consistency cohesion (§2.4.3) --------------------------
+    /// Periodic resource report; doubles as the keep-alive.
+    Report {
+        /// Reporting node.
+        from: lc_net::HostId,
+        /// Snapshot.
+        report: ResourceReport,
+    },
+    /// Aggregated subtree summary, primary MRM → parent group replicas.
+    Summary {
+        /// Reporting (child-group primary) MRM.
+        from: lc_net::HostId,
+        /// Hierarchy level of the *sending* duty (the parent absorbs the
+        /// summary into its level+1 duty only, so deep hierarchies route
+        /// correctly).
+        level: u8,
+        /// Aggregate.
+        summary: GroupSummary,
+    },
+
+    // ---- distributed queries ------------------------------------------
+    /// A component query travelling through the hierarchy.
+    Query {
+        /// Query id.
+        qid: QueryId,
+        /// The query.
+        query: ComponentQuery,
+        /// Hierarchy level of the receiving MRM (0 = leaf group).
+        level: u8,
+        /// True if this hop travels downward (parent → child MRM).
+        descending: bool,
+    },
+    /// Offers sent directly back to the query origin.
+    Offers {
+        /// Query id.
+        qid: QueryId,
+        /// Matching offers (possibly empty).
+        offers: Vec<Offer>,
+    },
+    /// The search is exhausted with no (further) matches.
+    QueryDone {
+        /// Query id.
+        qid: QueryId,
+    },
+
+    // ---- network-as-repository: fetch & install (§2.4.3, R5/R6) ------
+    /// Ask a node to ship a package's container bytes.
+    Fetch {
+        /// Component name.
+        name: String,
+        /// Exact installed version wanted.
+        version: Version,
+        /// Where to send the bytes.
+        reply_to: lc_net::HostId,
+    },
+    /// Package container bytes (`Rc` so the simulation does not copy the
+    /// payload; the *network* is still charged the real size).
+    PackageBytes {
+        /// Component name.
+        name: String,
+        /// Version shipped.
+        version: Version,
+        /// Container bytes.
+        bytes: Rc<Vec<u8>>,
+    },
+    /// Fetch failed (not installed / not mobile).
+    FetchFailed {
+        /// Component name.
+        name: String,
+        /// Version requested.
+        version: Version,
+        /// Why.
+        reason: String,
+    },
+    /// Push a package to a node for installation (Component Acceptor).
+    Install {
+        /// Container bytes.
+        bytes: Rc<Vec<u8>>,
+    },
+
+    // ---- remote instantiation -----------------------------------------
+    /// Ask a node to create an instance of an installed component.
+    Spawn {
+        /// Correlation id (origin-scoped).
+        rid: u64,
+        /// Where to reply.
+        origin: lc_net::HostId,
+        /// Component name.
+        component: String,
+        /// Minimum compatible version.
+        min_version: Version,
+        /// Optional application-assigned instance name.
+        instance_name: Option<String>,
+    },
+    /// Result of a spawn.
+    SpawnDone {
+        /// Correlation id.
+        rid: u64,
+        /// The new instance's reference, or why it failed.
+        result: Result<ObjectRef, String>,
+    },
+
+    // ---- event channels -------------------------------------------------
+    /// Subscribe a consumer to a producer instance's event-source port.
+    Subscribe {
+        /// Producer servant.
+        producer: ObjectKey,
+        /// Producer's event-source port name.
+        port: String,
+        /// Consumer servant.
+        consumer: ObjectKey,
+        /// Delivery operation on the consumer.
+        delivery_op: String,
+    },
+
+    // ---- load balancing (§2.4.3) ----------------------------------------
+    /// An overloaded node asks its group MRM for a lighter-loaded member.
+    OffloadQuery {
+        /// The asking node.
+        from: lc_net::HostId,
+        /// CPU share it wants to move.
+        cpu_needed: f64,
+    },
+    /// The MRM's answer (best candidate, if any has headroom).
+    OffloadTarget {
+        /// Suggested destination, or `None` if everyone is busy.
+        target: Option<lc_net::HostId>,
+    },
+
+    // ---- migration (§2.2) ----------------------------------------------
+    /// Carry a passivated instance to a new node.
+    MigrateIn {
+        /// Correlation id (origin-scoped).
+        rid: u64,
+        /// Origin node (also serves the package if needed).
+        origin: lc_net::HostId,
+        /// Component name.
+        component: String,
+        /// Version.
+        version: Version,
+        /// Captured instance state (component-defined value).
+        state: Value,
+        /// Optional instance name to preserve.
+        instance_name: Option<String>,
+    },
+    /// Migration completed on the destination.
+    MigrateDone {
+        /// Correlation id.
+        rid: u64,
+        /// New reference, or why migration failed.
+        result: Result<ObjectRef, String>,
+    },
+}
+
+impl CtrlMsg {
+    /// Approximate wire size in bytes (what the network is charged).
+    pub fn wire_size(&self) -> u64 {
+        const HDR: u64 = 24;
+        HDR + match self {
+            CtrlMsg::Report { report, .. } => report.wire_size(),
+            CtrlMsg::Summary { summary, .. } => summary.wire_size(),
+            CtrlMsg::Query { query, .. } => query.wire_size() + 2,
+            CtrlMsg::Offers { offers, .. } => {
+                8 + offers.iter().map(Offer::wire_size).sum::<u64>()
+            }
+            CtrlMsg::QueryDone { .. } => 8,
+            CtrlMsg::Fetch { name, .. } => name.len() as u64 + 12,
+            CtrlMsg::PackageBytes { bytes, name, .. } => {
+                bytes.len() as u64 + name.len() as u64 + 12
+            }
+            CtrlMsg::FetchFailed { name, reason, .. } => {
+                (name.len() + reason.len()) as u64 + 12
+            }
+            CtrlMsg::Install { bytes } => bytes.len() as u64,
+            CtrlMsg::Spawn { component, instance_name, .. } => {
+                component.len() as u64
+                    + instance_name.as_deref().map_or(0, |n| n.len() as u64)
+                    + 24
+            }
+            CtrlMsg::SpawnDone { result, .. } => match result {
+                Ok(_) => 64,
+                Err(e) => e.len() as u64 + 16,
+            },
+            CtrlMsg::Subscribe { port, delivery_op, .. } => {
+                (port.len() + delivery_op.len()) as u64 + 32
+            }
+            CtrlMsg::MigrateIn { component, state, .. } => {
+                component.len() as u64
+                    + lc_orb::encoded_len(std::slice::from_ref(state))
+                    + 32
+            }
+            CtrlMsg::MigrateDone { result, .. } => match result {
+                Ok(_) => 64,
+                Err(e) => e.len() as u64 + 16,
+            },
+            CtrlMsg::OffloadQuery { .. } => 16,
+            CtrlMsg::OffloadTarget { .. } => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_net::HostId;
+
+    #[test]
+    fn summary_absorb() {
+        let mut a = GroupSummary {
+            components: ["X".to_owned()].into_iter().collect(),
+            node_count: 3,
+            cpu_free: 2.0,
+            mem_free: 100,
+        };
+        let b = GroupSummary {
+            components: ["X".to_owned(), "Y".to_owned()].into_iter().collect(),
+            node_count: 2,
+            cpu_free: 1.0,
+            mem_free: 50,
+        };
+        a.absorb(&b);
+        assert_eq!(a.components.len(), 2);
+        assert_eq!(a.node_count, 5);
+        assert_eq!(a.cpu_free, 3.0);
+        assert_eq!(a.mem_free, 150);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = CtrlMsg::Fetch {
+            name: "A".into(),
+            version: Version::new(1, 0),
+            reply_to: HostId(0),
+        };
+        let pkg = CtrlMsg::PackageBytes {
+            name: "A".into(),
+            version: Version::new(1, 0),
+            bytes: Rc::new(vec![0u8; 50_000]),
+        };
+        assert!(pkg.wire_size() > 50_000);
+        assert!(small.wire_size() < 100);
+
+        let q = CtrlMsg::QueryDone { qid: QueryId { origin: HostId(1), seq: 2 } };
+        assert!(q.wire_size() < 64);
+    }
+}

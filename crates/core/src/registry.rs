@@ -1,0 +1,418 @@
+//! The Component Registry: the reflective, queryable view of one node
+//! (Fig. 1), and the query/offer vocabulary of the Distributed Registry.
+//!
+//! §2.4.2: the Component Registry provides "(a) the set of installed
+//! components, (b) the set of component instances running in the node and
+//! the properties of each, and (c) how those instances are connected via
+//! ports (assemblies)". It also supports the CORBA-LC departure from CCM:
+//! "the set of external properties of a component is not fixed and may
+//! change at run-time" — instances can grow and shrink ports dynamically
+//! ([`InstanceInfo::add_provides`] etc.), and the registry reflects that
+//! immediately.
+
+use crate::repository::ComponentRepository;
+use lc_idl::Repository;
+use lc_net::HostId;
+use lc_orb::ObjectRef;
+use lc_pkg::{ComponentDescriptor, Licensing, Mobility, Version};
+use std::collections::BTreeMap;
+
+/// Identifier of a component instance within one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+/// A port as exposed by a *running instance* (may differ from the
+/// descriptor: ports can be added/removed at run-time, §2.4.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InstancePort {
+    /// Port name.
+    pub name: String,
+    /// Interface or event repository id.
+    pub type_id: String,
+}
+
+/// Reflected information about one running instance.
+#[derive(Clone, Debug)]
+pub struct InstanceInfo {
+    /// Instance id (node-local).
+    pub id: InstanceId,
+    /// Optional application-assigned name ("named instance").
+    pub name: Option<String>,
+    /// Component name.
+    pub component: String,
+    /// Component version.
+    pub version: Version,
+    /// The instance's CORBA object reference.
+    pub objref: ObjectRef,
+    /// Currently exposed provided ports.
+    pub provides: Vec<InstancePort>,
+    /// Currently exposed used ports.
+    pub uses: Vec<InstancePort>,
+    /// Currently exposed event source ports.
+    pub emits: Vec<InstancePort>,
+    /// Currently exposed event sink ports.
+    pub consumes: Vec<InstancePort>,
+}
+
+impl InstanceInfo {
+    /// Add a provided port at run-time (reflection architecture).
+    pub fn add_provides(&mut self, name: &str, type_id: &str) {
+        self.provides.push(InstancePort { name: name.into(), type_id: type_id.into() });
+    }
+
+    /// Remove a provided port at run-time. Returns whether it existed.
+    pub fn remove_provides(&mut self, name: &str) -> bool {
+        let before = self.provides.len();
+        self.provides.retain(|p| p.name != name);
+        self.provides.len() != before
+    }
+
+    /// Add a used port at run-time.
+    pub fn add_uses(&mut self, name: &str, type_id: &str) {
+        self.uses.push(InstancePort { name: name.into(), type_id: type_id.into() });
+    }
+
+    /// Find a provided port by name.
+    pub fn provided_port(&self, name: &str) -> Option<&InstancePort> {
+        self.provides.iter().find(|p| p.name == name)
+    }
+}
+
+/// A recorded port connection (the registry's assembly view).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Connection {
+    /// Consumer instance.
+    pub from: InstanceId,
+    /// Consumer's used port.
+    pub from_port: String,
+    /// Provider object (possibly on another node).
+    pub to: ObjectRef,
+    /// Provider's port name if known.
+    pub to_port: String,
+}
+
+/// A distributed component query (§2.4.3 "Support for Distributed
+/// Queries").
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ComponentQuery {
+    /// Match a specific component name.
+    pub name: Option<String>,
+    /// Match components providing (a subtype of) this interface.
+    pub provides: Option<String>,
+    /// Minimum compatible version.
+    pub min_version: Option<Version>,
+    /// Maximum acceptable pay-per-use cost (milli-credits/hour);
+    /// `None` = cost is no object.
+    pub max_cost: Option<u32>,
+    /// Only offer components whose binary can be fetched (mobile).
+    pub require_mobile: bool,
+}
+
+impl ComponentQuery {
+    /// Query by component name.
+    pub fn by_name(name: &str, min_version: Version) -> Self {
+        ComponentQuery {
+            name: Some(name.to_owned()),
+            min_version: Some(min_version),
+            ..Default::default()
+        }
+    }
+
+    /// Query by provided interface.
+    pub fn by_interface(interface: &str) -> Self {
+        ComponentQuery { provides: Some(interface.to_owned()), ..Default::default() }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        16 + self.name.as_deref().map_or(0, |s| s.len() as u64)
+            + self.provides.as_deref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// Does a descriptor match this query?
+    ///
+    /// `idl` supplies the interface hierarchy so that a component
+    /// providing `Derived` matches a query for `Base`.
+    pub fn matches(&self, desc: &ComponentDescriptor, idl: &Repository) -> bool {
+        if let Some(name) = &self.name {
+            if &desc.name != name {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_version {
+            if !desc.version.satisfies(min) {
+                return false;
+            }
+        }
+        if let Some(iface) = &self.provides {
+            let provides_it =
+                desc.provides.iter().any(|p| idl.is_a(&p.interface, iface));
+            if !provides_it {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_cost {
+            if let Licensing::PayPerUse { cost_per_hour } = desc.licensing {
+                if cost_per_hour > max {
+                    return false;
+                }
+            }
+        }
+        if self.require_mobile && desc.mobility != Mobility::Mobile {
+            return false;
+        }
+        true
+    }
+}
+
+/// An offer answering a query: where a matching component is and on what
+/// terms (§2.4.3: selection "attending to characteristics such as
+/// location, cost, migration, etc.").
+#[derive(Clone, PartialEq, Debug)]
+pub struct Offer {
+    /// Node holding the component.
+    pub node: HostId,
+    /// Component name.
+    pub component: String,
+    /// Installed version.
+    pub version: Version,
+    /// Mobility of the binary.
+    pub mobility: Mobility,
+    /// Licensing cost (0 for free).
+    pub cost_per_hour: u32,
+    /// Wire size of the package (fetch cost estimate).
+    pub package_size: u64,
+    /// CPU utilisation of the offering node when the offer was made.
+    pub load: f64,
+    /// A running instance already providing the service, if any.
+    pub running_instance: Option<ObjectRef>,
+}
+
+impl Offer {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        48 + self.component.len() as u64
+    }
+}
+
+/// The per-node Component Registry.
+#[derive(Clone, Debug, Default)]
+pub struct ComponentRegistry {
+    instances: BTreeMap<InstanceId, InstanceInfo>,
+    connections: Vec<Connection>,
+    next_instance: u64,
+}
+
+impl ComponentRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next instance id.
+    pub fn next_id(&mut self) -> InstanceId {
+        self.next_instance += 1;
+        InstanceId(self.next_instance)
+    }
+
+    /// Record a new running instance.
+    pub fn add_instance(&mut self, info: InstanceInfo) {
+        self.instances.insert(info.id, info);
+    }
+
+    /// Remove an instance (destroyed or migrated away) and its
+    /// connections.
+    pub fn remove_instance(&mut self, id: InstanceId) -> Option<InstanceInfo> {
+        self.connections.retain(|c| c.from != id);
+        self.instances.remove(&id)
+    }
+
+    /// Reflected instance info.
+    pub fn instance(&self, id: InstanceId) -> Option<&InstanceInfo> {
+        self.instances.get(&id)
+    }
+
+    /// Mutable instance info (run-time port modification).
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut InstanceInfo> {
+        self.instances.get_mut(&id)
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> impl Iterator<Item = &InstanceInfo> {
+        self.instances.values()
+    }
+
+    /// Number of running instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Find a named instance.
+    pub fn named(&self, name: &str) -> Option<&InstanceInfo> {
+        self.instances.values().find(|i| i.name.as_deref() == Some(name))
+    }
+
+    /// Find instances of a component.
+    pub fn instances_of<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a InstanceInfo> + 'a {
+        self.instances.values().filter(move |i| i.component == component)
+    }
+
+    /// Record a connection.
+    pub fn add_connection(&mut self, c: Connection) {
+        self.connections.push(c);
+    }
+
+    /// All connections (the "assembly" view for visual builders).
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Answer a query against this node's repository + instances.
+    ///
+    /// Produces at most one offer per installed matching (name, version),
+    /// annotated with a running instance when one exists.
+    pub fn local_offers(
+        &self,
+        node: HostId,
+        repo: &ComponentRepository,
+        query: &ComponentQuery,
+        idl: &Repository,
+        load: f64,
+    ) -> Vec<Offer> {
+        repo.iter()
+            .filter(|inst| query.matches(&inst.descriptor, idl))
+            .map(|inst| {
+                let running = self
+                    .instances_of(&inst.descriptor.name)
+                    .find(|i| i.version == inst.descriptor.version)
+                    .map(|i| i.objref.clone());
+                Offer {
+                    node,
+                    component: inst.descriptor.name.clone(),
+                    version: inst.descriptor.version,
+                    mobility: inst.descriptor.mobility,
+                    cost_per_hour: match inst.descriptor.licensing {
+                        Licensing::Free => 0,
+                        Licensing::PayPerUse { cost_per_hour } => cost_per_hour,
+                    },
+                    package_size: inst.package_wire_size,
+                    load,
+                    running_instance: running,
+                }
+            })
+            .collect()
+    }
+
+    /// Forget everything (node restart).
+    pub fn clear(&mut self) {
+        self.instances.clear();
+        self.connections.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_orb::ObjectKey;
+
+    fn objref(host: u32, oid: u64) -> ObjectRef {
+        ObjectRef {
+            key: ObjectKey { host: HostId(host), oid },
+            type_id: "IDL:X:1.0".into(),
+        }
+    }
+
+    fn info(reg: &mut ComponentRegistry, component: &str, name: Option<&str>) -> InstanceId {
+        let id = reg.next_id();
+        reg.add_instance(InstanceInfo {
+            id,
+            name: name.map(str::to_owned),
+            component: component.into(),
+            version: Version::new(1, 0),
+            objref: objref(0, id.0),
+            provides: vec![],
+            uses: vec![],
+            emits: vec![],
+            consumes: vec![],
+        });
+        id
+    }
+
+    #[test]
+    fn instances_and_connections() {
+        let mut reg = ComponentRegistry::new();
+        let a = info(&mut reg, "App", Some("main"));
+        let b = info(&mut reg, "Gui", None);
+        assert_eq!(reg.instance_count(), 2);
+        assert_eq!(reg.named("main").unwrap().id, a);
+        assert!(reg.named("other").is_none());
+        assert_eq!(reg.instances_of("Gui").count(), 1);
+
+        reg.add_connection(Connection {
+            from: a,
+            from_port: "gui".into(),
+            to: objref(0, b.0),
+            to_port: "widget".into(),
+        });
+        assert_eq!(reg.connections().len(), 1);
+        reg.remove_instance(a);
+        assert_eq!(reg.connections().len(), 0);
+        assert_eq!(reg.instance_count(), 1);
+    }
+
+    #[test]
+    fn runtime_port_modification_reflected() {
+        let mut reg = ComponentRegistry::new();
+        let a = info(&mut reg, "App", None);
+        let inst = reg.instance_mut(a).unwrap();
+        inst.add_provides("extra", "IDL:New:1.0");
+        inst.add_uses("helper", "IDL:H:1.0");
+        assert!(reg.instance(a).unwrap().provided_port("extra").is_some());
+        assert!(reg.instance_mut(a).unwrap().remove_provides("extra"));
+        assert!(reg.instance(a).unwrap().provided_port("extra").is_none());
+        assert!(!reg.instance_mut(a).unwrap().remove_provides("extra"));
+    }
+
+    #[test]
+    fn query_matching() {
+        let idl = lc_idl::compile(
+            r#"interface Display { void draw(); };
+               interface SmartDisplay : Display { void batch(); };"#,
+        )
+        .unwrap();
+        let desc = ComponentDescriptor::new("Gui", Version::new(1, 2), "acme")
+            .provides("out", "IDL:SmartDisplay:1.0");
+
+        assert!(ComponentQuery::by_name("Gui", Version::new(1, 0)).matches(&desc, &idl));
+        assert!(!ComponentQuery::by_name("Gui", Version::new(1, 3)).matches(&desc, &idl));
+        assert!(!ComponentQuery::by_name("Other", Version::new(1, 0)).matches(&desc, &idl));
+        // subtype satisfies base-interface query
+        assert!(ComponentQuery::by_interface("IDL:Display:1.0").matches(&desc, &idl));
+        assert!(ComponentQuery::by_interface("IDL:SmartDisplay:1.0").matches(&desc, &idl));
+        assert!(!ComponentQuery::by_interface("IDL:Nope:1.0").matches(&desc, &idl));
+
+        let mut pay = desc.clone();
+        pay.licensing = Licensing::PayPerUse { cost_per_hour: 100 };
+        let mut q = ComponentQuery::by_name("Gui", Version::new(1, 0));
+        q.max_cost = Some(50);
+        assert!(!q.matches(&pay, &idl));
+        q.max_cost = Some(150);
+        assert!(q.matches(&pay, &idl));
+
+        let mut fixed = desc.clone();
+        fixed.mobility = Mobility::Fixed;
+        let mut qm = ComponentQuery::by_name("Gui", Version::new(1, 0));
+        qm.require_mobile = true;
+        assert!(!qm.matches(&fixed, &idl));
+        assert!(qm.matches(&desc, &idl));
+    }
+}

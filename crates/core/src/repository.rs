@@ -1,0 +1,300 @@
+//! The Component Repository: the per-node store of installed packages
+//! (Fig. 1), populated through the Component Acceptor.
+//!
+//! §2.4.1: nodes offer "hooks for accepting new components at run-time
+//! for local installation in the local Component Repository,
+//! instantiation and running". Installation verifies the package (digest,
+//! signature against the node's trust store, platform compatibility,
+//! loadable behaviour) before the component becomes visible — the order
+//! the paper's security requirement demands.
+
+use crate::behavior::BehaviorRegistry;
+use lc_pkg::sign::Verification;
+use lc_pkg::{ComponentDescriptor, Package, Platform, TrustStore, Version};
+use std::collections::BTreeMap;
+
+/// Why an installation was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InstallError {
+    /// Container bytes did not parse/verify.
+    BadPackage(String),
+    /// No binary section for this node's platform.
+    NoBinaryFor(Platform),
+    /// Signature missing or untrusted.
+    Untrusted(String),
+    /// The binary names a behaviour the runtime cannot load.
+    UnknownBehavior(String),
+    /// Same name+version already installed with different content.
+    Conflict(String),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::BadPackage(m) => write!(f, "bad package: {m}"),
+            InstallError::NoBinaryFor(p) => write!(f, "no binary for platform {p}"),
+            InstallError::Untrusted(m) => write!(f, "untrusted package: {m}"),
+            InstallError::UnknownBehavior(b) => write!(f, "unknown behavior '{b}'"),
+            InstallError::Conflict(m) => write!(f, "conflicting install: {m}"),
+        }
+    }
+}
+impl std::error::Error for InstallError {}
+
+/// One installed component (a verified package subset for this platform).
+#[derive(Clone, Debug)]
+pub struct Installed {
+    /// The descriptor.
+    pub descriptor: ComponentDescriptor,
+    /// The behaviour id of the platform-matching binary.
+    pub behavior_id: String,
+    /// Size of the full package on the wire (for fetch cost accounting).
+    pub package_wire_size: u64,
+    /// The package itself (kept so this node can serve fetches — the
+    /// network-as-repository behaviour of §2.4.3).
+    pub package: Package,
+}
+
+/// The per-node Component Repository.
+#[derive(Clone, Default)]
+pub struct ComponentRepository {
+    /// (name, version) → installed component.
+    items: BTreeMap<(String, Version), Installed>,
+}
+
+impl ComponentRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install from container bytes after full verification.
+    ///
+    /// `require_signature` is the node's security policy: when set,
+    /// unsigned or unknown-signer packages are refused.
+    pub fn install(
+        &mut self,
+        bytes: &[u8],
+        platform: &Platform,
+        trust: &TrustStore,
+        behaviors: &BehaviorRegistry,
+        require_signature: bool,
+    ) -> Result<ComponentDescriptor, InstallError> {
+        let pkg = Package::from_bytes(bytes).map_err(|e| InstallError::BadPackage(e.to_string()))?;
+        match pkg.verify(trust) {
+            Verification::Trusted => {}
+            Verification::BadSignature => {
+                return Err(InstallError::Untrusted("signature does not verify".into()));
+            }
+            Verification::UnknownSigner => {
+                if require_signature {
+                    return Err(InstallError::Untrusted(
+                        "unsigned or unknown signer, policy requires signature".into(),
+                    ));
+                }
+            }
+        }
+        let Some(section) = pkg.section_for(platform) else {
+            return Err(InstallError::NoBinaryFor(platform.clone()));
+        };
+        if !behaviors.contains(&section.behavior_id) {
+            return Err(InstallError::UnknownBehavior(section.behavior_id.clone()));
+        }
+        let key = (pkg.descriptor.name.clone(), pkg.descriptor.version);
+        if let Some(existing) = self.items.get(&key) {
+            if existing.descriptor != pkg.descriptor {
+                return Err(InstallError::Conflict(format!(
+                    "{} {} already installed with a different descriptor",
+                    key.0, key.1
+                )));
+            }
+            // idempotent re-install
+            return Ok(existing.descriptor.clone());
+        }
+        let installed = Installed {
+            descriptor: pkg.descriptor.clone(),
+            behavior_id: section.behavior_id.clone(),
+            package_wire_size: bytes.len() as u64,
+            package: pkg,
+        };
+        let desc = installed.descriptor.clone();
+        self.items.insert(key, installed);
+        Ok(desc)
+    }
+
+    /// Remove a component version. Returns whether it was present.
+    pub fn remove(&mut self, name: &str, version: Version) -> bool {
+        self.items.remove(&(name.to_owned(), version)).is_some()
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, name: &str, version: Version) -> Option<&Installed> {
+        self.items.get(&(name.to_owned(), version))
+    }
+
+    /// Best installed version satisfying `required` (§2.1:
+    /// substitutability — highest compatible minor wins).
+    pub fn best_match(&self, name: &str, required: Version) -> Option<&Installed> {
+        self.items
+            .iter()
+            .filter(|((n, v), _)| n == name && v.satisfies(required))
+            .max_by_key(|((_, v), _)| *v)
+            .map(|(_, inst)| inst)
+    }
+
+    /// All installed components.
+    pub fn iter(&self) -> impl Iterator<Item = &Installed> {
+        self.items.values()
+    }
+
+    /// Installed component names (with duplicates for multiple versions).
+    pub fn names(&self) -> Vec<String> {
+        self.items.keys().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of installed (name, version) pairs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the repository empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_orb::{Invocation, OrbError, Servant};
+    use lc_pkg::SigningKey;
+
+    struct Nop;
+    impl Servant for Nop {
+        fn interface_id(&self) -> &str {
+            "IDL:Nop:1.0"
+        }
+        fn dispatch(&mut self, _inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+            Ok(())
+        }
+    }
+
+    fn setup() -> (BehaviorRegistry, TrustStore, SigningKey) {
+        let behaviors = BehaviorRegistry::new();
+        behaviors.register("nop", || Box::new(Nop));
+        let mut trust = TrustStore::new();
+        trust.trust("acme", b"key");
+        (behaviors, trust, SigningKey::new("acme", b"key"))
+    }
+
+    fn make_pkg(name: &str, version: Version, behavior: &str, key: Option<&SigningKey>) -> Vec<u8> {
+        let desc = ComponentDescriptor::new(name, version, "acme");
+        let mut pkg = Package::new(desc)
+            .with_binary(Platform::reference(), behavior, b"code")
+            .with_binary(Platform::pda(), behavior, b"pda code");
+        if let Some(k) = key {
+            pkg.seal(k);
+        }
+        pkg.to_bytes()
+    }
+
+    #[test]
+    fn install_happy_path() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "nop", Some(&key));
+        let desc = repo
+            .install(&bytes, &Platform::reference(), &trust, &behaviors, true)
+            .unwrap();
+        assert_eq!(desc.name, "A");
+        assert_eq!(repo.len(), 1);
+        assert!(repo.get("A", Version::new(1, 0)).is_some());
+        // idempotent
+        repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true).unwrap();
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn unsigned_rejected_under_policy() {
+        let (behaviors, trust, _key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "nop", None);
+        assert!(matches!(
+            repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true),
+            Err(InstallError::Untrusted(_))
+        ));
+        // relaxed policy accepts
+        repo.install(&bytes, &Platform::reference(), &trust, &behaviors, false).unwrap();
+    }
+
+    #[test]
+    fn wrong_platform_rejected() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "nop", Some(&key));
+        let sparc = Platform::new("sparc", "solaris", "lc-orb");
+        assert!(matches!(
+            repo.install(&bytes, &sparc, &trust, &behaviors, true),
+            Err(InstallError::NoBinaryFor(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_behavior_rejected() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "exotic", Some(&key));
+        assert!(matches!(
+            repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true),
+            Err(InstallError::UnknownBehavior(_))
+        ));
+    }
+
+    #[test]
+    fn version_matching_prefers_highest_compatible() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        for v in [Version::new(1, 0), Version::new(1, 3), Version::new(2, 0)] {
+            let bytes = make_pkg("A", v, "nop", Some(&key));
+            repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true).unwrap();
+        }
+        assert_eq!(
+            repo.best_match("A", Version::new(1, 1)).unwrap().descriptor.version,
+            Version::new(1, 3)
+        );
+        assert_eq!(
+            repo.best_match("A", Version::new(2, 0)).unwrap().descriptor.version,
+            Version::new(2, 0)
+        );
+        assert!(repo.best_match("A", Version::new(3, 0)).is_none());
+        assert!(repo.best_match("B", Version::new(1, 0)).is_none());
+    }
+
+    #[test]
+    fn conflicting_descriptor_rejected() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "nop", Some(&key));
+        repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true).unwrap();
+        // Same name+version, different content (adds a port).
+        let desc2 = ComponentDescriptor::new("A", Version::new(1, 0), "acme")
+            .provides("p", "IDL:Nop:1.0");
+        let mut pkg2 = Package::new(desc2).with_binary(Platform::reference(), "nop", b"x");
+        pkg2.seal(&key);
+        assert!(matches!(
+            repo.install(&pkg2.to_bytes(), &Platform::reference(), &trust, &behaviors, true),
+            Err(InstallError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn remove_uninstalls() {
+        let (behaviors, trust, key) = setup();
+        let mut repo = ComponentRepository::new();
+        let bytes = make_pkg("A", Version::new(1, 0), "nop", Some(&key));
+        repo.install(&bytes, &Platform::reference(), &trust, &behaviors, true).unwrap();
+        assert!(repo.remove("A", Version::new(1, 0)));
+        assert!(!repo.remove("A", Version::new(1, 0)));
+        assert!(repo.is_empty());
+    }
+}

@@ -1,0 +1,857 @@
+//! End-to-end tests of the CORBA-LC runtime on a simulated network:
+//! installation propagation, distributed queries, dependency resolution,
+//! events, migration, assembly deployment, crashes and MRM failover.
+
+use lc_core::demo;
+use lc_core::node::{NodeCmd, QueryResult};
+use lc_core::testkit::{build_world, fast_cohesion, World};
+use lc_core::{
+    AssemblyDescriptor, BehaviorRegistry, ComponentQuery, NodeConfig, PlacementStrategy,
+    ResolvePolicy,
+};
+use lc_des::SimTime;
+use lc_net::{HostCfg, HostId, Topology};
+use lc_orb::Value;
+use lc_pkg::Version;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A world where node 0 has Counter+Display+Gui+Watcher installed and
+/// everyone else is empty.
+fn demo_world(topo: Topology, seed: u64) -> World {
+    let behaviors = BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let config = NodeConfig {
+        cohesion: fast_cohesion(),
+        query_timeout: SimTime::from_millis(400),
+        require_signature: true,
+        ..Default::default()
+    };
+    build_world(
+        topo,
+        seed,
+        config,
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |host| {
+            if host == HostId(0) {
+                vec![
+                    demo::counter_package(),
+                    demo::display_package(),
+                    demo::gui_package(),
+                    demo::watcher_package(),
+                ]
+            } else {
+                Vec::new()
+            }
+        },
+    )
+}
+
+fn settle(world: &mut World, ms: u64) {
+    let deadline = world.sim.now() + SimTime::from_millis(ms);
+    world.sim.run_until(deadline);
+}
+
+#[test]
+fn installation_reflected_in_repository() {
+    let mut world = demo_world(Topology::lan(4), 1);
+    settle(&mut world, 10);
+    let node0 = world.node(HostId(0)).unwrap();
+    assert_eq!(node0.repository.len(), 4);
+    let node1 = world.node(HostId(1)).unwrap();
+    assert!(node1.repository.is_empty());
+}
+
+#[test]
+fn unsigned_package_rejected_by_acceptor() {
+    let mut world = demo_world(Topology::lan(2), 1);
+    // Hand-roll an unsigned package.
+    let desc = lc_pkg::ComponentDescriptor::new("Rogue", Version::new(1, 0), "nobody");
+    let pkg = lc_pkg::Package::new(desc).with_binary(
+        lc_pkg::Platform::reference(),
+        "demo_counter",
+        b"x",
+    );
+    world.cmd(HostId(1), NodeCmd::Install(Rc::new(pkg.to_bytes())));
+    settle(&mut world, 10);
+    assert!(world.node(HostId(1)).unwrap().repository.is_empty());
+    assert_eq!(world.sim.metrics_ref().counter("acceptor.rejected"), 1);
+}
+
+#[test]
+fn distributed_query_finds_remote_component() {
+    let mut world = demo_world(Topology::lan(8), 2);
+    // Let two keep-alive rounds run so the MRM learns node 0's inventory.
+    settle(&mut world, 600);
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Query {
+            query: ComponentQuery::by_name("Display", Version::new(2, 0)),
+            sink: sink.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    let res = sink.borrow();
+    assert!(res.done);
+    assert_eq!(res.offers.len(), 1);
+    assert_eq!(res.offers[0].node, HostId(0));
+    assert_eq!(res.offers[0].component, "Display");
+    assert!(res.first_offer_at.is_some());
+}
+
+#[test]
+fn query_by_interface_floods_and_finds() {
+    let mut world = demo_world(Topology::lan(8), 3);
+    settle(&mut world, 600);
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(3),
+        NodeCmd::Query {
+            query: ComponentQuery::by_interface("IDL:demo/Display:1.0"),
+            sink: sink.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    let res = sink.borrow();
+    assert!(res.done);
+    assert_eq!(res.offers.len(), 1);
+    assert_eq!(res.offers[0].component, "Display");
+}
+
+#[test]
+fn query_miss_terminates() {
+    let mut world = demo_world(Topology::lan(8), 4);
+    settle(&mut world, 600);
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(2),
+        NodeCmd::Query {
+            query: ComponentQuery::by_name("DoesNotExist", Version::new(1, 0)),
+            sink: sink.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    let res = sink.borrow();
+    assert!(res.done);
+    assert!(res.offers.is_empty());
+}
+
+#[test]
+fn spawn_local_and_invoke_across_network() {
+    let mut world = demo_world(Topology::lan(4), 5);
+    settle(&mut world, 10);
+    // Spawn a counter on node 0.
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "Counter".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("c0".into()),
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 10);
+    let counter_ref = spawn.borrow().clone().unwrap().unwrap();
+
+    // Invoke from node 3: two incs and a read.
+    for _ in 0..2 {
+        world.cmd(
+            HostId(3),
+            NodeCmd::Invoke {
+                target: counter_ref.clone(),
+                op: "inc".into(),
+                args: vec![Value::Long(21)],
+                oneway: true,
+                sink: None,
+            },
+        );
+    }
+    settle(&mut world, 50);
+    let invoke: lc_core::InvokeSink = Rc::default();
+    world.cmd(
+        HostId(3),
+        NodeCmd::Invoke {
+            target: counter_ref,
+            op: "value".into(),
+            args: vec![],
+            oneway: false,
+            sink: Some(invoke.clone()),
+        },
+    );
+    settle(&mut world, 50);
+    let replies = invoke.borrow();
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].1.as_ref().unwrap().ret, Value::Long(42));
+}
+
+#[test]
+fn spawn_on_remote_node() {
+    let mut world = demo_world(Topology::lan(4), 6);
+    settle(&mut world, 10);
+    // Node 1 doesn't have the package; push it there first via acceptor.
+    world.cmd(HostId(1), NodeCmd::Install(demo::counter_package()));
+    settle(&mut world, 10);
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnOn {
+            node: HostId(1),
+            component: "Counter".into(),
+            min_version: Version::new(1, 0),
+            instance_name: None,
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 50);
+    let objref = spawn.borrow().clone().unwrap().unwrap();
+    assert_eq!(objref.key.host, HostId(1));
+    assert_eq!(world.node(HostId(1)).unwrap().registry.instance_count(), 1);
+}
+
+#[test]
+fn resolve_uses_port_fetches_locally_for_heavy_traffic() {
+    let mut world = demo_world(Topology::lan(8), 7);
+    settle(&mut world, 600);
+    // A GUI part on node 4 (push the package there first).
+    world.cmd(HostId(4), NodeCmd::Install(demo::gui_package()));
+    settle(&mut world, 10);
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(4),
+        NodeCmd::SpawnLocal {
+            component: "GuiPart".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("gui".into()),
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 10);
+    let gui_ref = spawn.borrow().clone().unwrap().unwrap();
+    let gui_instance = world
+        .node(HostId(4))
+        .unwrap()
+        .registry
+        .named("gui")
+        .unwrap()
+        .id;
+
+    // Resolve its display dependency expecting a heavy stream → the
+    // planner should fetch Display from node 0 and run it locally.
+    let provider: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(4),
+        NodeCmd::Resolve {
+            instance: gui_instance,
+            port: "display".into(),
+            query: ComponentQuery::by_name("Display", Version::new(2, 0)),
+            policy: ResolvePolicy {
+                expected_traffic: 1_000_000_000,
+                ..Default::default()
+            },
+            sink: Some(provider.clone()),
+        },
+    );
+    settle(&mut world, 2000);
+    let display_ref = provider.borrow().clone().unwrap().unwrap();
+    assert_eq!(display_ref.key.host, HostId(4), "display should run locally");
+    // Display package got installed on node 4 by the fetch.
+    assert!(world
+        .node(HostId(4))
+        .unwrap()
+        .repository
+        .get("Display", Version::new(2, 0))
+        .is_some());
+    assert_eq!(world.sim.metrics_ref().counter("resolve.fetch_local"), 1);
+    assert_eq!(world.sim.metrics_ref().counter("fetch.served"), 1);
+
+    // Render through the connected port: the local display draws.
+    world.cmd(
+        HostId(4),
+        NodeCmd::Invoke {
+            target: gui_ref,
+            op: "render".into(),
+            args: vec![Value::string("hello")],
+            oneway: true,
+            sink: None,
+        },
+    );
+    settle(&mut world, 100);
+    let node4 = world.node(HostId(4)).unwrap();
+    let display_inst = node4.registry.instances_of("Display").next().unwrap();
+    let _ = display_inst;
+}
+
+#[test]
+fn resolve_uses_existing_remote_instance_for_light_traffic() {
+    let mut world = demo_world(Topology::lan(8), 8);
+    settle(&mut world, 600);
+    // A Display instance already runs on node 0.
+    let dspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "Display".into(),
+            min_version: Version::new(2, 0),
+            instance_name: Some("d0".into()),
+            sink: dspawn.clone(),
+        },
+    );
+    // A GUI on node 5.
+    world.cmd(HostId(5), NodeCmd::Install(demo::gui_package()));
+    settle(&mut world, 300);
+    let gspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::SpawnLocal {
+            component: "GuiPart".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("gui".into()),
+            sink: gspawn.clone(),
+        },
+    );
+    settle(&mut world, 300);
+    let gui_instance = world.node(HostId(5)).unwrap().registry.named("gui").unwrap().id;
+
+    let provider: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Resolve {
+            instance: gui_instance,
+            port: "display".into(),
+            query: ComponentQuery::by_name("Display", Version::new(2, 0)),
+            policy: ResolvePolicy { expected_traffic: 1_000, ..Default::default() },
+            sink: Some(provider.clone()),
+        },
+    );
+    settle(&mut world, 2000);
+    let display_ref = provider.borrow().clone().unwrap().unwrap();
+    assert_eq!(display_ref.key.host, HostId(0), "light traffic connects to the existing one");
+    assert_eq!(world.sim.metrics_ref().counter("resolve.fetch_local"), 0);
+}
+
+#[test]
+fn events_fan_out_across_nodes() {
+    let mut world = demo_world(Topology::lan(4), 9);
+    settle(&mut world, 10);
+    // Producer GUI on node 0, watcher on node 2.
+    let gspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "GuiPart".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("gui".into()),
+            sink: gspawn.clone(),
+        },
+    );
+    world.cmd(HostId(2), NodeCmd::Install(demo::watcher_package()));
+    settle(&mut world, 20);
+    let wspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(2),
+        NodeCmd::SpawnLocal {
+            component: "Watcher".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("w".into()),
+            sink: wspawn.clone(),
+        },
+    );
+    settle(&mut world, 20);
+    let gui_ref = gspawn.borrow().clone().unwrap().unwrap();
+    let watcher_ref = wspawn.borrow().clone().unwrap().unwrap();
+
+    // Subscribe the watcher to the GUI's rendered events.
+    world.cmd(
+        HostId(2),
+        NodeCmd::Subscribe {
+            producer: gui_ref.clone(),
+            port: "rendered".into(),
+            consumer: watcher_ref.clone(),
+            delivery_op: "_push_rendered".into(),
+        },
+    );
+    settle(&mut world, 50);
+
+    // Render 3 times.
+    for i in 0..3 {
+        world.cmd(
+            HostId(1),
+            NodeCmd::Invoke {
+                target: gui_ref.clone(),
+                op: "render".into(),
+                args: vec![Value::string(&format!("frame{i}"))],
+                oneway: true,
+                sink: None,
+            },
+        );
+    }
+    settle(&mut world, 200);
+    assert_eq!(world.sim.metrics_ref().counter("events.published"), 3);
+    // The watcher saw them all.
+    let value: lc_core::InvokeSink = Rc::default();
+    world.cmd(
+        HostId(1),
+        NodeCmd::Invoke {
+            target: watcher_ref,
+            op: "value".into(),
+            args: vec![],
+            oneway: false,
+            sink: Some(value.clone()),
+        },
+    );
+    settle(&mut world, 100);
+    assert_eq!(value.borrow()[0].1.as_ref().unwrap().ret, Value::Long(3));
+}
+
+#[test]
+fn migration_preserves_state_and_forwards_requests() {
+    let mut world = demo_world(Topology::lan(4), 10);
+    settle(&mut world, 10);
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "Counter".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("c".into()),
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 10);
+    let old_ref = spawn.borrow().clone().unwrap().unwrap();
+    // Count to 5.
+    for _ in 0..5 {
+        world.cmd(
+            HostId(3),
+            NodeCmd::Invoke {
+                target: old_ref.clone(),
+                op: "inc".into(),
+                args: vec![Value::Long(1)],
+                oneway: true,
+                sink: None,
+            },
+        );
+    }
+    settle(&mut world, 100);
+
+    // Migrate to node 2 (which lacks the package → auto-fetch).
+    let instance = world.node(HostId(0)).unwrap().registry.named("c").unwrap().id;
+    let msink: lc_core::MigrateSink = Rc::default();
+    world.cmd(HostId(0), NodeCmd::Migrate { instance, to: HostId(2), sink: Some(msink.clone()) });
+    settle(&mut world, 2000);
+    let new_ref = msink.borrow().clone().unwrap().unwrap();
+    assert_eq!(new_ref.key.host, HostId(2));
+    assert_eq!(world.sim.metrics_ref().counter("migrate.completed"), 1);
+    assert_eq!(world.node(HostId(0)).unwrap().registry.instance_count(), 0);
+    assert_eq!(world.node(HostId(2)).unwrap().registry.instance_count(), 1);
+
+    // A caller still holding the OLD reference gets forwarded.
+    let value: lc_core::InvokeSink = Rc::default();
+    world.cmd(
+        HostId(3),
+        NodeCmd::Invoke {
+            target: old_ref,
+            op: "value".into(),
+            args: vec![],
+            oneway: false,
+            sink: Some(value.clone()),
+        },
+    );
+    settle(&mut world, 200);
+    let replies = value.borrow();
+    assert_eq!(replies.len(), 1, "forwarded request must be answered");
+    assert_eq!(
+        replies[0].1.as_ref().unwrap().ret,
+        Value::Long(5),
+        "state travelled with the instance"
+    );
+    assert!(world.sim.metrics_ref().counter("migrate.forwarded_requests") >= 1);
+}
+
+#[test]
+fn assembly_deploys_and_wires_across_nodes() {
+    // Node 0 is the leaf MRM (it sees everyone's reports) and holds all
+    // packages; the assembly spreads instances by load.
+    let mut world = demo_world(Topology::lan(6), 11);
+    settle(&mut world, 800); // let reports accumulate
+
+    let assembly = AssemblyDescriptor::new("demo-app")
+        .instance("gui", "GuiPart", Version::new(1, 0))
+        .instance("screen", "Display", Version::new(2, 0))
+        .instance("watch", "Watcher", Version::new(1, 0))
+        .connect("gui", "display", "screen", "graphics")
+        .subscribe("watch", "events_in", "gui", "rendered");
+
+    let sink: lc_core::AssemblySink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::StartAssembly {
+            assembly,
+            strategy: PlacementStrategy::RuntimeLoadAware,
+            sink: sink.clone(),
+        },
+    );
+    settle(&mut world, 3000);
+
+    let results: BTreeMap<String, _> = sink.borrow().clone();
+    assert_eq!(results.len(), 3);
+    for (name, r) in &results {
+        assert!(r.is_ok(), "instance '{name}' failed: {r:?}");
+    }
+    assert_eq!(world.sim.metrics_ref().counter("assembly.wired"), 1);
+
+    // Drive the GUI and check the event reached the watcher.
+    let gui_ref = results["gui"].clone().unwrap();
+    let watch_ref = results["watch"].clone().unwrap();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Invoke {
+            target: gui_ref,
+            op: "render".into(),
+            args: vec![Value::string("x")],
+            oneway: true,
+            sink: None,
+        },
+    );
+    settle(&mut world, 300);
+    let value: lc_core::InvokeSink = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Invoke {
+            target: watch_ref,
+            op: "value".into(),
+            args: vec![],
+            oneway: false,
+            sink: Some(value.clone()),
+        },
+    );
+    settle(&mut world, 300);
+    assert_eq!(value.borrow()[0].1.as_ref().unwrap().ret, Value::Long(1));
+}
+
+#[test]
+fn crashed_node_is_evicted_then_rejoins() {
+    let mut world = demo_world(Topology::lan(8), 12);
+    settle(&mut world, 800);
+    // Node 0's inventory is known; crash it.
+    world.crash(HostId(0));
+    // After > timeout (3 * 200ms) the MRM evicts it. Node 1 is the
+    // surviving replica MRM of the leaf group.
+    settle(&mut world, 1500);
+    assert!(world.sim.metrics_ref().counter("cohesion.evictions") >= 1);
+
+    // Query for Display now misses (only node 0 had it).
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Query {
+            query: ComponentQuery::by_name("Display", Version::new(2, 0)),
+            sink: sink.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    assert!(sink.borrow().done);
+    assert!(sink.borrow().offers.is_empty(), "dead node must not be offered");
+
+    // Recover: installed packages persist; reports resume; queries hit.
+    world.recover(HostId(0));
+    settle(&mut world, 1500);
+    let sink2: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(5),
+        NodeCmd::Query {
+            query: ComponentQuery::by_name("Display", Version::new(2, 0)),
+            sink: sink2.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    assert_eq!(sink2.borrow().offers.len(), 1, "reconnected node is rediscovered");
+}
+
+#[test]
+fn queries_survive_primary_mrm_crash_via_replica() {
+    // 16 nodes, fanout 8 → two leaf groups; node 8 and 9 are the MRMs of
+    // group 1. Install something on node 10, then crash node 8 (primary).
+    let behaviors = BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let config = NodeConfig {
+        cohesion: fast_cohesion(),
+        query_timeout: SimTime::from_millis(400),
+        require_signature: false,
+        ..Default::default()
+    };
+    let mut world = build_world(
+        Topology::lan(16),
+        13,
+        config,
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |host| if host == HostId(10) { vec![demo::counter_package()] } else { Vec::new() },
+    );
+    settle(&mut world, 800);
+    world.crash(HostId(8));
+    settle(&mut world, 1500);
+
+    // Origin in group 1 must still find the Counter via replica MRM 9.
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    world.cmd(
+        HostId(12),
+        NodeCmd::Query {
+            query: ComponentQuery::by_name("Counter", Version::new(1, 0)),
+            sink: sink.clone(),
+            first_wins: false,
+        },
+    );
+    settle(&mut world, 1000);
+    assert!(sink.borrow().done);
+    assert_eq!(sink.borrow().offers.len(), 1, "replica MRM must answer");
+    assert!(world.sim.metrics_ref().counter("query.failover") >= 1);
+}
+
+#[test]
+fn cpu_cost_delays_replies_by_host_power() {
+    // Two hosts: a slow one and a fast one, both running Display whose
+    // draw costs 200us of reference CPU.
+    let mut topo = Topology::new();
+    let s = topo.add_site("lan");
+    let slow = topo.add_host(HostCfg::new(s).cpu(0.5));
+    let fast = topo.add_host(HostCfg::new(s).cpu(4.0));
+    let caller = topo.add_host(HostCfg::new(s));
+    let behaviors = BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let mut world = build_world(
+        topo,
+        14,
+        NodeConfig { cohesion: fast_cohesion(), ..Default::default() },
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |_| vec![demo::display_package()],
+    );
+    settle(&mut world, 10);
+    let mut refs = Vec::new();
+    for host in [slow, fast] {
+        let sink: lc_core::SpawnSink = Rc::default();
+        world.cmd(
+            host,
+            NodeCmd::SpawnLocal {
+                component: "Display".into(),
+                min_version: Version::new(2, 0),
+                instance_name: None,
+                sink: sink.clone(),
+            },
+        );
+        settle(&mut world, 10);
+        refs.push(sink.borrow().clone().unwrap().unwrap());
+    }
+    let mut latencies = Vec::new();
+    for r in &refs {
+        let sink: lc_core::InvokeSink = Rc::default();
+        let start = world.sim.now();
+        world.cmd(
+            caller,
+            NodeCmd::Invoke {
+                target: r.clone(),
+                op: "draw".into(),
+                args: vec![Value::string("x")],
+                oneway: false,
+                sink: Some(sink.clone()),
+            },
+        );
+        settle(&mut world, 100);
+        let (at, res) = sink.borrow()[0].clone();
+        assert!(res.is_ok());
+        latencies.push(at - start);
+    }
+    // Slow host: 200us/0.5 = 400us of CPU; fast host: 200us/4 = 50us.
+    assert!(
+        latencies[0] > latencies[1],
+        "slow host must reply later: {latencies:?}"
+    );
+    assert!(latencies[0] - latencies[1] >= SimTime::from_micros(300));
+}
+
+#[test]
+fn world_is_deterministic_per_seed() {
+    fn run(seed: u64) -> (u64, u64) {
+        let mut world = demo_world(Topology::lan(8), seed);
+        settle(&mut world, 2000);
+        (world.sim.events_fired(), world.sim.metrics_ref().counter("net.bytes"))
+    }
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn automatic_load_balancing_sheds_instances() {
+    // Host 1 is overloaded with counters; hosts 2..7 idle. With LB on,
+    // the node asks its MRM for lighter members and migrates instances
+    // until it drops below the threshold.
+    let behaviors = BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let config = NodeConfig {
+        cohesion: fast_cohesion(),
+        query_timeout: SimTime::from_millis(400),
+        require_signature: false,
+        load_balance: Some(lc_core::LoadBalanceConfig {
+            check_period: SimTime::from_millis(500),
+            overload_threshold: 0.5,
+        }),
+    };
+    let mut world = build_world(
+        Topology::lan(8),
+        40,
+        config,
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |_| vec![demo::counter_package()],
+    );
+    settle(&mut world, 10);
+    // Overload host 1: 12 counters × 0.05 cpu = 0.6 > threshold 0.5.
+    for i in 0..12 {
+        let sink: lc_core::SpawnSink = Rc::default();
+        world.cmd(
+            HostId(1),
+            NodeCmd::SpawnLocal {
+                component: "Counter".into(),
+                min_version: Version::new(1, 0),
+                instance_name: Some(format!("c{i}")),
+                sink,
+            },
+        );
+    }
+    settle(&mut world, 50);
+    assert_eq!(world.node(HostId(1)).unwrap().registry.instance_count(), 12);
+    let util_before = world.node(HostId(1)).unwrap().resources.cpu_utilisation();
+    assert!(util_before > 0.5);
+
+    // Let reports converge and LB run for a few periods.
+    settle(&mut world, 8_000);
+
+    let m = world.sim.metrics_ref();
+    assert!(m.counter("lb.migrations") >= 1, "LB must migrate something");
+    assert!(m.counter("migrate.completed") >= 1);
+    let node1 = world.node(HostId(1)).unwrap();
+    assert!(
+        node1.resources.cpu_utilisation() <= 0.5 + 1e-9,
+        "host1 still overloaded: {}",
+        node1.resources.cpu_utilisation()
+    );
+    // Instances moved, not lost: total across the LAN is still 12.
+    let total: usize = (0..8u32)
+        .map(|h| world.node(HostId(h)).map(|n| n.registry.instance_count()).unwrap_or(0))
+        .sum();
+    assert_eq!(total, 12);
+}
+
+#[test]
+fn fixed_instances_are_never_auto_migrated() {
+    // A Fixed-mobility component must stay put even under overload.
+    let behaviors = BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    // Build a fixed-mobility counter package.
+    let fixed_pkg = {
+        let mut desc = lc_pkg::ComponentDescriptor::new(
+            "FixedCounter",
+            Version::new(1, 0),
+            "demo-vendor",
+        )
+        .provides("counter", "IDL:demo/Counter:1.0");
+        desc.mobility = lc_pkg::Mobility::Fixed;
+        desc.qos = lc_pkg::QosSpec {
+            cpu_min: 0.3,
+            cpu_max: 0.5,
+            memory: 1 << 20,
+            bandwidth_min: 0.0,
+        };
+        let mut pkg = lc_pkg::Package::new(desc)
+            .with_idl("demo.idl", demo::DEMO_IDL)
+            .with_binary(lc_pkg::Platform::reference(), "demo_counter", b"fixed");
+        pkg.seal(&demo::demo_key());
+        Rc::new(pkg.to_bytes())
+    };
+    let config = NodeConfig {
+        cohesion: fast_cohesion(),
+        query_timeout: SimTime::from_millis(400),
+        require_signature: false,
+        load_balance: Some(lc_core::LoadBalanceConfig {
+            check_period: SimTime::from_millis(500),
+            overload_threshold: 0.5,
+        }),
+    };
+    let fixed_for_world = fixed_pkg.clone();
+    let mut world = build_world(
+        Topology::lan(4),
+        41,
+        config,
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        move |_| vec![fixed_for_world.clone()],
+    );
+    settle(&mut world, 10);
+    for i in 0..3 {
+        let sink: lc_core::SpawnSink = Rc::default();
+        world.cmd(
+            HostId(1),
+            NodeCmd::SpawnLocal {
+                component: "FixedCounter".into(),
+                min_version: Version::new(1, 0),
+                instance_name: Some(format!("f{i}")),
+                sink,
+            },
+        );
+    }
+    settle(&mut world, 8_000);
+    // Overloaded (0.9 > 0.5) but nothing migratable.
+    assert_eq!(world.sim.metrics_ref().counter("lb.migrations"), 0);
+    assert_eq!(world.node(HostId(1)).unwrap().registry.instance_count(), 3);
+}
+
+#[test]
+fn runtime_port_modification_changes_query_results() {
+    // §2.4.2: an instance grows a provided port at run time; the
+    // reflected registry shows it immediately.
+    let mut world = demo_world(Topology::lan(2), 42);
+    settle(&mut world, 10);
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "Counter".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("c".into()),
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 10);
+    let instance = world.node(HostId(0)).unwrap().registry.named("c").unwrap().id;
+    assert_eq!(world.node(HostId(0)).unwrap().registry.instance(instance).unwrap().provides.len(), 1);
+
+    world.cmd(
+        HostId(0),
+        NodeCmd::ModifyPorts {
+            instance,
+            add_provides: vec![("stats".into(), "IDL:demo/Display:1.0".into())],
+            remove_provides: vec!["counter".into()],
+        },
+    );
+    settle(&mut world, 10);
+    let node = world.node(HostId(0)).unwrap();
+    let info = node.registry.instance(instance).unwrap();
+    assert_eq!(info.provides.len(), 1);
+    assert_eq!(info.provides[0].name, "stats");
+    assert_eq!(world.sim.metrics_ref().counter("reflect.port_changes"), 1);
+}

@@ -1,0 +1,567 @@
+//! # lc-des — deterministic discrete-event simulation kernel
+//!
+//! The CORBA-LC paper's Distributed Registry protocols (hierarchical
+//! Meta-Resource Managers, soft-consistency keep-alives, peer-replicated
+//! groups) are specified for networks of *hundreds or thousands of hosts*
+//! with spurious failures and reconnections. Evaluating them faithfully
+//! needs a substrate that can run such populations deterministically on one
+//! machine; this crate is that substrate.
+//!
+//! The kernel is a classic event-calendar DES:
+//!
+//! * [`SimTime`] — nanosecond-resolution virtual time.
+//! * [`Sim`] — the world: an event calendar, a population of [`Actor`]s,
+//!   a seeded RNG and a [`Metrics`] sink.
+//! * Events are either *messages* addressed to an actor (delivered through
+//!   [`Actor::handle`]) or *control closures* with full access to the world
+//!   (used for fault injection and instrumentation).
+//!
+//! Event ordering is `(time, sequence-number)`, so two runs with the same
+//! seed produce identical histories — every number reported in
+//! `EXPERIMENTS.md` is exactly reproducible.
+//!
+//! ```
+//! use lc_des::{Sim, SimTime, Actor, Ctx, AnyMsg};
+//!
+//! struct Ping { peer: lc_des::ActorId, left: u32 }
+//! struct Tick;
+//!
+//! impl Actor for Ping {
+//!     fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+//!         if self.left > 0 {
+//!             self.left -= 1;
+//!             ctx.send_in(SimTime::from_millis(5), self.peer, Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! let a = sim.spawn(Ping { peer: lc_des::ActorId(1), left: 3 });
+//! let b = sim.spawn(Ping { peer: a, left: 3 });
+//! sim.send_in(SimTime::ZERO, a, Tick);
+//! sim.run();
+//! assert_eq!(sim.now(), SimTime::from_millis(30));
+//! ```
+
+pub mod metrics;
+pub mod time;
+
+pub use metrics::{Histogram, Metrics};
+pub use time::SimTime;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of an actor living inside a [`Sim`].
+///
+/// Ids are never reused within one simulation, even after
+/// [`Ctx::kill`]/[`Sim::kill`]; a message sent to a dead actor is silently
+/// dropped (the DES analogue of a packet to a crashed host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Type-erased message payload.
+///
+/// Layers above define their own concrete message enums and downcast in
+/// [`Actor::handle`]; see [`AnyMsgExt::downcast_msg`] for the helper.
+pub type AnyMsg = Box<dyn Any>;
+
+/// Convenience downcasting for [`AnyMsg`].
+pub trait AnyMsgExt {
+    /// Downcast the boxed message to `M`, returning it by value.
+    fn downcast_msg<M: 'static>(self) -> Result<M, AnyMsg>;
+}
+
+impl AnyMsgExt for AnyMsg {
+    fn downcast_msg<M: 'static>(self) -> Result<M, AnyMsg> {
+        self.downcast::<M>().map(|b| *b)
+    }
+}
+
+/// A simulated entity: a protocol state machine reacting to messages.
+pub trait Actor: Any {
+    /// React to one message. `ctx` gives access to virtual time, the RNG,
+    /// scheduling, spawning and metrics — everything except other actors'
+    /// private state (communicate by message instead).
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg);
+
+    /// Called once when the actor is killed (crash or orderly shutdown).
+    fn on_kill(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+enum Payload {
+    Message { target: ActorId, msg: AnyMsg },
+    Control(Box<dyn FnOnce(&mut Sim)>),
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The scheduling core shared between [`Sim`] and [`Ctx`].
+struct Core {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    rng: StdRng,
+    metrics: Metrics,
+    events_fired: u64,
+    next_actor: u32,
+    spawned: Vec<(ActorId, Box<dyn Actor>)>,
+    killed: Vec<ActorId>,
+    stopped: bool,
+}
+
+impl Core {
+    fn push(&mut self, at: SimTime, payload: Payload) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, payload }));
+    }
+}
+
+/// Capability handed to an [`Actor`] while it processes a message.
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    me: ActorId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The id of the actor currently handling a message.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Metrics sink shared by the whole simulation.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Deliver `msg` to `target` after `delay` of virtual time.
+    pub fn send_in<M: Any>(&mut self, delay: SimTime, target: ActorId, msg: M) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Message { target, msg: Box::new(msg) });
+    }
+
+    /// Deliver `msg` to the current actor after `delay` — a timer.
+    pub fn timer_in<M: Any>(&mut self, delay: SimTime, msg: M) {
+        let me = self.me;
+        self.send_in(delay, me, msg);
+    }
+
+    /// Run a control closure against the whole world at `now + delay`.
+    pub fn control_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Control(Box::new(f)));
+    }
+
+    /// Spawn a new actor. It becomes addressable immediately (messages
+    /// scheduled for it before the current event finishes are delivered).
+    pub fn spawn(&mut self, actor: impl Actor + 'static) -> ActorId {
+        let id = ActorId(self.core.next_actor);
+        self.core.next_actor += 1;
+        self.core.spawned.push((id, Box::new(actor)));
+        id
+    }
+
+    /// Kill an actor at the end of the current event; further messages to
+    /// it are dropped.
+    pub fn kill(&mut self, id: ActorId) {
+        self.core.killed.push(id);
+    }
+
+    /// Stop the whole simulation after the current event.
+    pub fn stop(&mut self) {
+        self.core.stopped = true;
+    }
+}
+
+/// The simulation world.
+pub struct Sim {
+    core: Core,
+    actors: Vec<Option<Box<dyn Actor>>>,
+}
+
+impl Sim {
+    /// Create a world whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                metrics: Metrics::default(),
+                events_fired: 0,
+                next_actor: 0,
+                spawned: Vec::new(),
+                killed: Vec::new(),
+                stopped: false,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.core.events_fired
+    }
+
+    /// Deterministic RNG (same stream the actors see).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Read-only metrics view.
+    pub fn metrics_ref(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Spawn an actor into the world.
+    pub fn spawn(&mut self, actor: impl Actor + 'static) -> ActorId {
+        let id = ActorId(self.core.next_actor);
+        self.core.next_actor += 1;
+        self.ensure_slot(id);
+        self.actors[id.0 as usize] = Some(Box::new(actor));
+        id
+    }
+
+    fn ensure_slot(&mut self, id: ActorId) {
+        if self.actors.len() <= id.0 as usize {
+            self.actors.resize_with(id.0 as usize + 1, || None);
+        }
+    }
+
+    /// Is the actor currently alive?
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.actors.get(id.0 as usize).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    /// Number of live actors.
+    pub fn live_actors(&self) -> usize {
+        self.actors.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Kill an actor immediately, invoking its [`Actor::on_kill`] hook.
+    pub fn kill(&mut self, id: ActorId) {
+        if let Some(slot) = self.actors.get_mut(id.0 as usize) {
+            if let Some(mut actor) = slot.take() {
+                let mut ctx = Ctx { core: &mut self.core, me: id };
+                actor.on_kill(&mut ctx);
+                self.apply_side_effects();
+            }
+        }
+    }
+
+    /// Schedule `msg` for `target` after `delay`.
+    pub fn send_in<M: Any>(&mut self, delay: SimTime, target: ActorId, msg: M) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Message { target, msg: Box::new(msg) });
+    }
+
+    /// Schedule a control closure after `delay`.
+    pub fn control_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Control(Box::new(f)));
+    }
+
+    /// Access a live actor's state for inspection (tests/instrumentation).
+    ///
+    /// Returns `None` if the actor is dead or is not an `A`.
+    pub fn actor_as<A: Actor + 'static>(&self, id: ActorId) -> Option<&A> {
+        let actor: &dyn Actor = self.actors.get(id.0 as usize)?.as_deref()?;
+        (actor as &dyn Any).downcast_ref::<A>()
+    }
+
+    /// Mutable variant of [`Sim::actor_as`].
+    pub fn actor_as_mut<A: Actor + 'static>(&mut self, id: ActorId) -> Option<&mut A> {
+        let actor: &mut dyn Actor = self.actors.get_mut(id.0 as usize)?.as_deref_mut()?;
+        (actor as &mut dyn Any).downcast_mut::<A>()
+    }
+
+    fn apply_side_effects(&mut self) {
+        while !self.core.spawned.is_empty() || !self.core.killed.is_empty() {
+            let spawned = std::mem::take(&mut self.core.spawned);
+            for (id, actor) in spawned {
+                self.ensure_slot(id);
+                self.actors[id.0 as usize] = Some(actor);
+            }
+            let killed = std::mem::take(&mut self.core.killed);
+            for id in killed {
+                if let Some(slot) = self.actors.get_mut(id.0 as usize) {
+                    if let Some(mut actor) = slot.take() {
+                        let mut ctx = Ctx { core: &mut self.core, me: id };
+                        actor.on_kill(&mut ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fire a single event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.core.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.core.now);
+        self.core.now = ev.at;
+        self.core.events_fired += 1;
+        match ev.payload {
+            Payload::Message { target, msg } => {
+                let idx = target.0 as usize;
+                // Temporarily remove the actor so it can borrow the core.
+                let taken = self.actors.get_mut(idx).and_then(|s| s.take());
+                if let Some(mut actor) = taken {
+                    {
+                        let mut ctx = Ctx { core: &mut self.core, me: target };
+                        actor.handle(&mut ctx, msg);
+                    }
+                    // Re-insert unless the actor killed itself.
+                    if self.core.killed.contains(&target) {
+                        self.core.killed.retain(|&k| k != target);
+                        let mut ctx = Ctx { core: &mut self.core, me: target };
+                        actor.on_kill(&mut ctx);
+                    } else {
+                        self.actors[idx] = Some(actor);
+                    }
+                    self.apply_side_effects();
+                } else {
+                    self.core.metrics.incr("des.dropped_to_dead");
+                }
+            }
+            Payload::Control(f) => {
+                f(self);
+            }
+        }
+        true
+    }
+
+    /// Run until the calendar drains or [`Ctx::stop`] is called.
+    pub fn run(&mut self) {
+        while !self.core.stopped && self.step() {}
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are fired). Later events stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while !self.core.stopped {
+            let Some(Reverse(head)) = self.core.queue.peek() else { break };
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Run at most `n` further events.
+    pub fn run_steps(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.core.stopped || !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Queue length (pending events).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        hits: u32,
+        every: SimTime,
+        limit: u32,
+    }
+    struct Tick;
+
+    impl Actor for Counter {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+            assert!(msg.downcast_msg::<Tick>().is_ok());
+            self.hits += 1;
+            if self.hits < self.limit {
+                ctx.timer_in(self.every, Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_advance_time_deterministically() {
+        let mut sim = Sim::new(1);
+        let c = sim.spawn(Counter { hits: 0, every: SimTime::from_millis(10), limit: 5 });
+        sim.send_in(SimTime::ZERO, c, Tick);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(40));
+        assert_eq!(sim.actor_as::<Counter>(c).unwrap().hits, 5);
+        assert_eq!(sim.events_fired(), 5);
+    }
+
+    #[test]
+    fn messages_to_dead_actors_are_dropped() {
+        let mut sim = Sim::new(1);
+        let c = sim.spawn(Counter { hits: 0, every: SimTime::from_millis(1), limit: 100 });
+        sim.send_in(SimTime::ZERO, c, Tick);
+        sim.control_in(SimTime::from_micros(5500), move |sim| sim.kill(c));
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("des.dropped_to_dead"), 1);
+        assert!(!sim.is_alive(c));
+    }
+
+    #[test]
+    fn same_seed_same_history() {
+        fn history(seed: u64) -> (SimTime, u64, u64) {
+            use rand::Rng;
+            struct Jitter {
+                peer: Option<ActorId>,
+                left: u32,
+            }
+            struct Go;
+            impl Actor for Jitter {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                    if self.left == 0 {
+                        return;
+                    }
+                    self.left -= 1;
+                    let ns = ctx.rng().gen_range(1..1_000_000u64);
+                    let t = SimTime::from_nanos(ns);
+                    let target = self.peer.unwrap_or_else(|| ctx.me());
+                    ctx.send_in(t, target, Go);
+                    ctx.metrics().incr("jitter.sent");
+                }
+            }
+            let mut sim = Sim::new(seed);
+            let a = sim.spawn(Jitter { peer: None, left: 50 });
+            let b = sim.spawn(Jitter { peer: Some(a), left: 50 });
+            sim.send_in(SimTime::ZERO, a, Go);
+            sim.send_in(SimTime::ZERO, b, Go);
+            sim.run();
+            (sim.now(), sim.events_fired(), sim.metrics_ref().counter("jitter.sent"))
+        }
+        assert_eq!(history(7), history(7));
+        assert_ne!(history(7).0, history(8).0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let c = sim.spawn(Counter { hits: 0, every: SimTime::from_millis(10), limit: 1000 });
+        sim.send_in(SimTime::ZERO, c, Tick);
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(sim.actor_as::<Counter>(c).unwrap().hits, 4); // t=0,10,20,30
+        assert_eq!(sim.now(), SimTime::from_millis(35));
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn spawn_from_within_event() {
+        struct Spawner;
+        struct Child {
+            got: bool,
+        }
+        struct Hello;
+        impl Actor for Spawner {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                let id = ctx.spawn(Child { got: false });
+                ctx.send_in(SimTime::from_nanos(1), id, Hello);
+            }
+        }
+        impl Actor for Child {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                self.got = true;
+            }
+        }
+        let mut sim = Sim::new(3);
+        let s = sim.spawn(Spawner);
+        sim.send_in(SimTime::ZERO, s, Hello);
+        sim.run();
+        assert_eq!(sim.live_actors(), 2);
+    }
+
+    #[test]
+    fn self_kill_invokes_on_kill_once() {
+        struct Seppuku {
+            tombstones: std::sync::Arc<std::sync::atomic::AtomicU32>,
+        }
+        struct Die;
+        impl Actor for Seppuku {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                let me = ctx.me();
+                ctx.kill(me);
+            }
+            fn on_kill(&mut self, _ctx: &mut Ctx<'_>) {
+                self.tombstones.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let t = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Sim::new(1);
+        let s = sim.spawn(Seppuku { tombstones: t.clone() });
+        sim.send_in(SimTime::ZERO, s, Die);
+        sim.run();
+        assert_eq!(t.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(!sim.is_alive(s));
+    }
+
+    #[test]
+    fn actor_as_mut_allows_instrumented_mutation() {
+        let mut sim = Sim::new(1);
+        let c = sim.spawn(Counter { hits: 0, every: SimTime::from_millis(1), limit: 2 });
+        sim.actor_as_mut::<Counter>(c).unwrap().limit = 3;
+        sim.send_in(SimTime::ZERO, c, Tick);
+        sim.run();
+        assert_eq!(sim.actor_as::<Counter>(c).unwrap().hits, 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Simulation-wide measurement: named counters and sample histograms.
+//!
+//! Every experiment in `lc-bench` reads its reported quantities (messages
+//! per query, control bandwidth, failover latency, …) from a [`Metrics`]
+//! sink, so protocol code records measurements with one call and stays free
+//! of experiment-specific plumbing.
+
+use std::collections::BTreeMap;
+
+/// A set of recorded samples with streaming summary statistics.
+///
+/// Samples are kept in full (experiments are bounded, the largest records
+/// tens of thousands of samples) so exact percentiles are available.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Maximum sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// Population standard deviation, or 0.0 when fewer than 2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean), or 0.0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// Exact percentile by nearest-rank (q in [0, 1]), or 0.0 when empty.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// All samples, in insertion order unless a percentile call sorted them.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Named counters and histograms for one simulation run.
+///
+/// Keys are `&'static str` or owned strings; a `BTreeMap` keeps report
+/// output deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Increment `key` by 1.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increment `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry_ref_or_insert(key) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into histogram `key`.
+    pub fn record(&mut self, key: &str, v: f64) {
+        self.histograms.entry_ref_or_insert(key).record(v);
+    }
+
+    /// Borrow a histogram (`None` if nothing recorded under `key`).
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Mutable borrow of a histogram, creating it when absent.
+    pub fn histogram_mut(&mut self, key: &str) -> &mut Histogram {
+        self.histograms.entry_ref_or_insert(key)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Reset everything (between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+/// `BTreeMap<String, V>` lookup that only allocates the key on first insert.
+trait EntryRef<V: Default> {
+    fn entry_ref_or_insert(&mut self, key: &str) -> &mut V;
+}
+
+impl<V: Default> EntryRef<V> for BTreeMap<String, V> {
+    fn entry_ref_or_insert(&mut self, key: &str) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key.to_owned(), V::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.incr("a");
+        m.add("a", 4);
+        m.incr("b");
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 1);
+        assert_eq!(m.counter("missing"), 0);
+        let keys: Vec<_> = m.counters().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.median(), 3.0);
+        assert_eq!(h.percentile(1.0), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert!((h.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.median(), 0.0);
+        assert_eq!(h.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_measures_imbalance() {
+        let mut balanced = Histogram::default();
+        let mut skewed = Histogram::default();
+        for _ in 0..10 {
+            balanced.record(10.0);
+        }
+        for i in 0..10 {
+            skewed.record(if i == 0 { 100.0 } else { 0.0 });
+        }
+        assert_eq!(balanced.cv(), 0.0);
+        assert!(skewed.cv() > 1.0);
+    }
+
+    #[test]
+    fn metrics_record_routes_to_histogram() {
+        let mut m = Metrics::default();
+        m.record("lat", 1.0);
+        m.record("lat", 3.0);
+        assert_eq!(m.histogram("lat").unwrap().mean(), 2.0);
+        assert!(m.histogram("nope").is_none());
+        m.clear();
+        assert!(m.histogram("lat").is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Virtual time for the simulation: a nanosecond counter with arithmetic
+//! and human-readable formatting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `SimTime` is deliberately a single `u64`: simulations in this workspace
+/// run for at most hours of virtual time, far below the ~584-year range of
+/// a nanosecond `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero / the empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// From fractional seconds (rounds to nearest nanosecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite SimTime");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// As nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// As microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// As milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Scale by a float factor (for jittered timers); rounds to nearest ns.
+    pub fn mul_f64(self, k: f64) -> SimTime {
+        assert!(k >= 0.0 && k.is_finite(), "negative or non-finite scale");
+        SimTime((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+fn fmt_time(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns == u64::MAX {
+        write!(f, "never")
+    } else if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{}ns", ns)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_time(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_time(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(13));
+        assert_eq!(a - b, SimTime::from_millis(7));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_millis(30));
+        assert_eq!(a / 2, SimTime::from_millis(5));
+        assert_eq!(a.mul_f64(1.5), SimTime::from_millis(15));
+        let v = [a, b, b];
+        assert_eq!(v.into_iter().sum::<SimTime>(), SimTime::from_millis(16));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(12).to_string(), "12.000s");
+        assert_eq!(SimTime::MAX.to_string(), "never");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_scale_panics() {
+        let _ = SimTime::from_secs(1).mul_f64(-1.0);
+    }
+}

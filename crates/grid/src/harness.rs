@@ -1,0 +1,154 @@
+//! Driver for grid jobs on a simulated CORBA-LC world — shared by the
+//! tests, the `grid_parallel` example and the E8 experiment.
+
+use crate::{PiMasterServant, PiWorkerServant};
+use lc_core::node::NodeCmd;
+use lc_core::testkit::{build_world, fast_cohesion, World};
+use lc_core::{InstanceId, NodeConfig};
+use lc_des::SimTime;
+use lc_net::{HostId, Topology};
+use lc_orb::{ObjectRef, Value};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A deployed π job: master + scattered workers.
+pub struct GridSession {
+    /// The world.
+    pub world: World,
+    /// Host running the master.
+    pub master_host: HostId,
+    /// The master instance.
+    pub master: ObjectRef,
+    /// Master's instance id (for servant inspection).
+    pub master_instance: InstanceId,
+    /// One worker reference per worker host.
+    pub workers: Vec<(HostId, ObjectRef)>,
+}
+
+/// Build a world with grid packages everywhere and spawn master +
+/// workers: master on host 0, one worker on each of `worker_hosts`.
+pub fn deploy(topo: Topology, seed: u64, worker_hosts: &[HostId]) -> GridSession {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    crate::register_grid_behaviors(&behaviors);
+    let mut world = build_world(
+        topo,
+        seed,
+        NodeConfig { cohesion: fast_cohesion(), ..Default::default() },
+        behaviors,
+        crate::grid_trust(),
+        Arc::new(crate::grid_idl()),
+        |_| vec![crate::worker_package(), crate::master_package()],
+    );
+    world.sim.run_until(SimTime::from_millis(10));
+
+    let master_host = HostId(0);
+    let msink: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        master_host,
+        NodeCmd::SpawnLocal {
+            component: "PiMaster".into(),
+            min_version: lc_pkg::Version::new(1, 0),
+            instance_name: Some("master".into()),
+            sink: msink.clone(),
+        },
+    );
+    let deadline = world.sim.now() + SimTime::from_millis(10);
+    world.sim.run_until(deadline);
+    let master = msink.borrow().clone().unwrap().unwrap();
+    let master_instance = world.node(master_host).unwrap().registry.named("master").unwrap().id;
+
+    let mut workers = Vec::new();
+    for (i, &wh) in worker_hosts.iter().enumerate() {
+        let wsink: lc_core::SpawnSink = Rc::default();
+        world.cmd(
+            wh,
+            NodeCmd::SpawnLocal {
+                component: "PiWorker".into(),
+                min_version: lc_pkg::Version::new(1, 0),
+                instance_name: Some(format!("worker{i}")),
+                sink: wsink.clone(),
+            },
+        );
+        let deadline = world.sim.now() + SimTime::from_millis(10);
+        world.sim.run_until(deadline);
+        let wref = wsink.borrow().clone().unwrap().unwrap();
+        // Connect the worker to the master's multi-receptacle.
+        world.cmd(
+            master_host,
+            NodeCmd::Invoke {
+                target: master.clone(),
+                op: "add_worker".into(),
+                args: vec![Value::ObjRef(wref.clone())],
+                oneway: true,
+                sink: None,
+            },
+        );
+        workers.push((wh, wref));
+    }
+    let deadline = world.sim.now() + SimTime::from_millis(100);
+    world.sim.run_until(deadline);
+    GridSession { world, master_host, master, master_instance, workers }
+}
+
+impl GridSession {
+    /// Start a job and run the simulation (nudging the master every
+    /// 500ms so lost chunks are re-dispatched) until it finishes or
+    /// `timeout` virtual time elapses. Returns the elapsed job time.
+    pub fn run_job(&mut self, total_work: u64, chunks: u32, timeout: SimTime) -> Option<SimTime> {
+        self.world.cmd(
+            self.master_host,
+            NodeCmd::Invoke {
+                target: self.master.clone(),
+                op: "start".into(),
+                args: vec![Value::ULongLong(total_work), Value::ULong(chunks)],
+                oneway: true,
+                sink: None,
+            },
+        );
+        let start = self.world.sim.now();
+        loop {
+            let deadline = self.world.sim.now() + SimTime::from_millis(500);
+            self.world.sim.run_until(deadline);
+            if let Some(m) = self.master_servant() {
+                if let Some(elapsed) = m.elapsed() {
+                    return Some(elapsed);
+                }
+            }
+            if self.world.sim.now() - start > timeout {
+                return None;
+            }
+            // Periodic volunteer-loss recovery.
+            self.world.cmd(
+                self.master_host,
+                NodeCmd::Invoke {
+                    target: self.master.clone(),
+                    op: "nudge".into(),
+                    args: vec![],
+                    oneway: true,
+                    sink: None,
+                },
+            );
+        }
+    }
+
+    /// Inspect the master servant.
+    pub fn master_servant(&self) -> Option<&PiMasterServant> {
+        self.world.node(self.master_host)?.servant_of(self.master_instance)
+    }
+
+    /// Units processed by each worker host (idle-harvest accounting).
+    pub fn worker_units(&self) -> Vec<(HostId, u64)> {
+        self.workers
+            .iter()
+            .filter_map(|(host, _)| {
+                let node = self.world.node(*host)?;
+                let info = node
+                    .registry
+                    .instances()
+                    .find(|i| i.component == "PiWorker")?;
+                let servant: &PiWorkerServant = node.servant_of(info.id)?;
+                Some((*host, servant.units_done))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,212 @@
+//! Abstract syntax tree for the IDL subset.
+
+/// A type expression as written in source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeRef {
+    /// `void` (operation return position only).
+    Void,
+    /// `boolean`.
+    Boolean,
+    /// `octet`.
+    Octet,
+    /// `char`.
+    Char,
+    /// `short` / `unsigned short`.
+    Short { unsigned: bool },
+    /// `long` / `unsigned long`.
+    Long { unsigned: bool },
+    /// `long long` / `unsigned long long`.
+    LongLong { unsigned: bool },
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `string`.
+    String,
+    /// `sequence<T>`.
+    Sequence(Box<TypeRef>),
+    /// A named (scoped) type, e.g. `Frame` or `player::Frame`.
+    Named(ScopedName),
+}
+
+/// A possibly scoped name: `a::b::c` is `["a", "b", "c"]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ScopedName(pub Vec<String>);
+
+impl ScopedName {
+    /// The unqualified last segment.
+    pub fn leaf(&self) -> &str {
+        self.0.last().expect("non-empty scoped name")
+    }
+}
+
+impl std::fmt::Display for ScopedName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0.join("::"))
+    }
+}
+
+/// Parameter passing mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamMode {
+    /// `in` — sent with the request.
+    In,
+    /// `out` — returned with the reply.
+    Out,
+    /// `inout` — both.
+    InOut,
+}
+
+/// One operation parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Param {
+    /// Passing mode.
+    pub mode: ParamMode,
+    /// Declared type.
+    pub ty: TypeRef,
+    /// Name.
+    pub name: String,
+}
+
+/// An operation declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpDecl {
+    /// `oneway` operations must return void and have only `in` params.
+    pub oneway: bool,
+    /// Return type.
+    pub ret: TypeRef,
+    /// Operation name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Names of exceptions this operation `raises`.
+    pub raises: Vec<ScopedName>,
+}
+
+/// An attribute declaration (sugar for get/set operations).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AttrDecl {
+    /// `readonly` attributes generate only a getter.
+    pub readonly: bool,
+    /// Attribute type.
+    pub ty: TypeRef,
+    /// Attribute name.
+    pub name: String,
+}
+
+/// An interface declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InterfaceDecl {
+    /// Interface name.
+    pub name: String,
+    /// Base interfaces.
+    pub bases: Vec<ScopedName>,
+    /// Operations.
+    pub ops: Vec<OpDecl>,
+    /// Attributes.
+    pub attrs: Vec<AttrDecl>,
+}
+
+/// A struct field or eventtype field.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Field {
+    /// Field type.
+    pub ty: TypeRef,
+    /// Field name.
+    pub name: String,
+}
+
+/// A struct declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// An enum declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EnumDecl {
+    /// Enum name.
+    pub name: String,
+    /// Enumerator names in declaration order.
+    pub items: Vec<String>,
+}
+
+/// A typedef declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypedefDecl {
+    /// Aliased type.
+    pub ty: TypeRef,
+    /// New name.
+    pub name: String,
+}
+
+/// An exception declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExceptionDecl {
+    /// Exception name.
+    pub name: String,
+    /// Exception members.
+    pub fields: Vec<Field>,
+}
+
+/// An event type declaration (CORBA-LC publish/subscribe payload).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventDecl {
+    /// Event type name.
+    pub name: String,
+    /// Payload fields.
+    pub fields: Vec<Field>,
+}
+
+/// Any top-level (or module-level) definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Definition {
+    /// `module name { … };`
+    Module(ModuleDecl),
+    /// `interface … ;`
+    Interface(InterfaceDecl),
+    /// `struct … ;`
+    Struct(StructDecl),
+    /// `enum … ;`
+    Enum(EnumDecl),
+    /// `typedef … ;`
+    Typedef(TypedefDecl),
+    /// `exception … ;`
+    Exception(ExceptionDecl),
+    /// `eventtype … ;`
+    Event(EventDecl),
+}
+
+/// A module: a named scope of definitions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModuleDecl {
+    /// Module name.
+    pub name: String,
+    /// Contained definitions.
+    pub defs: Vec<Definition>,
+}
+
+/// A complete IDL compilation unit.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Spec {
+    /// Top-level definitions.
+    pub defs: Vec<Definition>,
+}
+
+impl Definition {
+    /// The definition's unqualified name.
+    pub fn name(&self) -> &str {
+        match self {
+            Definition::Module(d) => &d.name,
+            Definition::Interface(d) => &d.name,
+            Definition::Struct(d) => &d.name,
+            Definition::Enum(d) => &d.name,
+            Definition::Typedef(d) => &d.name,
+            Definition::Exception(d) => &d.name,
+            Definition::Event(d) => &d.name,
+        }
+    }
+}

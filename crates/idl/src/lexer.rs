@@ -1,0 +1,264 @@
+//! Tokenizer for the IDL subset.
+
+/// Keywords recognized by the lexer.
+///
+/// `eventtype` is the CORBA-LC addition for declaring event kinds used by
+/// publish/subscribe ports; everything else is standard CORBA 2.x IDL.
+pub const KEYWORDS: &[&str] = &[
+    "module", "interface", "struct", "enum", "typedef", "exception", "eventtype", "attribute",
+    "readonly", "oneway", "in", "out", "inout", "raises", "void", "boolean", "octet", "char",
+    "short", "long", "unsigned", "float", "double", "string", "sequence", "unsigned",
+];
+
+/// Kind of a token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Keyword (member of [`KEYWORDS`]).
+    Keyword(&'static str),
+    /// Integer literal (only used in enum/version contexts).
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    Scope,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line (for error messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IDL lex error at line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for LexError {}
+
+/// The tokenizer. Construct with [`Lexer::new`], then [`Lexer::tokenize`].
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// New lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Tokenize the whole input (appends an [`TokenKind::Eof`] token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'{' => self.take(TokenKind::LBrace),
+                b'}' => self.take(TokenKind::RBrace),
+                b'(' => self.take(TokenKind::LParen),
+                b')' => self.take(TokenKind::RParen),
+                b'<' => self.take(TokenKind::Lt),
+                b'>' => self.take(TokenKind::Gt),
+                b';' => self.take(TokenKind::Semi),
+                b',' => self.take(TokenKind::Comma),
+                b':' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b':') {
+                        self.pos += 1;
+                        TokenKind::Scope
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    return Err(LexError {
+                        msg: format!("unexpected character '{}'", other as char),
+                        line,
+                    });
+                }
+            };
+            out.push(Token { kind, line });
+        }
+    }
+
+    fn take(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b' ' | b'\t' | b'\r') => self.pos += 1,
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start_line = self.line;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(LexError {
+                                    msg: "unterminated block comment".into(),
+                                    line: start_line,
+                                });
+                            }
+                            Some(b'\n') => {
+                                self.line += 1;
+                                self.pos += 1;
+                            }
+                            Some(b'*') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                        }
+                    }
+                }
+                Some(b'#') => {
+                    // Preprocessor-style lines (#include, #pragma) skipped.
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+        text.parse::<u64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LexError { msg: format!("integer '{text}' out of range"), line: self.line })
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        if let Some(kw) = KEYWORDS.iter().find(|k| **k == text) {
+            TokenKind::Keyword(kw)
+        } else {
+            TokenKind::Ident(text.to_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_interface() {
+        let ks = kinds("interface Foo : Bar { oneway void f(in long x); };");
+        assert_eq!(ks[0], TokenKind::Keyword("interface"));
+        assert_eq!(ks[1], TokenKind::Ident("Foo".into()));
+        assert_eq!(ks[2], TokenKind::Colon);
+        assert!(ks.contains(&TokenKind::Keyword("oneway")));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let ks = kinds("// line\n/* block\nspanning */ #include <x.idl>\nmodule m {};");
+        assert_eq!(ks[0], TokenKind::Keyword("module"));
+    }
+
+    #[test]
+    fn scope_token() {
+        let ks = kinds("a::b : c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Scope,
+                TokenKind::Ident("b".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = Lexer::new("module\n\nfoo").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("/* unterminated").tokenize().is_err());
+        assert!(Lexer::new("99999999999999999999999999").tokenize().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+    }
+}

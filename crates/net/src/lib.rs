@@ -1,0 +1,506 @@
+//! # lc-net — simulated network fabric
+//!
+//! The CORBA-LC deployment model runs on "a potentially large number of
+//! hosts" connected by "possibly long and slow communication lines" (§2.3,
+//! §2.4.3 of the paper). This crate models that substrate on top of the
+//! [`lc_des`] kernel:
+//!
+//! * a [`Topology`] of **hosts** grouped into **sites** (a site ≈ one LAN;
+//!   inter-site links are the slow WAN lines the paper worries about),
+//! * a latency + bandwidth cost model with FIFO serialization at each
+//!   host's uplink and downlink,
+//! * **fault injection**: hosts crash and recover ([`Net::set_host_up`]),
+//!   sites can be partitioned from each other, and [`churn`] drives a
+//!   continuous crash/recovery process,
+//! * byte/message accounting split into intra-site and inter-site traffic
+//!   (the quantity the paper's "reduces network load and exploits
+//!   locality" claim is about).
+//!
+//! The fabric is shared state (`Rc<RefCell<…>>`): host actors hold a
+//! [`Net`] handle and call [`Net::send`] from inside their event handlers;
+//! the fabric computes the delivery time and schedules a [`NetMsg`] for the
+//! destination host's bound actor.
+
+pub mod churn;
+pub mod topology;
+
+pub use churn::{ChurnConfig, ChurnDriver, ChurnHooks};
+pub use topology::{DeviceClass, HostCfg, HostId, LinkClass, SiteId, Topology};
+
+use lc_des::{ActorId, AnyMsg, Ctx, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A message as delivered by the fabric to a host's actor.
+///
+/// Host actors downcast the [`AnyMsg`] they receive in
+/// [`lc_des::Actor::handle`] to `NetMsg` and then downcast
+/// [`NetMsg::payload`] to their own protocol type.
+pub struct NetMsg {
+    /// Sending host.
+    pub from: HostId,
+    /// Receiving host.
+    pub to: HostId,
+    /// Size on the wire in bytes (headers included by the caller).
+    pub size: u64,
+    /// The protocol payload.
+    pub payload: AnyMsg,
+}
+
+/// Why a send was dropped instead of delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The sending host is down.
+    SenderDown,
+    /// The destination host is down at send time.
+    ReceiverDown,
+    /// Sender and receiver are in different partition groups.
+    Partitioned,
+    /// Destination host has no bound actor (host exists but no node
+    /// process is listening — e.g. during restart).
+    Unbound,
+}
+
+struct HostState {
+    cfg: HostCfg,
+    up: bool,
+    bound: Option<ActorId>,
+    /// Partition group; hosts can talk iff groups match.
+    group: u8,
+    /// Time the uplink/downlink becomes free (FIFO serialization).
+    up_free: SimTime,
+    down_free: SimTime,
+    bytes_sent: u64,
+    bytes_recv: u64,
+}
+
+struct NetInner {
+    topo: Topology,
+    hosts: Vec<HostState>,
+}
+
+/// Handle to the shared network fabric. Cheap to clone.
+#[derive(Clone)]
+pub struct Net {
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl Net {
+    /// Build a fabric for `topo`. All hosts start up and unbound.
+    pub fn new(topo: Topology) -> Self {
+        let hosts = topo
+            .hosts()
+            .iter()
+            .map(|cfg| HostState {
+                cfg: cfg.clone(),
+                up: true,
+                bound: None,
+                group: 0,
+                up_free: SimTime::ZERO,
+                down_free: SimTime::ZERO,
+                bytes_sent: 0,
+                bytes_recv: 0,
+            })
+            .collect();
+        Net { inner: Rc::new(RefCell::new(NetInner { topo, hosts })) }
+    }
+
+    /// Number of hosts in the topology.
+    pub fn host_count(&self) -> usize {
+        self.inner.borrow().hosts.len()
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        (0..self.host_count() as u32).map(HostId).collect()
+    }
+
+    /// The site a host belongs to.
+    pub fn site_of(&self, h: HostId) -> SiteId {
+        self.inner.borrow().hosts[h.0 as usize].cfg.site
+    }
+
+    /// The host's static configuration.
+    pub fn host_cfg(&self, h: HostId) -> HostCfg {
+        self.inner.borrow().hosts[h.0 as usize].cfg.clone()
+    }
+
+    /// Bind the DES actor that receives this host's traffic.
+    pub fn bind(&self, h: HostId, actor: ActorId) {
+        self.inner.borrow_mut().hosts[h.0 as usize].bound = Some(actor);
+    }
+
+    /// The actor currently bound to a host, if any.
+    pub fn bound_actor(&self, h: HostId) -> Option<ActorId> {
+        self.inner.borrow().hosts[h.0 as usize].bound
+    }
+
+    /// Mark a host up or down. Going down clears nothing else: the layer
+    /// above decides whether to kill/respawn the bound actor.
+    pub fn set_host_up(&self, h: HostId, up: bool) {
+        self.inner.borrow_mut().hosts[h.0 as usize].up = up;
+    }
+
+    /// Is the host currently up?
+    pub fn is_up(&self, h: HostId) -> bool {
+        self.inner.borrow().hosts[h.0 as usize].up
+    }
+
+    /// Put a host into partition group `g`; hosts communicate only within
+    /// their group. Group 0 is the default connected component.
+    pub fn set_partition_group(&self, h: HostId, g: u8) {
+        self.inner.borrow_mut().hosts[h.0 as usize].group = g;
+    }
+
+    /// Heal all partitions (everyone back to group 0).
+    pub fn heal_partitions(&self) {
+        for h in self.inner.borrow_mut().hosts.iter_mut() {
+            h.group = 0;
+        }
+    }
+
+    /// Bytes sent / received by a host so far.
+    pub fn host_traffic(&self, h: HostId) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        let hs = &inner.hosts[h.0 as usize];
+        (hs.bytes_sent, hs.bytes_recv)
+    }
+
+    /// Would a message from `a` to `b` currently be deliverable?
+    pub fn reachable(&self, a: HostId, b: HostId) -> bool {
+        let inner = self.inner.borrow();
+        let (ha, hb) = (&inner.hosts[a.0 as usize], &inner.hosts[b.0 as usize]);
+        ha.up && hb.up && ha.group == hb.group
+    }
+
+    /// One-way latency between two hosts' sites (no load, no serialization).
+    pub fn base_latency(&self, a: HostId, b: HostId) -> SimTime {
+        let inner = self.inner.borrow();
+        inner
+            .topo
+            .latency(inner.hosts[a.0 as usize].cfg.site, inner.hosts[b.0 as usize].cfg.site)
+    }
+
+    /// Send `size` bytes of `payload` from host `from` to host `to`.
+    ///
+    /// On success schedules a [`NetMsg`] for the destination's bound actor
+    /// and returns the delivery time. Records metrics under `net.*`.
+    pub fn send<M: std::any::Any>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        to: HostId,
+        size: u64,
+        payload: M,
+    ) -> Result<SimTime, DropReason> {
+        let now = ctx.now();
+        let (target, deliver_at, class) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.hosts[from.0 as usize].up {
+                drop(inner);
+                ctx.metrics().incr("net.drop.sender_down");
+                return Err(DropReason::SenderDown);
+            }
+            if !inner.hosts[to.0 as usize].up {
+                drop(inner);
+                ctx.metrics().incr("net.drop.receiver_down");
+                return Err(DropReason::ReceiverDown);
+            }
+            if inner.hosts[from.0 as usize].group != inner.hosts[to.0 as usize].group {
+                drop(inner);
+                ctx.metrics().incr("net.drop.partitioned");
+                return Err(DropReason::Partitioned);
+            }
+            let Some(target) = inner.hosts[to.0 as usize].bound else {
+                drop(inner);
+                ctx.metrics().incr("net.drop.unbound");
+                return Err(DropReason::Unbound);
+            };
+
+            let from_site = inner.hosts[from.0 as usize].cfg.site;
+            let to_site = inner.hosts[to.0 as usize].cfg.site;
+            let class = if from == to {
+                LinkClass::Loopback
+            } else {
+                inner.topo.link_class(from_site, to_site)
+            };
+            let latency = inner.topo.latency(from_site, to_site);
+
+            let deliver_at = if from == to {
+                // Loopback: no serialization, a fixed tiny in-host hop.
+                now + Topology::LOOPBACK_LATENCY
+            } else {
+                // Uplink FIFO serialization at the sender…
+                let up_bw = inner.hosts[from.0 as usize].cfg.up_bw;
+                let tx = bw_delay(size, up_bw);
+                let start = now.max(inner.hosts[from.0 as usize].up_free);
+                let up_done = start + tx;
+                inner.hosts[from.0 as usize].up_free = up_done;
+                // …propagation…
+                let arrived = up_done + latency;
+                // …downlink FIFO serialization at the receiver.
+                let down_bw = inner.hosts[to.0 as usize].cfg.down_bw;
+                let rx = bw_delay(size, down_bw);
+                let start_rx = arrived.max(inner.hosts[to.0 as usize].down_free);
+                let done = start_rx + rx;
+                inner.hosts[to.0 as usize].down_free = done;
+                done
+            };
+
+            inner.hosts[from.0 as usize].bytes_sent += size;
+            inner.hosts[to.0 as usize].bytes_recv += size;
+            (target, deliver_at, class)
+        };
+
+        ctx.metrics().incr("net.msgs");
+        ctx.metrics().add("net.bytes", size);
+        match class {
+            LinkClass::Loopback => ctx.metrics().add("net.bytes.loopback", size),
+            LinkClass::IntraSite => ctx.metrics().add("net.bytes.intra", size),
+            LinkClass::InterSite => ctx.metrics().add("net.bytes.inter", size),
+        }
+
+        ctx.send_in(
+            deliver_at.saturating_sub(now),
+            target,
+            NetMsg { from, to, size, payload: Box::new(payload) },
+        );
+        Ok(deliver_at)
+    }
+
+    /// Multicast: each receiver gets its own copy, but the per-copy cost is
+    /// the shared uplink FIFO (models the paper's interest in
+    /// multicast-based cohesion protocols). Returns how many copies were
+    /// deliverable.
+    pub fn multicast<M: std::any::Any + Clone>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        tos: &[HostId],
+        size: u64,
+        payload: M,
+    ) -> usize {
+        let mut delivered = 0;
+        for &to in tos {
+            if to == from {
+                continue;
+            }
+            if self.send(ctx, from, to, size, payload.clone()).is_ok() {
+                delivered += 1;
+            }
+        }
+        ctx.metrics().incr("net.multicasts");
+        delivered
+    }
+}
+
+/// Serialization delay of `size` bytes at `bw` bytes/sec.
+fn bw_delay(size: u64, bw: f64) -> SimTime {
+    debug_assert!(bw > 0.0);
+    SimTime::from_secs_f64(size as f64 / bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_des::{Actor, AnyMsgExt, Sim};
+
+    /// Actor that records arrival times of NetMsgs.
+    struct Sink {
+        arrivals: Vec<(SimTime, u64)>,
+    }
+    impl Actor for Sink {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+            let m = msg.downcast_msg::<NetMsg>().expect("NetMsg");
+            self.arrivals.push((ctx.now(), m.size));
+        }
+    }
+
+    /// Actor that sends `copies` messages when poked.
+    struct Pusher {
+        net: Net,
+        from: HostId,
+        to: HostId,
+        size: u64,
+        copies: u32,
+    }
+    struct Go;
+    impl Actor for Pusher {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+            for _ in 0..self.copies {
+                let _ = self.net.send(ctx, self.from, self.to, self.size, ());
+            }
+        }
+    }
+
+    fn two_host_net(up_bw: f64, down_bw: f64, latency_ms: u64) -> (Net, HostId, HostId) {
+        let mut topo = Topology::new();
+        let s0 = topo.add_site("a");
+        let s1 = topo.add_site("b");
+        topo.set_inter_site_latency(SimTime::from_millis(latency_ms));
+        let h0 = topo.add_host(HostCfg::new(s0).bw(up_bw, down_bw));
+        let h1 = topo.add_host(HostCfg::new(s1).bw(up_bw, down_bw));
+        (Net::new(topo), h0, h1)
+    }
+
+    #[test]
+    fn latency_plus_serialization() {
+        // 1000 bytes at 1e6 B/s = 1ms tx + 1ms rx + 10ms latency.
+        let (net, h0, h1) = two_host_net(1e6, 1e6, 10);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(Pusher { net: net.clone(), from: h0, to: h1, size: 1000, copies: 1 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        let arr = &sim.actor_as::<Sink>(sink).unwrap().arrivals;
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].0, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn fifo_uplink_serializes_bursts() {
+        // Two 1000-byte messages: second waits for the first's uplink slot.
+        let (net, h0, h1) = two_host_net(1e6, 1e9, 10);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(Pusher { net: net.clone(), from: h0, to: h1, size: 1000, copies: 2 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        let arr = &sim.actor_as::<Sink>(sink).unwrap().arrivals;
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].0.saturating_sub(arr[0].0), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn loopback_is_cheap_and_classified() {
+        let (net, h0, _h1) = two_host_net(1e6, 1e6, 10);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h0, sink);
+        struct SelfSend {
+            net: Net,
+            h: HostId,
+        }
+        impl Actor for SelfSend {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+                if msg.downcast_msg::<Go>().is_ok() {
+                    self.net.send(ctx, self.h, self.h, 1_000_000, ()).unwrap();
+                }
+            }
+        }
+        // Rebind: the self-sender is the host actor and receives its own msg.
+        let actor = sim.spawn(SelfSend { net: net.clone(), h: h0 });
+        net.bind(h0, actor);
+        sim.send_in(SimTime::ZERO, actor, Go);
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("net.bytes.loopback"), 1_000_000);
+        // 1 MB over loopback arrives in the fixed loopback latency.
+        assert_eq!(sim.now(), Topology::LOOPBACK_LATENCY);
+    }
+
+    #[test]
+    fn down_hosts_drop_traffic() {
+        let (net, h0, h1) = two_host_net(1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(Pusher { net: net.clone(), from: h0, to: h1, size: 10, copies: 1 });
+        net.bind(h0, pusher);
+        net.set_host_up(h1, false);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        assert!(sim.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
+        assert_eq!(sim.metrics_ref().counter("net.drop.receiver_down"), 1);
+        assert!(!net.reachable(h0, h1));
+        net.set_host_up(h1, true);
+        assert!(net.reachable(h0, h1));
+    }
+
+    #[test]
+    fn partitions_isolate_groups() {
+        let (net, h0, h1) = two_host_net(1e6, 1e6, 1);
+        net.set_partition_group(h1, 1);
+        assert!(!net.reachable(h0, h1));
+        net.heal_partitions();
+        assert!(net.reachable(h0, h1));
+    }
+
+    #[test]
+    fn traffic_accounting_by_class() {
+        let mut topo = Topology::new();
+        let s0 = topo.add_site("a");
+        let h0 = topo.add_host(HostCfg::new(s0));
+        let h1 = topo.add_host(HostCfg::new(s0));
+        let net = Net::new(topo);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(Pusher { net: net.clone(), from: h0, to: h1, size: 500, copies: 1 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("net.bytes.intra"), 500);
+        assert_eq!(sim.metrics_ref().counter("net.bytes.inter"), 0);
+        assert_eq!(net.host_traffic(h0).0, 500);
+        assert_eq!(net.host_traffic(h1).1, 500);
+    }
+
+    #[test]
+    fn unbound_host_drops() {
+        let (net, h0, h1) = two_host_net(1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let pusher =
+            sim.spawn(Pusher { net: net.clone(), from: h0, to: h1, size: 10, copies: 1 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("net.drop.unbound"), 1);
+    }
+
+    #[test]
+    fn multicast_reaches_all_up_receivers() {
+        let mut topo = Topology::new();
+        let s = topo.add_site("lan");
+        let sender = topo.add_host(HostCfg::new(s));
+        let rcv: Vec<HostId> = (0..5).map(|_| topo.add_host(HostCfg::new(s))).collect();
+        let net = Net::new(topo);
+        let mut sim = Sim::new(1);
+        let sinks: Vec<_> = rcv
+            .iter()
+            .map(|&h| {
+                let a = sim.spawn(Sink { arrivals: vec![] });
+                net.bind(h, a);
+                a
+            })
+            .collect();
+        net.set_host_up(rcv[2], false);
+
+        struct Mc {
+            net: Net,
+            from: HostId,
+            tos: Vec<HostId>,
+        }
+        impl Actor for Mc {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                let n = self.net.multicast(ctx, self.from, &self.tos, 100, 7u32);
+                assert_eq!(n, 4);
+            }
+        }
+        let mc = sim.spawn(Mc { net: net.clone(), from: sender, tos: rcv.clone() });
+        net.bind(sender, mc);
+        sim.send_in(SimTime::ZERO, mc, Go);
+        sim.run();
+        for (i, s) in sinks.iter().enumerate() {
+            let n = sim.actor_as::<Sink>(*s).unwrap().arrivals.len();
+            assert_eq!(n, if i == 2 { 0 } else { 1 });
+        }
+    }
+}

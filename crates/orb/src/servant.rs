@@ -1,0 +1,562 @@
+//! Servants and the object adapter.
+//!
+//! A [`Servant`] is the implementation object behind an [`ObjectRef`]; the
+//! [`ObjectAdapter`] is the per-host table that activates servants,
+//! assigns object ids and dispatches incoming requests to them — the
+//! lightweight analogue of a CORBA POA.
+//!
+//! Dispatch is *metadata-checked*: the adapter looks the operation up in
+//! the IDL [`Repository`], verifies argument arity and types, runs the
+//! servant, and verifies the result types. A servant can therefore never
+//! smuggle an ill-typed value onto the wire, which is what lets the
+//! component layer treat port connections as statically typed.
+
+use crate::object::{ObjectKey, ObjectRef, OrbError};
+use crate::value::{check_value, Value};
+use lc_idl::ast::ParamMode;
+use lc_idl::Repository;
+use lc_net::HostId;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of a successful invocation: the return value plus the
+/// `out`/`inout` parameter values in declaration order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Outcome {
+    /// Return value (`Value::Void` for void operations).
+    pub ret: Value,
+    /// `out` and `inout` values in declaration order.
+    pub outs: Vec<Value>,
+}
+
+/// A follow-up call issued by a servant during dispatch.
+///
+/// Servants cannot block on nested remote calls (the simulation is
+/// event-driven), so they enqueue out-calls; the hosting runtime sends
+/// them when dispatch returns. Replies to [`OutCallKind::Request`] calls
+/// come back as later dispatches of the servant's `_reply` operation with
+/// the token as first argument.
+#[derive(Debug)]
+pub struct OutCall {
+    /// Callee.
+    pub target: ObjectRef,
+    /// Operation name.
+    pub op: String,
+    /// `in`/`inout` arguments.
+    pub args: Vec<Value>,
+    /// Fire-and-forget or request/reply.
+    pub kind: OutCallKind,
+}
+
+/// How an [`OutCall`] is performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OutCallKind {
+    /// No reply expected.
+    OneWay,
+    /// Reply routed back to the issuing servant tagged with this token.
+    Request {
+        /// Correlation token chosen by the servant.
+        token: u64,
+    },
+}
+
+/// Everything a servant sees and produces during one dispatch.
+pub struct Invocation<'a> {
+    /// Operation name.
+    pub op: &'a str,
+    /// `in`/`inout` argument values in declaration order.
+    pub args: &'a [Value],
+    /// Return value to be sent (set via [`Invocation::set_ret`]).
+    ret: Value,
+    /// Out parameter values (pushed via [`Invocation::push_out`]).
+    outs: Vec<Value>,
+    /// Follow-up calls for the runtime to send after dispatch.
+    pub outbox: Vec<OutCall>,
+    /// Events emitted through event source ports: `(port name, payload)`.
+    pub events: Vec<(String, Value)>,
+    /// CPU time this operation consumes on the hosting node, in
+    /// *reference-CPU* units; the node runtime scales it by the host's
+    /// CPU power and delays the reply accordingly. Zero for free ops.
+    pub cpu_cost: lc_des::SimTime,
+    /// Virtual time of the dispatch (set by the hosting runtime via
+    /// [`ObjectAdapter::set_clock`]; zero under the loopback ORB).
+    pub now: lc_des::SimTime,
+}
+
+impl<'a> Invocation<'a> {
+    /// Build an invocation context (used by adapters and tests).
+    pub fn new(op: &'a str, args: &'a [Value]) -> Self {
+        Invocation {
+            op,
+            args,
+            ret: Value::Void,
+            outs: Vec::new(),
+            outbox: Vec::new(),
+            events: Vec::new(),
+            cpu_cost: lc_des::SimTime::ZERO,
+            now: lc_des::SimTime::ZERO,
+        }
+    }
+
+    /// Set the return value.
+    pub fn set_ret(&mut self, v: Value) {
+        self.ret = v;
+    }
+
+    /// Append the next `out`/`inout` value.
+    pub fn push_out(&mut self, v: Value) {
+        self.outs.push(v);
+    }
+
+    /// Emit an event through the named event-source port.
+    pub fn emit(&mut self, port: &str, payload: Value) {
+        self.events.push((port.to_owned(), payload));
+    }
+
+    /// Declare the CPU cost of this operation (reference-CPU time).
+    pub fn set_cpu_cost(&mut self, t: lc_des::SimTime) {
+        self.cpu_cost = t;
+    }
+
+    /// Enqueue a oneway out-call.
+    pub fn call_oneway(&mut self, target: ObjectRef, op: &str, args: Vec<Value>) {
+        self.outbox.push(OutCall { target, op: op.to_owned(), args, kind: OutCallKind::OneWay });
+    }
+
+    /// Enqueue a request/reply out-call; the reply arrives later as a
+    /// dispatch of `_reply` with `token` as the first argument.
+    pub fn call_request(&mut self, target: ObjectRef, op: &str, args: Vec<Value>, token: u64) {
+        self.outbox.push(OutCall {
+            target,
+            op: op.to_owned(),
+            args,
+            kind: OutCallKind::Request { token },
+        });
+    }
+
+    fn into_parts(self) -> (Outcome, Vec<OutCall>, Vec<(String, Value)>, lc_des::SimTime) {
+        (Outcome { ret: self.ret, outs: self.outs }, self.outbox, self.events, self.cpu_cost)
+    }
+}
+
+/// An object implementation.
+///
+/// `Any` is a supertrait so hosting runtimes can downcast a servant to
+/// its concrete type for reflection and experiment observation.
+pub trait Servant: Send + Any {
+    /// Repository id of the most-derived interface this servant
+    /// implements.
+    fn interface_id(&self) -> &str;
+
+    /// Handle one operation. Read `inv.args`, write results with
+    /// `inv.set_ret` / `inv.push_out`, optionally enqueue out-calls and
+    /// events.
+    fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError>;
+}
+
+/// Everything produced by a dispatch, for the hosting runtime to act on.
+#[derive(Debug)]
+pub struct DispatchResult {
+    /// The reply to send (or the error to send as a system exception).
+    pub outcome: Result<Outcome, OrbError>,
+    /// Out-calls to perform.
+    pub outbox: Vec<OutCall>,
+    /// Events to publish.
+    pub events: Vec<(String, Value)>,
+    /// Declared CPU cost of the dispatch (reference-CPU time).
+    pub cpu_cost: lc_des::SimTime,
+}
+
+/// The per-host servant table.
+pub struct ObjectAdapter {
+    host: HostId,
+    repo: Arc<Repository>,
+    next_oid: u64,
+    servants: HashMap<u64, Box<dyn Servant>>,
+    clock: lc_des::SimTime,
+}
+
+impl ObjectAdapter {
+    /// New adapter for `host`, validating against `repo`.
+    pub fn new(host: HostId, repo: Arc<Repository>) -> Self {
+        ObjectAdapter { host, repo, next_oid: 1, servants: HashMap::new(), clock: lc_des::SimTime::ZERO }
+    }
+
+    /// Set the virtual time exposed to servants during dispatch.
+    pub fn set_clock(&mut self, now: lc_des::SimTime) {
+        self.clock = now;
+    }
+
+    /// Downcast a servant to its concrete type (reflection/observation).
+    pub fn servant_as<T: Any>(&self, oid: u64) -> Option<&T> {
+        let s: &dyn Servant = self.servants.get(&oid)?.as_ref();
+        (s as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// The host this adapter serves.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The IDL repository used for dispatch checking.
+    pub fn repo(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    /// Replace the IDL repository (a node that installs a package merges
+    /// the package's compiled IDL and swaps the merged repository in).
+    pub fn set_repo(&mut self, repo: Arc<Repository>) {
+        self.repo = repo;
+    }
+
+    /// Activate a servant, returning its reference.
+    ///
+    /// Panics if the servant's `type_id` is not in the repository — that
+    /// is a programming error, not a runtime condition.
+    pub fn activate(&mut self, servant: Box<dyn Servant>) -> ObjectRef {
+        let type_id = servant.interface_id().to_owned();
+        assert!(
+            self.repo.interface(&type_id).is_some(),
+            "servant type '{type_id}' not in IDL repository"
+        );
+        let oid = self.next_oid;
+        self.next_oid += 1;
+        self.servants.insert(oid, servant);
+        ObjectRef { key: ObjectKey { host: self.host, oid }, type_id }
+    }
+
+    /// Deactivate (destroy) a servant. Returns it if it was active.
+    pub fn deactivate(&mut self, oid: u64) -> Option<Box<dyn Servant>> {
+        self.servants.remove(&oid)
+    }
+
+    /// Number of active servants.
+    pub fn active_count(&self) -> usize {
+        self.servants.len()
+    }
+
+    /// Is this object id active?
+    pub fn is_active(&self, oid: u64) -> bool {
+        self.servants.contains_key(&oid)
+    }
+
+    /// Borrow a servant's state (for reflection / tests).
+    pub fn servant(&self, oid: u64) -> Option<&dyn Servant> {
+        self.servants.get(&oid).map(|b| b.as_ref())
+    }
+
+    /// Mutably borrow a servant's state.
+    pub fn servant_mut(&mut self, oid: u64) -> Option<&mut (dyn Servant + 'static)> {
+        match self.servants.get_mut(&oid) {
+            Some(b) => Some(b.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Full type-checked dispatch: verify the operation exists on the
+    /// servant's interface, check argument types, run the servant, check
+    /// result types.
+    pub fn dispatch(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+        let fail = |e: OrbError| DispatchResult {
+            outcome: Err(e),
+            outbox: Vec::new(),
+            events: Vec::new(),
+            cpu_cost: lc_des::SimTime::ZERO,
+        };
+        if key.host != self.host {
+            return fail(OrbError::ObjectNotExist);
+        }
+        let Some(servant) = self.servants.get_mut(&key.oid) else {
+            return fail(OrbError::ObjectNotExist);
+        };
+        let type_id = servant.interface_id().to_owned();
+        let Some(iface) = self.repo.interface(&type_id) else {
+            return fail(OrbError::Internal(format!("unknown interface {type_id}")));
+        };
+        let Some(opmeta) = iface.op(op) else {
+            return fail(OrbError::BadOperation(format!("{type_id} has no operation '{op}'")));
+        };
+
+        // Check in/inout argument values.
+        let in_params: Vec<_> = opmeta
+            .params
+            .iter()
+            .filter(|p| matches!(p.mode, ParamMode::In | ParamMode::InOut))
+            .collect();
+        if args.len() != in_params.len() {
+            return fail(OrbError::BadParam(format!(
+                "{op}: expected {} in/inout args, got {}",
+                in_params.len(),
+                args.len()
+            )));
+        }
+        for (a, p) in args.iter().zip(&in_params) {
+            if let Err(e) = check_value(a, &p.ty, &self.repo) {
+                return fail(OrbError::BadParam(format!("{op}({}): {e}", p.name)));
+            }
+        }
+
+        let mut inv = Invocation::new(op, args);
+        inv.now = self.clock;
+        let run = servant.dispatch(&mut inv);
+        let (outcome, outbox, events, cpu_cost) = inv.into_parts();
+        match run {
+            Err(e) => DispatchResult { outcome: Err(e), outbox, events, cpu_cost },
+            Ok(()) => {
+                // Check results.
+                if let Err(e) = check_value(&outcome.ret, &opmeta.ret, &self.repo) {
+                    return DispatchResult {
+                        outcome: Err(OrbError::Internal(format!("{op} return: {e}"))),
+                        outbox,
+                        events,
+                        cpu_cost,
+                    };
+                }
+                let out_params: Vec<_> = opmeta
+                    .params
+                    .iter()
+                    .filter(|p| matches!(p.mode, ParamMode::Out | ParamMode::InOut))
+                    .collect();
+                if outcome.outs.len() != out_params.len() {
+                    return DispatchResult {
+                        outcome: Err(OrbError::Internal(format!(
+                            "{op}: servant produced {} out values, expected {}",
+                            outcome.outs.len(),
+                            out_params.len()
+                        ))),
+                        outbox,
+                        events,
+                        cpu_cost,
+                    };
+                }
+                for (v, p) in outcome.outs.iter().zip(&out_params) {
+                    if let Err(e) = check_value(v, &p.ty, &self.repo) {
+                        return DispatchResult {
+                            outcome: Err(OrbError::Internal(format!("{op} out {}: {e}", p.name))),
+                            outbox,
+                            events,
+                            cpu_cost,
+                        };
+                    }
+                }
+                DispatchResult { outcome: Ok(outcome), outbox, events, cpu_cost }
+            }
+        }
+    }
+
+    /// Unchecked dispatch, used by the runtime itself for internal
+    /// operations that are not part of any IDL interface: event delivery
+    /// (`_push_*` on consumer ports) and reply routing (`_reply`).
+    pub fn dispatch_raw(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+        if key.host != self.host {
+            return DispatchResult {
+                outcome: Err(OrbError::ObjectNotExist),
+                outbox: Vec::new(),
+                events: Vec::new(),
+                cpu_cost: lc_des::SimTime::ZERO,
+            };
+        }
+        let Some(servant) = self.servants.get_mut(&key.oid) else {
+            return DispatchResult {
+                outcome: Err(OrbError::ObjectNotExist),
+                outbox: Vec::new(),
+                events: Vec::new(),
+                cpu_cost: lc_des::SimTime::ZERO,
+            };
+        };
+        let mut inv = Invocation::new(op, args);
+        inv.now = self.clock;
+        let run = servant.dispatch(&mut inv);
+        let (outcome, outbox, events, cpu_cost) = inv.into_parts();
+        DispatchResult { outcome: run.map(|()| outcome), outbox, events, cpu_cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_idl::compile;
+
+    const IDL: &str = r#"
+        interface Counter {
+          long add(in long delta, out long total);
+          oneway void poke(in string who);
+          readonly attribute long value;
+        };
+    "#;
+
+    /// A counter servant exercising returns, out params and events.
+    struct CounterImpl {
+        total: i64,
+        pokes: Vec<String>,
+    }
+
+    impl Servant for CounterImpl {
+        fn interface_id(&self) -> &str {
+            "IDL:Counter:1.0"
+        }
+        fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+            match inv.op {
+                "add" => {
+                    let delta = inv.args[0].as_long().expect("checked") as i64;
+                    self.total += delta;
+                    inv.set_ret(Value::Long(delta as i32));
+                    inv.push_out(Value::Long(self.total as i32));
+                    inv.emit("changed", Value::Long(self.total as i32));
+                    Ok(())
+                }
+                "poke" => {
+                    self.pokes.push(inv.args[0].as_str().expect("checked").to_owned());
+                    Ok(())
+                }
+                "_get_value" => {
+                    inv.set_ret(Value::Long(self.total as i32));
+                    Ok(())
+                }
+                other => Err(OrbError::BadOperation(other.to_owned())),
+            }
+        }
+    }
+
+    fn adapter() -> (ObjectAdapter, ObjectRef) {
+        let repo = Arc::new(compile(IDL).unwrap());
+        let mut oa = ObjectAdapter::new(HostId(0), repo);
+        let r = oa.activate(Box::new(CounterImpl { total: 0, pokes: vec![] }));
+        (oa, r)
+    }
+
+    #[test]
+    fn typed_dispatch_happy_path() {
+        let (mut oa, r) = adapter();
+        let res = oa.dispatch(r.key, "add", &[Value::Long(5)]);
+        let out = res.outcome.unwrap();
+        assert_eq!(out.ret, Value::Long(5));
+        assert_eq!(out.outs, vec![Value::Long(5)]);
+        assert_eq!(res.events.len(), 1);
+        assert_eq!(res.events[0].0, "changed");
+        let res2 = oa.dispatch(r.key, "_get_value", &[]);
+        assert_eq!(res2.outcome.unwrap().ret, Value::Long(5));
+    }
+
+    #[test]
+    fn bad_args_rejected_before_servant_runs() {
+        let (mut oa, r) = adapter();
+        let res = oa.dispatch(r.key, "add", &[Value::string("five")]);
+        assert!(matches!(res.outcome, Err(OrbError::BadParam(_))));
+        let res2 = oa.dispatch(r.key, "add", &[]);
+        assert!(matches!(res2.outcome, Err(OrbError::BadParam(_))));
+        // servant state untouched
+        let v = oa.dispatch(r.key, "_get_value", &[]).outcome.unwrap();
+        assert_eq!(v.ret, Value::Long(0));
+    }
+
+    #[test]
+    fn unknown_op_and_object() {
+        let (mut oa, r) = adapter();
+        assert!(matches!(
+            oa.dispatch(r.key, "nope", &[]).outcome,
+            Err(OrbError::BadOperation(_))
+        ));
+        let bad_key = ObjectKey { host: HostId(0), oid: 999 };
+        assert!(matches!(
+            oa.dispatch(bad_key, "add", &[Value::Long(1)]).outcome,
+            Err(OrbError::ObjectNotExist)
+        ));
+        let wrong_host = ObjectKey { host: HostId(5), oid: r.key.oid };
+        assert!(matches!(
+            oa.dispatch(wrong_host, "add", &[Value::Long(1)]).outcome,
+            Err(OrbError::ObjectNotExist)
+        ));
+    }
+
+    #[test]
+    fn deactivate_kills_object() {
+        let (mut oa, r) = adapter();
+        assert!(oa.is_active(r.key.oid));
+        assert!(oa.deactivate(r.key.oid).is_some());
+        assert!(!oa.is_active(r.key.oid));
+        assert!(matches!(
+            oa.dispatch(r.key, "add", &[Value::Long(1)]).outcome,
+            Err(OrbError::ObjectNotExist)
+        ));
+        assert!(oa.deactivate(r.key.oid).is_none());
+    }
+
+    #[test]
+    fn result_type_violations_are_internal_errors() {
+        struct Liar;
+        impl Servant for Liar {
+            fn interface_id(&self) -> &str {
+                "IDL:Counter:1.0"
+            }
+            fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+                // Claims to implement add but returns a string and no out.
+                inv.set_ret(Value::string("lie"));
+                Ok(())
+            }
+        }
+        let repo = Arc::new(compile(IDL).unwrap());
+        let mut oa = ObjectAdapter::new(HostId(0), repo);
+        let r = oa.activate(Box::new(Liar));
+        let res = oa.dispatch(r.key, "add", &[Value::Long(1)]);
+        assert!(matches!(res.outcome, Err(OrbError::Internal(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in IDL repository")]
+    fn activating_unknown_type_panics() {
+        struct Ghost;
+        impl Servant for Ghost {
+            fn interface_id(&self) -> &str {
+                "IDL:Ghost:1.0"
+            }
+            fn dispatch(&mut self, _inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+                Ok(())
+            }
+        }
+        let repo = Arc::new(compile(IDL).unwrap());
+        let mut oa = ObjectAdapter::new(HostId(0), repo);
+        let _ = oa.activate(Box::new(Ghost));
+    }
+
+    #[test]
+    fn raw_dispatch_skips_interface_check() {
+        let (mut oa, r) = adapter();
+        // `_reply` is not an IDL operation but raw dispatch reaches the
+        // servant, which rejects it itself here.
+        let res = oa.dispatch_raw(r.key, "_reply", &[Value::Long(1)]);
+        assert!(matches!(res.outcome, Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn outcalls_collected() {
+        struct Chainer {
+            peer: ObjectRef,
+        }
+        impl Servant for Chainer {
+            fn interface_id(&self) -> &str {
+                "IDL:Counter:1.0"
+            }
+            fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+                match inv.op {
+                    "poke" => {
+                        inv.call_oneway(self.peer.clone(), "poke", vec![Value::string("fwd")]);
+                        inv.call_request(self.peer.clone(), "add", vec![Value::Long(1)], 42);
+                        Ok(())
+                    }
+                    _ => Err(OrbError::BadOperation(inv.op.to_owned())),
+                }
+            }
+        }
+        let repo = Arc::new(compile(IDL).unwrap());
+        let mut oa = ObjectAdapter::new(HostId(0), repo);
+        let peer = oa.activate(Box::new(CounterImpl { total: 0, pokes: vec![] }));
+        let chainer = oa.activate(Box::new(Chainer { peer: peer.clone() }));
+        let res = oa.dispatch(chainer.key, "poke", &[Value::string("go")]);
+        assert!(res.outcome.is_ok());
+        assert_eq!(res.outbox.len(), 2);
+        assert_eq!(res.outbox[0].kind, OutCallKind::OneWay);
+        assert_eq!(res.outbox[1].kind, OutCallKind::Request { token: 42 });
+    }
+}

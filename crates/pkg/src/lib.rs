@@ -1,0 +1,85 @@
+//! # lc-pkg — CORBA-LC component packaging
+//!
+//! Implements §2.3 ("Packaging") and the static-dimension meta-data of
+//! §2.1.1 of the paper: self-contained binary units that bundle a
+//! component's binaries for several platforms together with its XML
+//! descriptor and IDL sources, compressed for slow links, digest-protected
+//! and vendor-signed, and modular enough that a tiny device extracts only
+//! the sections it needs.
+//!
+//! * [`descriptor`] — the `<component>` XML document (static + dynamic
+//!   dimensions), schema-validated.
+//! * [`container`] — the CLCP wire format ([`Package`]).
+//! * [`lzss`] — from-scratch LZSS compression (requirement: "must admit
+//!   compression").
+//! * [`sha256`] / [`sign`] — from-scratch SHA-256 and the HMAC signature
+//!   scheme standing in for public-key component signing (see DESIGN.md).
+//!
+//! ```
+//! use lc_pkg::{ComponentDescriptor, Package, Platform, Version, SigningKey, TrustStore};
+//! use lc_pkg::sign::Verification;
+//!
+//! let desc = ComponentDescriptor::new("Whiteboard", Version::new(1, 0), "acme")
+//!     .provides("board", "IDL:cscw/Board:1.0");
+//! let mut pkg = Package::new(desc)
+//!     .with_idl("board.idl", "module cscw { interface Board { void clear(); }; };")
+//!     .with_binary(Platform::reference(), "whiteboard_impl", b"...machine code...");
+//! pkg.seal(&SigningKey::new("acme", b"secret"));
+//!
+//! let wire = pkg.to_bytes();                       // compressed container
+//! let received = Package::from_bytes(&wire).unwrap(); // digests verified
+//! let mut trust = TrustStore::new();
+//! trust.trust("acme", b"secret");
+//! assert_eq!(received.verify(&trust), Verification::Trusted);
+//! ```
+
+pub mod container;
+pub mod descriptor;
+pub mod lzss;
+pub mod sha256;
+pub mod sign;
+
+pub use container::{BinarySection, Package, PackageError};
+pub use descriptor::{
+    ComponentDep, ComponentDescriptor, EventPortDecl, Licensing, LifeCycle, Mobility, Platform,
+    PortDecl, QosSpec, Replication, Version,
+};
+pub use sign::{Signature, SigningKey, TrustStore};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn platform() -> impl Strategy<Value = Platform> {
+        ("[a-z]{2,6}", "[a-z]{2,6}", "[a-z-]{2,8}")
+            .prop_map(|(a, o, r)| Platform::new(&a, &o, &r))
+    }
+
+    proptest! {
+        /// Any generated package round-trips through the wire format.
+        #[test]
+        fn package_round_trips(
+            name in "[A-Za-z][A-Za-z0-9]{0,12}",
+            major in 0u32..20, minor in 0u32..20,
+            idl in "[ -~]{0,200}",
+            platforms in prop::collection::btree_set(platform(), 0..4),
+            payload in prop::collection::vec(any::<u8>(), 0..2000),
+        ) {
+            let desc = ComponentDescriptor::new(&name, Version::new(major, minor), "vendor");
+            let mut pkg = Package::new(desc).with_idl("x.idl", &idl);
+            for (i, p) in platforms.into_iter().enumerate() {
+                pkg = pkg.with_binary(p, &format!("behavior{i}"), &payload);
+            }
+            let bytes = pkg.to_bytes();
+            let back = Package::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(pkg, back);
+        }
+
+        /// Parsing never panics on arbitrary bytes.
+        #[test]
+        fn from_bytes_total(garbage in prop::collection::vec(any::<u8>(), 0..4000)) {
+            let _ = Package::from_bytes(&garbage);
+        }
+    }
+}

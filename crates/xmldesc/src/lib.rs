@@ -1,0 +1,98 @@
+//! # lc-xml — minimal XML engine for CORBA-LC descriptors
+//!
+//! The paper specifies that component meta-data "is described using XML
+//! files for convenience … The Document Type Definitions (DTDs) describing
+//! those files are based upon the WWW Consortium's Open Software
+//! Descriptor" (§2.1.1), and that CORBA-LC deliberately uses *plain IDL +
+//! XML* instead of the CCM's IDL+CIDL extension so stock CORBA 2 tooling
+//! keeps working (§2.1.2).
+//!
+//! This crate implements the XML substrate from scratch (no external
+//! dependencies are sanctioned for this):
+//!
+//! * [`dom`] — a small document object model ([`Element`], [`Node`]),
+//! * [`parser`] — a recursive-descent parser with positioned errors,
+//! * [`writer`] — serialization with proper escaping (round-trips the DOM),
+//! * [`schema`] — a DTD-like validator: required/optional attributes and
+//!   child-element multiplicities, used to check the OSD-style package,
+//!   component and assembly descriptors before installation.
+
+pub mod dom;
+pub mod parser;
+pub mod schema;
+pub mod writer;
+
+pub use dom::{Element, Node};
+pub use parser::{parse, ParseError};
+pub use schema::{AttrRule, ChildRule, ElementRule, Multiplicity, Schema, SchemaError};
+pub use writer::to_string;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn name_strategy() -> impl Strategy<Value = String> {
+        "[a-zA-Z][a-zA-Z0-9_-]{0,12}"
+    }
+
+    fn text_strategy() -> impl Strategy<Value = String> {
+        // Arbitrary printable text including XML-special characters; the
+        // writer must escape whatever we throw at it.
+        "[ -~]{0,40}"
+    }
+
+    fn element_strategy() -> impl Strategy<Value = Element> {
+        let leaf =
+            (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+                .prop_map(|(name, attrs)| {
+                    let mut e = Element::new(&name);
+                    for (k, v) in attrs {
+                        if !e.attrs.iter().any(|(ek, _)| *ek == k) {
+                            e.set_attr(&k, &v);
+                        }
+                    }
+                    e
+                });
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            (
+                name_strategy(),
+                prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+                prop::collection::vec(
+                    prop_oneof![
+                        inner.prop_map(Node::Element),
+                        // Text nodes without leading/trailing whitespace:
+                        // the parser trims inter-element whitespace.
+                        "[!-~][ -~]{0,20}[!-~]".prop_map(Node::Text),
+                    ],
+                    0..4,
+                ),
+            )
+                .prop_map(|(name, attrs, children)| {
+                    let mut e = Element::new(&name);
+                    for (k, v) in attrs {
+                        if !e.attrs.iter().any(|(ek, _)| *ek == k) {
+                            e.set_attr(&k, &v);
+                        }
+                    }
+                    // Merge adjacent text nodes to keep round-trips exact.
+                    for c in children {
+                        match (&c, e.children.last_mut()) {
+                            (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
+                            _ => e.children.push(c),
+                        }
+                    }
+                    e
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn write_parse_round_trips(e in element_strategy()) {
+            let s = to_string(&e);
+            let back = parse(&s).expect("own output must parse");
+            prop_assert_eq!(e, back);
+        }
+    }
+}

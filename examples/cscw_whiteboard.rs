@@ -1,0 +1,156 @@
+//! A shared whiteboard session across a simulated office network —
+//! the paper's flagship CSCW scenario (Fig. 2).
+//!
+//! Three users on workstations plus one on a PDA join a whiteboard. The
+//! application component emits stroke events; each participant's GUI
+//! part consumes them and paints through its *local* Display component.
+//! The PDA cannot host a GUI part, so its part runs on the office server
+//! and paints on the PDA's screen remotely (R7 + R8 in action).
+//!
+//! Run with `cargo run --example cscw_whiteboard`.
+
+use corba_lc_repro::core::node::NodeCmd;
+use corba_lc_repro::core::testkit::{build_world, fast_cohesion};
+use corba_lc_repro::core::NodeConfig;
+use corba_lc_repro::cscw;
+use corba_lc_repro::des::SimTime;
+use corba_lc_repro::net::{HostCfg, Topology};
+use corba_lc_repro::orb::Value;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn main() {
+    let mut topo = Topology::new();
+    let office = topo.add_site("office");
+    let server = topo.add_host(HostCfg::new(office).server());
+    let ws: Vec<_> = (0..3).map(|_| topo.add_host(HostCfg::new(office))).collect();
+    let pda = topo.add_host(HostCfg::new(office).pda());
+
+    let behaviors = corba_lc_repro::core::BehaviorRegistry::new();
+    cscw::register_cscw_behaviors(&behaviors);
+    let mut world = build_world(
+        topo,
+        7,
+        NodeConfig { cohesion: fast_cohesion(), ..Default::default() },
+        behaviors,
+        cscw::cscw_trust(),
+        Arc::new(cscw::cscw_idl()),
+        |_| vec![cscw::display_package(), cscw::gui_package(), cscw::whiteboard_package()],
+    );
+    world.sim.run_until(SimTime::from_millis(50));
+
+    let spawn = |world: &mut corba_lc_repro::core::testkit::World, host, comp: &str, name: &str| {
+        let sink: corba_lc_repro::core::SpawnSink = Rc::default();
+        world.cmd(
+            host,
+            NodeCmd::SpawnLocal {
+                component: comp.into(),
+                min_version: corba_lc_repro::pkg::Version::new(1, 0),
+                instance_name: Some(name.into()),
+                sink: sink.clone(),
+            },
+        );
+        world.sim.run_until(world.sim.now() + SimTime::from_millis(20));
+        let r = sink.borrow().clone();
+        r.unwrap().unwrap()
+    };
+
+    println!("deploying the whiteboard session…");
+    let board = spawn(&mut world, server, "Whiteboard", "board");
+
+    // Three workstation participants: GUI + display local to each user.
+    let mut parts = Vec::new();
+    for (i, &host) in ws.iter().enumerate() {
+        let display = spawn(&mut world, host, "CscwDisplay", &format!("screen{i}"));
+        let gui = spawn(&mut world, host, "CscwGuiPart", &format!("gui{i}"));
+        world.cmd(
+            host,
+            NodeCmd::Invoke {
+                target: gui.clone(),
+                op: "_connect_display".into(),
+                args: vec![Value::ObjRef(display)],
+                oneway: true,
+                sink: None,
+            },
+        );
+        world.cmd(
+            host,
+            NodeCmd::Subscribe {
+                producer: board.clone(),
+                port: "strokes".into(),
+                consumer: gui.clone(),
+                delivery_op: "_push_strokes".into(),
+            },
+        );
+        parts.push((host, format!("gui{i}")));
+        println!("  participant {i}: GUI + display on {host}");
+    }
+
+    // The PDA participant: display on the PDA, GUI part on the server.
+    let pda_display = spawn(&mut world, pda, "CscwDisplay", "pda-screen");
+    let pda_gui = spawn(&mut world, server, "CscwGuiPart", "pda-gui");
+    world.cmd(
+        server,
+        NodeCmd::Invoke {
+            target: pda_gui.clone(),
+            op: "_connect_display".into(),
+            args: vec![Value::ObjRef(pda_display)],
+            oneway: true,
+            sink: None,
+        },
+    );
+    world.cmd(
+        server,
+        NodeCmd::Subscribe {
+            producer: board.clone(),
+            port: "strokes".into(),
+            consumer: pda_gui,
+            delivery_op: "_push_strokes".into(),
+        },
+    );
+    parts.push((server, "pda-gui".into()));
+    println!("  participant 3 (PDA): display on {pda}, GUI hosted on {server}");
+    world.sim.run_until(world.sim.now() + SimTime::from_millis(300));
+
+    println!("\nuser draws 12 strokes…");
+    for k in 0..12i32 {
+        world.cmd(
+            server,
+            NodeCmd::Invoke {
+                target: board.clone(),
+                op: "user_stroke".into(),
+                args: vec![
+                    Value::Long(10 * k),
+                    Value::Long(5 * k),
+                    Value::Long(10 * k + 8),
+                    Value::Long(5 * k + 8),
+                ],
+                oneway: true,
+                sink: None,
+            },
+        );
+        world.sim.run_until(world.sim.now() + SimTime::from_millis(80));
+    }
+    world.sim.run_until(world.sim.now() + SimTime::from_secs(1));
+
+    println!("\nresults:");
+    for (host, gui_name) in &parts {
+        let node = world.node(*host).unwrap();
+        let id = node.registry.named(gui_name).unwrap().id;
+        let gui: &cscw::GuiPartServant = node.servant_of(id).unwrap();
+        let mean = gui.stroke_latency_ms.iter().sum::<f64>()
+            / gui.stroke_latency_ms.len().max(1) as f64;
+        println!(
+            "  {gui_name:<9} on {host}: {} strokes seen, mean delivery {:.2} ms",
+            gui.strokes_seen, mean
+        );
+    }
+    // The PDA's screen was painted across its slow wireless link:
+    let node = world.node(pda).unwrap();
+    let id = node.registry.named("pda-screen").unwrap().id;
+    let screen: &cscw::DisplayServant = node.servant_of(id).unwrap();
+    println!(
+        "  PDA screen: {} remote paints, {} bytes of pixels",
+        screen.draws, screen.pixels_drawn
+    );
+}
