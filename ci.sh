@@ -1,0 +1,9 @@
+#!/bin/sh
+# Repo CI gate: release build, full test suite, lint-clean clippy.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+echo "ci: all green"

@@ -11,6 +11,14 @@
 //! paper's claim that the hierarchy "reduces network load and exploits
 //! locality": the flat registry's *per-link* and *per-node* load grows
 //! with N while the tree bounds both.
+//!
+//! The baseline needs no code of its own because the node is decomposed
+//! into services behind [`lc_core::NodeService`]: the Component Registry
+//! service routes queries over whatever hierarchy the Network Cohesion
+//! service maintains, so collapsing the hierarchy via configuration
+//! re-targets *all* registry traffic at host 0 without touching either
+//! service. Host 0's concentration shows up directly in its per-service
+//! [`lc_core::NodeMetrics`] (registry `msgs in` ≫ any other node's).
 
 use lc_core::cohesion::CohesionConfig;
 use lc_des::SimTime;

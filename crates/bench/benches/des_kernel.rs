@@ -1,7 +1,7 @@
-//! Criterion bench: DES kernel event throughput and fabric send cost —
+//! Micro-bench: DES kernel event throughput and fabric send cost —
 //! the substrate budget every simulated experiment draws from.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::micro::bench;
 use lc_des::{Actor, AnyMsg, Ctx, Sim, SimTime};
 use lc_net::{HostCfg, Net, NetMsg, Topology};
 use std::hint::black_box;
@@ -41,36 +41,31 @@ impl Actor for Sender {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("des_ping_pong_10k_events", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let a = sim.spawn(PingPong { peer: lc_des::ActorId(1), left: 5_000 });
-            let bb = sim.spawn(PingPong { peer: a, left: 5_000 });
-            sim.send_in(SimTime::ZERO, bb, Tick);
-            sim.run();
-            black_box(sim.events_fired())
-        })
+fn main() {
+    println!("== des_kernel ==");
+
+    bench("des_ping_pong_10k_events", || {
+        let mut sim = Sim::new(1);
+        let a = sim.spawn(PingPong { peer: lc_des::ActorId(1), left: 5_000 });
+        let bb = sim.spawn(PingPong { peer: a, left: 5_000 });
+        sim.send_in(SimTime::ZERO, bb, Tick);
+        sim.run();
+        black_box(sim.events_fired());
     });
 
-    c.bench_function("net_send_10k_messages", |b| {
-        b.iter(|| {
-            let mut topo = Topology::new();
-            let s = topo.add_site("l");
-            topo.add_host(HostCfg::new(s));
-            topo.add_host(HostCfg::new(s));
-            let net = Net::new(topo);
-            let mut sim = Sim::new(1);
-            let sink = sim.spawn(Sink);
-            net.bind(lc_net::HostId(1), sink);
-            let snd = sim.spawn(Sender { net: net.clone(), left: 10_000 });
-            net.bind(lc_net::HostId(0), snd);
-            sim.send_in(SimTime::ZERO, snd, Tick);
-            sim.run();
-            black_box(sim.events_fired())
-        })
+    bench("net_send_10k_messages", || {
+        let mut topo = Topology::new();
+        let s = topo.add_site("l");
+        topo.add_host(HostCfg::new(s));
+        topo.add_host(HostCfg::new(s));
+        let net = Net::new(topo);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink);
+        net.bind(lc_net::HostId(1), sink);
+        let snd = sim.spawn(Sender { net: net.clone(), left: 10_000 });
+        net.bind(lc_net::HostId(0), snd);
+        sim.send_in(SimTime::ZERO, snd, Tick);
+        sim.run();
+        black_box(sim.events_fired());
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

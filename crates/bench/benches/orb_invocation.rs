@@ -1,6 +1,6 @@
-//! Criterion bench for E1: invocation cost through the lightweight ORB.
+//! Micro-bench for E1: invocation cost through the lightweight ORB.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::micro::bench;
 use lc_orb::{Invocation, LocalOrb, OrbError, Servant, Value};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -29,36 +29,30 @@ impl Servant for BenchImpl {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let repo = Arc::new(
         lc_idl::compile("interface Bench { long bump(in long d); string echo(in string s); };")
             .unwrap(),
     );
-    let mut g = c.benchmark_group("orb_invocation");
+    println!("== orb_invocation ==");
 
     let mut raw = BenchImpl { total: 0 };
-    g.bench_function("direct_dispatch", |b| {
-        b.iter(|| {
-            let args = [Value::Long(1)];
-            let mut inv = Invocation::new("bump", &args);
-            raw.dispatch(black_box(&mut inv)).unwrap();
-        })
+    bench("direct_dispatch", || {
+        let args = [Value::Long(1)];
+        let mut inv = Invocation::new("bump", &args);
+        raw.dispatch(black_box(&mut inv)).unwrap();
     });
 
     let orb = LocalOrb::new(repo.clone());
     let obj = orb.activate(Box::new(BenchImpl { total: 0 }));
-    g.bench_function("orb_typed", |b| {
-        b.iter(|| orb.invoke(black_box(&obj), "bump", &[Value::Long(1)]).unwrap())
+    bench("orb_typed", || {
+        orb.invoke(black_box(&obj), "bump", &[Value::Long(1)]).unwrap();
     });
-    g.bench_function("orb_marshalled", |b| {
-        b.iter(|| orb.invoke_marshalled(black_box(&obj), "bump", &[Value::Long(1)]).unwrap())
+    bench("orb_marshalled", || {
+        orb.invoke_marshalled(black_box(&obj), "bump", &[Value::Long(1)]).unwrap();
     });
     let payload = Value::string(&"x".repeat(256));
-    g.bench_function("orb_echo_string256", |b| {
-        b.iter(|| orb.invoke(black_box(&obj), "echo", std::slice::from_ref(&payload)).unwrap())
+    bench("orb_echo_string256", || {
+        orb.invoke(black_box(&obj), "echo", std::slice::from_ref(&payload)).unwrap();
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion bench for E9: package pack / parse+verify throughput.
+//! Micro-bench for E9: package pack / parse+verify throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lc_bench::micro::{bench, mib_per_s};
 use lc_pkg::{ComponentDescriptor, Package, Platform, SigningKey, Version};
 use std::hint::black_box;
 
@@ -14,31 +14,26 @@ fn code_payload(size: usize) -> Vec<u8> {
         .collect()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let key = SigningKey::new("v", b"s");
-    let mut g = c.benchmark_group("pkg_roundtrip");
+    println!("== pkg_roundtrip ==");
     for &size in &[16 * 1024usize, 256 * 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
         let payload = code_payload(size);
-        g.bench_with_input(BenchmarkId::new("pack", size), &payload, |b, payload| {
-            b.iter(|| {
-                let desc = ComponentDescriptor::new("P", Version::new(1, 0), "v");
-                let mut pkg =
-                    Package::new(desc).with_binary(Platform::reference(), "x", payload);
-                pkg.seal(&key);
-                black_box(pkg.to_bytes())
-            })
+        let m = bench(&format!("pack/{size}"), || {
+            let desc = ComponentDescriptor::new("P", Version::new(1, 0), "v");
+            let mut pkg = Package::new(desc).with_binary(Platform::reference(), "x", &payload);
+            pkg.seal(&key);
+            black_box(pkg.to_bytes());
         });
+        println!("    throughput: {:.1} MiB/s", mib_per_s(size as u64, m.median_ns));
+
         let desc = ComponentDescriptor::new("P", Version::new(1, 0), "v");
         let mut pkg = Package::new(desc).with_binary(Platform::reference(), "x", &payload);
         pkg.seal(&key);
         let bytes = pkg.to_bytes();
-        g.bench_with_input(BenchmarkId::new("parse_verify", size), &bytes, |b, bytes| {
-            b.iter(|| Package::from_bytes(black_box(bytes)).unwrap())
+        let m = bench(&format!("parse_verify/{size}"), || {
+            black_box(Package::from_bytes(black_box(&bytes)).unwrap());
         });
+        println!("    throughput: {:.1} MiB/s", mib_per_s(size as u64, m.median_ns));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -119,6 +119,18 @@ fn main() {
         &["path", "Mops/s", "slowdown vs direct"],
         &rows,
     );
+
+    // The adapter's own dispatch accounting: how many calls went through
+    // the typed vs the raw path, and the mean in-adapter latency.
+    let stats = orb.dispatch_stats();
+    println!(
+        "\nadapter dispatch stats: {} typed + {} raw = {} dispatches, {} errors, mean {:.0} ns",
+        stats.typed,
+        stats.raw,
+        stats.total(),
+        stats.errors,
+        stats.mean_ns()
+    );
     println!(
         "\nR1 check: the full ORB path stays within a small constant factor of a raw\n\
          call and needs no generated stubs — no transactions/persistence machinery\n\

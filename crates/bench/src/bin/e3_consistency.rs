@@ -13,7 +13,8 @@ use lc_baselines::strong::{StrongConfig, StrongMember};
 use lc_bench::{f2, print_table};
 use lc_core::demo;
 use lc_core::testkit::build_world;
-use lc_core::{CohesionConfig, NodeConfig};
+use lc_core::{CohesionConfig, NodeConfig, ServiceKind, ServiceMetrics};
+use lc_net::HostId;
 use lc_des::{Sim, SimTime};
 use lc_net::{ChurnConfig, ChurnDriver, ChurnHooks, Net, Topology};
 use std::cell::RefCell;
@@ -213,6 +214,58 @@ fn main() {
     print_table(
         "ablation: report period vs bandwidth and staleness bound",
         &["period ms", "bytes/node/s", "staleness bound ms"],
+        &rows,
+    );
+
+    // Which services carry the control plane: per-service counters summed
+    // over all nodes (soft protocol, stable fabric, 60s).
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let mut world = build_world(
+        Topology::campus(8, 8),
+        55,
+        NodeConfig {
+            cohesion: CohesionConfig {
+                fanout: 8,
+                replicas: 2,
+                report_period: SimTime::from_millis(PERIOD_MS),
+                timeout_intervals: 3,
+            },
+            ..Default::default()
+        },
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |_| Vec::new(),
+    );
+    world.sim.run_until(SimTime::from_secs(60));
+    let mut per_service = [ServiceMetrics::default(); 5];
+    for h in 0..N as u32 {
+        let Some(node) = world.node(HostId(h)) else { continue };
+        for (acc, kind) in per_service.iter_mut().zip(ServiceKind::ALL) {
+            let m = node.node_metrics().service(kind);
+            acc.msgs_in += m.msgs_in;
+            acc.msgs_out += m.msgs_out;
+            acc.dispatches += m.dispatches;
+            acc.dispatch_ns += m.dispatch_ns;
+        }
+    }
+    let rows: Vec<Vec<String>> = ServiceKind::ALL
+        .iter()
+        .zip(per_service.iter())
+        .map(|(kind, m)| {
+            vec![
+                kind.name().to_string(),
+                m.msgs_in.to_string(),
+                m.msgs_out.to_string(),
+                m.dispatches.to_string(),
+                f2(m.mean_dispatch_ns() / 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "per-service control-plane breakdown (soft, stable, 60s, all nodes)",
+        &["service", "msgs in", "msgs out", "dispatches", "mean us"],
         &rows,
     );
 }

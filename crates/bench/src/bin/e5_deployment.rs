@@ -16,7 +16,7 @@
 use lc_bench::{f2, print_table};
 use lc_core::node::NodeCmd;
 use lc_core::testkit::{build_world, fast_cohesion, World};
-use lc_core::{AssemblyDescriptor, NodeConfig, PlacementStrategy};
+use lc_core::{AssemblyDescriptor, NodeConfig, PlacementStrategy, ServiceKind, ServiceMetrics};
 use lc_des::SimTime;
 use lc_grid::PiWorkerServant;
 use lc_net::{HostCfg, HostId, Topology};
@@ -44,6 +44,8 @@ struct Run {
     makespan_ms: f64,
     peak_busy_ms: f64,
     push_bytes: u64,
+    /// Per-service counters summed over every node.
+    per_service: [ServiceMetrics; 5],
 }
 
 fn run(strategy: PlacementStrategy, lb: bool, seed: u64) -> Run {
@@ -135,7 +137,19 @@ fn run(strategy: PlacementStrategy, lb: bool, seed: u64) -> Run {
         }
     }
 
-    Run { placed, makespan_ms: makespan, peak_busy_ms, push_bytes }
+    let mut per_service = [ServiceMetrics::default(); 5];
+    for h in 0..16u32 {
+        let Some(node) = world.node(HostId(h)) else { continue };
+        for (acc, kind) in per_service.iter_mut().zip(ServiceKind::ALL) {
+            let m = node.node_metrics().service(kind);
+            acc.msgs_in += m.msgs_in;
+            acc.msgs_out += m.msgs_out;
+            acc.dispatches += m.dispatches;
+            acc.dispatch_ns += m.dispatch_ns;
+        }
+    }
+
+    Run { placed, makespan_ms: makespan, peak_busy_ms, push_bytes, per_service }
 }
 
 fn main() {
@@ -144,12 +158,16 @@ fn main() {
          (16 hosts: 4 idle servers + 12 slow workstations; {INSTANCES} instances)"
     );
     let mut rows = Vec::new();
+    let mut runtime_breakdown = None;
     for (label, strategy, lb) in [
         ("CORBA-LC run-time", PlacementStrategy::RuntimeLoadAware, false),
         ("CCM static RR", PlacementStrategy::StaticRoundRobin, false),
         ("static RR + auto-LB", PlacementStrategy::StaticRoundRobin, true),
     ] {
         let r = run(strategy, lb, 77);
+        if runtime_breakdown.is_none() {
+            runtime_breakdown = Some(r.per_service);
+        }
         rows.push(vec![
             label.to_string(),
             format!("{}/{INSTANCES}", r.placed),
@@ -161,6 +179,28 @@ fn main() {
     print_table(
         "placement quality",
         &["strategy", "placed", "wave makespan ms", "bottleneck host busy ms", "binaries pushed"],
+        &rows,
+    );
+
+    // Where the deployment work lands inside the nodes (run-time
+    // placement run, per-service counters summed over all 16 hosts).
+    let per_service = runtime_breakdown.expect("at least one run");
+    let rows: Vec<Vec<String>> = ServiceKind::ALL
+        .iter()
+        .zip(per_service.iter())
+        .map(|(kind, m)| {
+            vec![
+                kind.name().to_string(),
+                m.msgs_in.to_string(),
+                m.msgs_out.to_string(),
+                m.dispatches.to_string(),
+                f2(m.mean_dispatch_ns() / 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "per-service breakdown, CORBA-LC run-time placement (all nodes)",
+        &["service", "msgs in", "msgs out", "dispatches", "mean us"],
         &rows,
     );
 }

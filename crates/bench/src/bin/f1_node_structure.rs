@@ -102,4 +102,28 @@ fn main() {
         "  Network Cohesion   : reports sent = {}",
         world.sim.metrics_ref().counter("cohesion.reports")
     );
+
+    // Per-service instrumentation from the node's own NodeMetrics layer.
+    println!("\nPer-service instrumentation (host0):");
+    println!("{:<10}  {:>8}  {:>8}  {:>10}  {:>12}", "service", "msgs in", "msgs out", "dispatches", "mean ns");
+    let node = world.node(HostId(0)).unwrap();
+    let metrics = node.node_metrics();
+    for kind in lc_core::ServiceKind::ALL {
+        let m = metrics.service(kind);
+        println!(
+            "{:<10}  {:>8}  {:>8}  {:>10}  {:>12.0}",
+            kind.name(),
+            m.msgs_in,
+            m.msgs_out,
+            m.dispatches,
+            m.mean_dispatch_ns()
+        );
+    }
+    let cmds: Vec<String> = metrics.cmd_counts().map(|(n, c)| format!("{n}={c}")).collect();
+    println!("commands: {}", cmds.join(" "));
+    println!(
+        "continuations pending: {} (peak {})",
+        node.continuation_depth(),
+        node.continuation_peak_depth()
+    );
 }

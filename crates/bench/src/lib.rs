@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+pub mod micro;
+
 /// Print a titled ASCII table with aligned columns.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -1,0 +1,113 @@
+//! Wall-clock micro-benchmark runner for the `benches/` entry points.
+//!
+//! The container has no crates.io access, so the Criterion benches were
+//! rewritten on this small `std::time::Instant` harness: calibrate an
+//! iteration count to a target sample duration, take several samples,
+//! report the median (robust against scheduler noise). Invoke through
+//! `cargo bench` as before — each bench is a `harness = false` binary.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: median/min/max ns per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median over samples, ns per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample the runner calibrated to.
+    pub iters: u64,
+}
+
+/// Measure `f`, auto-calibrating so each sample runs ~40 ms, then taking
+/// 7 samples. Set `LC_BENCH_FAST=1` to cut this ~5× for smoke runs.
+pub fn measure(mut f: impl FnMut()) -> Measurement {
+    let fast = std::env::var("LC_BENCH_FAST").is_ok();
+    let (target, samples) = if fast {
+        (Duration::from_millis(8), 3)
+    } else {
+        (Duration::from_millis(40), 7)
+    };
+
+    // Warm-up + calibration: run until the target duration passes once.
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while start.elapsed() < target {
+        f();
+        iters += 1;
+    }
+    let iters = iters.max(1);
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().unwrap(),
+        iters,
+    }
+}
+
+/// Format a nanosecond figure with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Measure and print one line: `name  median  (min … max, N iters/sample)`.
+pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
+    let m = measure(f);
+    println!(
+        "{name:<32} {:>10}  ({} … {}, {} iters/sample)",
+        fmt_ns(m.median_ns),
+        fmt_ns(m.min_ns),
+        fmt_ns(m.max_ns),
+        m.iters
+    );
+    m
+}
+
+/// Throughput in MiB/s for `bytes` processed per iteration.
+pub fn mib_per_s(bytes: u64, ns_per_iter: f64) -> f64 {
+    bytes as f64 / (1u64 << 20) as f64 / (ns_per_iter / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        std::env::set_var("LC_BENCH_FAST", "1");
+        let mut x = 0u64;
+        let m = measure(|| x = x.wrapping_add(std::hint::black_box(1)));
+        assert!(m.iters >= 1);
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ns(3e9), "3.00 s");
+    }
+}

@@ -1,0 +1,161 @@
+//! Network Cohesion service (Fig. 1): absorbs keep-alive reports and
+//! child-subtree summaries into the MRM duty soft state, sweeps that
+//! state to evict silent members, and (as acting primary) pushes
+//! summaries up the hierarchy. Eviction + later report re-absorption is
+//! the soft-state rejoin path: a member that went silent is dropped and
+//! reappears with its next report, with no membership protocol.
+
+use crate::cohesion::effective_primary;
+use crate::deploy::NodeView;
+use crate::proto::CtrlMsg;
+use lc_des::SimTime;
+use lc_net::HostId;
+
+use super::ctx::{NodeCtx, NodeState};
+use super::metrics::ServiceKind;
+use super::service::{item, NodeService, ServiceReflect, SvcMsg, Tick};
+
+impl NodeState {
+    /// Record a member report into every level-0 duty containing it.
+    pub(crate) fn absorb_report(
+        &mut self,
+        from: HostId,
+        report: crate::resource::ResourceReport,
+        now: SimTime,
+    ) {
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter_mut()) {
+            if duty.level == 0 && duty.members.contains(&from) {
+                state.on_report(from, report.clone(), now);
+            }
+        }
+    }
+
+    /// Record a child-subtree summary into the duty one level above the
+    /// sender's duty (and only there — a host serving several levels must
+    /// not leak level-k records into level-j routing tables).
+    pub(crate) fn absorb_summary(
+        &mut self,
+        from: HostId,
+        sender_level: u8,
+        summary: crate::proto::GroupSummary,
+        now: SimTime,
+    ) {
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter_mut()) {
+            if duty.level == sender_level + 1 {
+                state.on_summary(from, summary.clone(), now);
+            }
+        }
+    }
+
+    /// The node views this node can see as a level-0 MRM (for placement).
+    pub fn placement_view(&self) -> Vec<NodeView> {
+        let mut out = Vec::new();
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter()) {
+            if duty.level != 0 {
+                continue;
+            }
+            for (host, rec) in &state.records {
+                if let crate::cohesion::MemberRecord::Node { report, .. } = rec {
+                    out.push(NodeView { host: *host, report: report.clone() });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl NodeCtx<'_, '_> {
+    fn mrm_sweep(&mut self) {
+        let timeout = self.state.cfg.cohesion.eviction_timeout();
+        let now = self.sim.now();
+        let duties = self.state.duties.clone();
+        for (i, duty) in duties.iter().enumerate() {
+            let evicted = self.state.duty_state[i].sweep(now, timeout);
+            if evicted > 0 {
+                self.sim.metrics().add("cohesion.evictions", evicted as u64);
+            }
+            // Only the acting primary pushes summaries upward.
+            if duty.parent_replicas.is_empty() {
+                continue;
+            }
+            let acting = effective_primary(&duty.replicas, |h| self.state.net.is_up(h));
+            if acting != self.state.host {
+                continue;
+            }
+            let summary = self.state.duty_state[i].summarize();
+            for &parent in &duty.parent_replicas {
+                if parent == self.state.host {
+                    let s = summary.clone();
+                    let host = self.state.host;
+                    self.state.absorb_summary(host, duty.level, s, now);
+                    continue;
+                }
+                let msg = CtrlMsg::Summary {
+                    from: self.state.host,
+                    level: duty.level,
+                    summary: summary.clone(),
+                };
+                let size = msg.wire_size();
+                let _ = self.net_send(parent, size, msg);
+                self.sim.metrics().incr("cohesion.summaries");
+            }
+        }
+    }
+}
+
+/// Cohesion-owned control traffic: `Report`, `Summary`.
+pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::Report { from, report } => {
+            let now = ctx.sim.now();
+            ctx.state.absorb_report(from, report, now);
+        }
+        CtrlMsg::Summary { from, level, summary } => {
+            let now = ctx.sim.now();
+            ctx.state.absorb_summary(from, level, summary, now);
+        }
+        _ => {}
+    }
+}
+
+/// The Network Cohesion service.
+#[derive(Default)]
+pub struct CohesionSvc;
+
+impl NodeService for CohesionSvc {
+    fn kind(&self) -> ServiceKind {
+        ServiceKind::Cohesion
+    }
+
+    fn handle(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: SvcMsg) {
+        if let SvcMsg::Ctrl { from, msg } = msg {
+            handle_ctrl(ctx, from, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
+        if let Tick::MrmSweep = tick {
+            ctx.mrm_sweep();
+            let period = ctx.state.cfg.cohesion.report_period;
+            ctx.timer_in(period, Tick::MrmSweep);
+        }
+    }
+
+    fn reflect(&self, state: &NodeState) -> ServiceReflect {
+        let level0_members: usize = state
+            .duties
+            .iter()
+            .zip(state.duty_state.iter())
+            .filter(|(d, _)| d.level == 0)
+            .map(|(_, s)| s.records.len())
+            .sum();
+        ServiceReflect {
+            kind: ServiceKind::Cohesion,
+            items: vec![
+                item("mrm duties", state.duties.len()),
+                item("level-0 records", level0_members),
+                item("report targets", state.report_targets.len()),
+            ],
+        }
+    }
+}

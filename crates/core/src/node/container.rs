@@ -1,0 +1,557 @@
+//! The container runtime (Fig. 1's execution substrate under the four
+//! services): instance life cycle, typed ORB dispatch with CPU
+//! accounting, port wiring, push event channels, invocation plumbing
+//! and migration (state capture/restore, request forwarding).
+
+use crate::proto::CtrlMsg;
+use crate::registry::{Connection, InstanceId, InstanceInfo, InstancePort};
+use lc_des::SimTime;
+use lc_net::HostId;
+use lc_orb::{ObjectKey, ObjectRef, OrbError, OrbWire, Outcome, RequestId, SimOrb, Value};
+use lc_pkg::Version;
+
+use super::continuations::{CallCont, FetchCont, PendingMigration, SpawnCont};
+use super::ctx::{InstanceRuntime, NodeCtx, NodeState};
+use super::metrics::ServiceKind;
+use super::service::{item, NodeService, ServiceReflect, SvcMsg, Tick};
+use super::{MigrateSink, NodeCmd};
+
+impl NodeState {
+    /// Create a local instance of an installed component.
+    pub fn spawn_local(
+        &mut self,
+        component: &str,
+        min_version: Version,
+        instance_name: Option<String>,
+    ) -> Result<ObjectRef, String> {
+        let installed = self
+            .repository
+            .best_match(component, min_version)
+            .ok_or_else(|| format!("component '{component}' (≥{min_version}) not installed"))?
+            .clone();
+        if !self.resources.reserve(&installed.descriptor.qos) {
+            return Err(format!("node {} cannot admit QoS of '{component}'", self.host));
+        }
+        let Some(servant) = self.behaviors.instantiate(&installed.behavior_id) else {
+            self.resources.release(&installed.descriptor.qos);
+            return Err(format!("behavior '{}' not loadable", installed.behavior_id));
+        };
+        let objref = self.adapter.activate(servant);
+        let id = self.registry.next_id();
+        let port = |p: &lc_pkg::PortDecl| InstancePort {
+            name: p.name.clone(),
+            type_id: p.interface.clone(),
+        };
+        let evport = |p: &lc_pkg::EventPortDecl| InstancePort {
+            name: p.name.clone(),
+            type_id: p.event.clone(),
+        };
+        self.registry.add_instance(InstanceInfo {
+            id,
+            name: instance_name,
+            component: installed.descriptor.name.clone(),
+            version: installed.descriptor.version,
+            objref: objref.clone(),
+            provides: installed.descriptor.provides.iter().map(port).collect(),
+            uses: installed.descriptor.uses.iter().map(port).collect(),
+            emits: installed.descriptor.emits.iter().map(evport).collect(),
+            consumes: installed.descriptor.consumes.iter().map(evport).collect(),
+        });
+        self.instance_meta.insert(
+            id,
+            InstanceRuntime {
+                qos: installed.descriptor.qos,
+                mobility: installed.descriptor.mobility,
+            },
+        );
+        self.oid_to_instance.insert(objref.key.oid, id);
+        Ok(objref)
+    }
+
+    /// Destroy a local instance, releasing its resources.
+    pub fn destroy_instance(&mut self, id: InstanceId) -> bool {
+        let Some(info) = self.registry.remove_instance(id) else { return false };
+        self.adapter.deactivate(info.objref.key.oid);
+        self.oid_to_instance.remove(&info.objref.key.oid);
+        if let Some(meta) = self.instance_meta.remove(&id) {
+            self.resources.release(&meta.qos);
+        }
+        // Drop event channels rooted at this instance.
+        self.subs.retain(|(oid, _), _| *oid != info.objref.key.oid);
+        true
+    }
+
+    /// Downcast a local instance's servant for observation.
+    pub fn servant_of<T: std::any::Any>(&self, instance: InstanceId) -> Option<&T> {
+        let info = self.registry.instance(instance)?;
+        self.adapter.servant_as::<T>(info.objref.key.oid)
+    }
+
+    /// Number of open push event channels (producer oid + port pairs).
+    pub fn event_channel_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Total subscribers across all open event channels.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.values().map(|(_, subs)| subs.len()).sum()
+    }
+
+    /// Where requests to a migrated-away oid are forwarded, if anywhere.
+    pub fn forward_target(&self, oid: u64) -> Option<&ObjectRef> {
+        self.forwards.get(&oid)
+    }
+
+    /// Number of active migration forwarding entries.
+    pub fn forward_count(&self) -> usize {
+        self.forwards.len()
+    }
+}
+
+impl NodeCtx<'_, '_> {
+    /// Wire a `uses` port: record the connection and hand the provider
+    /// reference to the instance via its `_connect_<port>` system op.
+    pub(crate) fn connect_port(&mut self, instance: InstanceId, port: &str, provider: ObjectRef) {
+        if let Some(info) = self.state.registry.instance(instance) {
+            let key = info.objref.key;
+            self.state.registry.add_connection(Connection {
+                from: instance,
+                from_port: port.to_owned(),
+                to: provider.clone(),
+                to_port: String::new(),
+            });
+            let res = self.state.adapter.dispatch_raw(
+                key,
+                &format!("_connect_{port}"),
+                &[Value::ObjRef(provider)],
+            );
+            self.process_dispatch_effects(key.oid, res);
+            self.sim.metrics().incr("resolve.connected");
+        }
+    }
+
+    /// Send out-calls and publish events produced by a dispatch.
+    pub(crate) fn process_dispatch_effects(
+        &mut self,
+        producer_oid: u64,
+        res: lc_orb::DispatchResult,
+    ) {
+        for call in res.outbox {
+            let oneway = matches!(call.kind, lc_orb::OutCallKind::OneWay);
+            match self.orb_request(call.target.key, &call.op, call.args, oneway) {
+                Ok(rid) => {
+                    if let lc_orb::OutCallKind::Request { token } = call.kind {
+                        self.state
+                            .conts
+                            .calls
+                            .insert(rid, CallCont::ToInstance { oid: producer_oid, token });
+                    }
+                }
+                Err(_) => {
+                    if let lc_orb::OutCallKind::Request { token } = call.kind {
+                        // Deliver the failure immediately.
+                        let res = self.state.adapter.dispatch_raw(
+                            ObjectKey { host: self.state.host, oid: producer_oid },
+                            "_reply",
+                            &[Value::ULongLong(token), Value::Boolean(false)],
+                        );
+                        self.process_dispatch_effects(producer_oid, res);
+                    }
+                }
+            }
+        }
+        for (port, payload) in res.events {
+            self.publish_event(producer_oid, &port, payload);
+        }
+    }
+
+    fn publish_event(&mut self, producer_oid: u64, port: &str, payload: Value) {
+        let Some((event_id, subscribers)) =
+            self.state.subs.get(&(producer_oid, port.to_owned())).cloned()
+        else {
+            return; // no channel opened for this port
+        };
+        self.sim.metrics().incr("events.published");
+        for (consumer, op) in subscribers {
+            if consumer.host == self.state.host {
+                let res =
+                    self.state.adapter.dispatch_raw(consumer, &op, std::slice::from_ref(&payload));
+                self.process_dispatch_effects(consumer.oid, res);
+            } else {
+                let _ = self.orb_event(&event_id, payload.clone(), consumer, &op);
+            }
+        }
+    }
+
+    /// Handle an incoming ORB request (with CPU accounting and migration
+    /// forwarding).
+    fn on_request(
+        &mut self,
+        id: RequestId,
+        reply_to: Option<HostId>,
+        target: ObjectKey,
+        op: String,
+        args: Vec<Value>,
+    ) {
+        // Forward requests to migrated instances (CORBA LOCATION_FORWARD:
+        // the old node proxies to the new location, reply goes straight
+        // back to the caller).
+        if let Some(new_ref) = self.state.forwards.get(&target.oid).cloned() {
+            if self.state.adapter.servant(target.oid).is_none() {
+                self.sim.metrics().incr("migrate.forwarded_requests");
+                let size = SimOrb::request_size(&op, &args);
+                let wire = OrbWire::Request { id, reply_to, target: new_ref.key, op, args };
+                let _ = self.net_send(new_ref.key.host, size, wire);
+                return;
+            }
+        }
+
+        // System ops (`_connect_*`, `_reply`, `_get_state`…) are raw;
+        // IDL ops are type-checked. Attribute accessors (`_get_x`) exist
+        // in the interface metadata, so try typed dispatch first.
+        let typed = self
+            .state
+            .adapter
+            .servant(target.oid)
+            .map(|s| s.interface_id().to_owned())
+            .and_then(|tid| self.state.idl.interface(&tid).map(|i| i.op(&op).is_some()))
+            .unwrap_or(false);
+        let res = if typed {
+            self.state.adapter.dispatch(target, &op, &args)
+        } else if op.starts_with('_') {
+            self.state.adapter.dispatch_raw(target, &op, &args)
+        } else {
+            self.state.adapter.dispatch(target, &op, &args)
+        };
+
+        let cpu_cost = res.cpu_cost;
+        let outcome = res.outcome.clone();
+        self.process_dispatch_effects(target.oid, res);
+
+        if cpu_cost > SimTime::ZERO {
+            // Occupy the CPU: FIFO over the node's processor, scaled by
+            // CPU power (Resource Manager accounting).
+            let (scaled, done) = self.state.occupy_cpu(self.sim.now(), cpu_cost);
+            self.sim.metrics().record("node.task_ms", scaled.as_secs_f64() * 1e3);
+            if let Some(back) = reply_to {
+                let delay = done.saturating_sub(self.sim.now());
+                self.timer_in(delay, Tick::SendReply { to: back, id, result: outcome });
+            }
+        } else if let Some(back) = reply_to {
+            let _ = self.orb_reply(back, id, outcome);
+        }
+    }
+
+    fn on_reply(&mut self, id: RequestId, result: Result<Outcome, OrbError>) {
+        match self.state.conts.calls.remove(&id) {
+            None => {
+                self.sim.metrics().incr("orb.orphan_replies");
+            }
+            Some(CallCont::Sink(sink)) => {
+                sink.borrow_mut().push((self.sim.now(), result));
+            }
+            Some(CallCont::ToInstance { oid, token }) => {
+                let mut args = vec![Value::ULongLong(token), Value::Boolean(result.is_ok())];
+                if let Ok(out) = result {
+                    args.push(out.ret);
+                    args.extend(out.outs);
+                }
+                let res = self.state.adapter.dispatch_raw(
+                    ObjectKey { host: self.state.host, oid },
+                    "_reply",
+                    &args,
+                );
+                self.process_dispatch_effects(oid, res);
+            }
+        }
+    }
+
+    /// Rebuild a migrating instance here: spawn, restore state, report.
+    pub(crate) fn finish_migration_in(
+        &mut self,
+        rid: u64,
+        origin: HostId,
+        component: &str,
+        version: Version,
+        state: Value,
+        instance_name: Option<String>,
+    ) {
+        let result = match self.state.spawn_local(component, version, instance_name) {
+            Ok(objref) => {
+                if !matches!(state, Value::Void) {
+                    let res = self.state.adapter.dispatch_raw(objref.key, "_set_state", &[state]);
+                    self.process_dispatch_effects(objref.key.oid, res);
+                }
+                Ok(objref)
+            }
+            Err(e) => Err(e),
+        };
+        self.send_ctrl(origin, CtrlMsg::MigrateDone { rid, result });
+    }
+
+    /// Start migrating a local instance: capture state via the agreed
+    /// local interface (§2.2: "the container can ask the component
+    /// instance … to resume its execution returning its internal
+    /// state") and offer it to the destination.
+    pub(crate) fn cmd_migrate(
+        &mut self,
+        instance: InstanceId,
+        to: HostId,
+        sink: Option<MigrateSink>,
+    ) {
+        let Some(info) = self.state.registry.instance(instance).cloned() else {
+            if let Some(s) = sink {
+                *s.borrow_mut() = Some(Err(format!("no instance {instance}")));
+            }
+            return;
+        };
+        let state = match self.state.adapter.dispatch_raw(info.objref.key, "_get_state", &[]) {
+            lc_orb::DispatchResult { outcome: Ok(out), .. } => out.ret,
+            _ => Value::Void,
+        };
+        let rid = self.state.conts.next_seq();
+        self.state.conts.migrations.insert(rid, PendingMigration { instance, sink });
+        let msg = CtrlMsg::MigrateIn {
+            rid,
+            origin: self.state.host,
+            component: info.component.clone(),
+            version: info.version,
+            state,
+            instance_name: info.name.clone(),
+        };
+        self.sim.metrics().incr("migrate.started");
+        self.send_ctrl(to, msg);
+    }
+}
+
+/// Container-owned control traffic: `Spawn`, `SpawnDone`, `Subscribe`,
+/// `MigrateIn`, `MigrateDone`.
+pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::Spawn { rid, origin, component, min_version, instance_name } => {
+            let result = ctx.state.spawn_local(&component, min_version, instance_name);
+            ctx.send_ctrl(origin, CtrlMsg::SpawnDone { rid, result });
+        }
+        CtrlMsg::SpawnDone { rid, result } => match ctx.state.conts.spawns.remove(&rid) {
+            None => {}
+            Some(SpawnCont::Sink(sink)) => {
+                *sink.borrow_mut() = Some(result);
+            }
+            Some(SpawnCont::Connect { instance, port, sink }) => match result {
+                Ok(provider) => {
+                    ctx.connect_port(instance, &port, provider.clone());
+                    if let Some(s) = sink {
+                        *s.borrow_mut() = Some(Ok(provider));
+                    }
+                }
+                Err(e) => {
+                    if let Some(s) = sink {
+                        *s.borrow_mut() = Some(Err(e));
+                    }
+                }
+            },
+            Some(SpawnCont::Assembly { name, sink, pending }) => {
+                sink.borrow_mut().insert(name.clone(), result.clone());
+                let mut p = pending.borrow_mut();
+                if let Ok(objref) = result {
+                    p.refs.insert(name, objref);
+                }
+                p.outstanding -= 1;
+                let ready = p.outstanding == 0;
+                drop(p);
+                if ready {
+                    ctx.wire_assembly(pending);
+                }
+            }
+        },
+        CtrlMsg::Subscribe { producer, port, consumer, delivery_op } => {
+            // Find the event type from the producer instance's ports.
+            let event_id = ctx
+                .state
+                .oid_to_instance
+                .get(&producer.oid)
+                .and_then(|iid| ctx.state.registry.instance(*iid))
+                .and_then(|info| {
+                    info.emits.iter().find(|p| p.name == port).map(|p| p.type_id.clone())
+                });
+            match event_id {
+                Some(event_id) => {
+                    ctx.state
+                        .subs
+                        .entry((producer.oid, port))
+                        .or_insert_with(|| (event_id, Vec::new()))
+                        .1
+                        .push((consumer, delivery_op));
+                    ctx.sim.metrics().incr("events.subscriptions");
+                }
+                None => {
+                    ctx.sim.metrics().incr("events.bad_subscription");
+                }
+            }
+        }
+        CtrlMsg::MigrateIn { rid, origin, component, version, state, instance_name } => {
+            if ctx.state.repository.best_match(&component, version).is_some() {
+                ctx.finish_migration_in(rid, origin, &component, version, state, instance_name);
+            } else {
+                // Auto-fetch the package from the origin, then finish.
+                ctx.state.conts.fetches.entry_or_default(component.clone()).push(
+                    FetchCont::FinishMigration {
+                        rid,
+                        origin,
+                        component: component.clone(),
+                        version,
+                        state,
+                        instance_name,
+                    },
+                );
+                let reply_to = ctx.state.host;
+                ctx.send_ctrl(origin, CtrlMsg::Fetch { name: component, version, reply_to });
+            }
+        }
+        CtrlMsg::MigrateDone { rid, result } => {
+            let Some(pm) = ctx.state.conts.migrations.remove(&rid) else { return };
+            match &result {
+                Ok(new_ref) => {
+                    // Passivate and remove the old instance; forward
+                    // late requests.
+                    if let Some(info) = ctx.state.registry.instance(pm.instance) {
+                        let old_oid = info.objref.key.oid;
+                        ctx.state.destroy_instance(pm.instance);
+                        ctx.state.forwards.insert(old_oid, new_ref.clone());
+                    }
+                    ctx.sim.metrics().incr("migrate.completed");
+                }
+                Err(_) => {
+                    ctx.sim.metrics().incr("migrate.failed");
+                }
+            }
+            if let Some(s) = pm.sink {
+                *s.borrow_mut() = Some(result);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Container-owned driver commands.
+pub(crate) fn handle_cmd(ctx: &mut NodeCtx<'_, '_>, cmd: NodeCmd) {
+    match cmd {
+        NodeCmd::SpawnLocal { component, min_version, instance_name, sink } => {
+            *sink.borrow_mut() = Some(ctx.state.spawn_local(&component, min_version, instance_name));
+        }
+        NodeCmd::SpawnOn { node, component, min_version, instance_name, sink } => {
+            if node == ctx.state.host {
+                *sink.borrow_mut() =
+                    Some(ctx.state.spawn_local(&component, min_version, instance_name));
+            } else {
+                let rid = ctx.state.conts.next_seq();
+                ctx.state.conts.spawns.insert(rid, SpawnCont::Sink(sink));
+                let origin = ctx.state.host;
+                ctx.send_ctrl(
+                    node,
+                    CtrlMsg::Spawn { rid, origin, component, min_version, instance_name },
+                );
+            }
+        }
+        NodeCmd::Subscribe { producer, port, consumer, delivery_op } => {
+            let msg = CtrlMsg::Subscribe {
+                producer: producer.key,
+                port,
+                consumer: consumer.key,
+                delivery_op,
+            };
+            ctx.send_ctrl(producer.key.host, msg);
+        }
+        NodeCmd::Invoke { target, op, args, oneway, sink } => {
+            match ctx.orb_request(target.key, &op, args, oneway) {
+                Ok(rid) => {
+                    if !oneway {
+                        if let Some(sink) = sink {
+                            ctx.state.conts.calls.insert(rid, CallCont::Sink(sink));
+                        }
+                    }
+                }
+                Err(_) => {
+                    if let Some(sink) = sink {
+                        sink.borrow_mut().push((ctx.sim.now(), Err(OrbError::CommFailure)));
+                    }
+                }
+            }
+        }
+        NodeCmd::Migrate { instance, to, sink } => ctx.cmd_migrate(instance, to, sink),
+        NodeCmd::ModifyPorts { instance, add_provides, remove_provides } => {
+            if let Some(info) = ctx.state.registry.instance_mut(instance) {
+                for (name, iface) in add_provides {
+                    info.add_provides(&name, &iface);
+                }
+                for name in remove_provides {
+                    info.remove_provides(&name);
+                }
+                ctx.sim.metrics().incr("reflect.port_changes");
+            }
+        }
+        NodeCmd::StartAssembly { assembly, strategy, sink } => {
+            ctx.start_assembly(assembly, strategy, sink);
+        }
+        _ => {}
+    }
+}
+
+/// GIOP-style ORB wire traffic lands on the container.
+pub(crate) fn handle_orb(ctx: &mut NodeCtx<'_, '_>, wire: OrbWire) {
+    match wire {
+        OrbWire::Request { id, reply_to, target, op, args } => {
+            ctx.on_request(id, reply_to, target, op, args);
+        }
+        OrbWire::Reply { id, result } => ctx.on_reply(id, result),
+        OrbWire::Event { payload, consumer, delivery_op, .. } => {
+            let res = ctx.state.adapter.dispatch_raw(consumer, &delivery_op, &[payload]);
+            ctx.process_dispatch_effects(consumer.oid, res);
+        }
+    }
+}
+
+/// The container runtime service.
+#[derive(Default)]
+pub struct ContainerSvc;
+
+impl NodeService for ContainerSvc {
+    fn kind(&self) -> ServiceKind {
+        ServiceKind::Container
+    }
+
+    fn handle(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: SvcMsg) {
+        match msg {
+            SvcMsg::Cmd(cmd) => handle_cmd(ctx, cmd),
+            SvcMsg::Ctrl { from, msg } => handle_ctrl(ctx, from, msg),
+            SvcMsg::Orb(wire) => handle_orb(ctx, wire),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
+        if let Tick::SendReply { to, id, result } = tick {
+            let _ = ctx.orb_reply(to, id, result);
+        }
+    }
+
+    fn reflect(&self, state: &NodeState) -> ServiceReflect {
+        ServiceReflect {
+            kind: ServiceKind::Container,
+            items: vec![
+                item("running instances", state.registry.instance_count()),
+                item("event channels", state.event_channel_count()),
+                item("subscriptions", state.subscription_count()),
+                item("forwarding entries", state.forward_count()),
+                item(
+                    "pending spawns/calls/migrations",
+                    format!(
+                        "{}/{}/{}",
+                        state.conts.spawns.len(),
+                        state.conts.calls.len(),
+                        state.conts.migrations.len()
+                    ),
+                ),
+            ],
+        }
+    }
+}

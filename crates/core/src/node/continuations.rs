@@ -1,0 +1,289 @@
+//! Unified continuation table for the node's pending distributed work.
+//!
+//! The node keeps five kinds of in-flight work — distributed queries,
+//! remote spawns, outgoing ORB calls, package fetches and migrations —
+//! that all follow the same shape: *stash a continuation under a key,
+//! resume it when the answering message arrives, optionally expire it on
+//! a deadline*. [`Continuations`] is the one helper behind all five
+//! (replacing five ad-hoc `BTreeMap`s with hand-rolled expiry), and
+//! [`ContTable`] groups them behind a single sequence counter.
+
+use crate::assembly::AssemblyDescriptor;
+use crate::deploy::ResolvePolicy;
+use crate::registry::{ComponentQuery, InstanceId, Offer};
+use lc_des::SimTime;
+use lc_net::HostId;
+use lc_orb::{ObjectRef, RequestId, Value};
+use lc_pkg::Version;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use super::{AssemblySink, InvokeSink, MigrateSink, QuerySink, SpawnSink};
+
+struct Entry<V> {
+    value: V,
+    deadline: Option<SimTime>,
+}
+
+/// Keyed pending-work map with optional per-entry deadlines and a single
+/// sweep ([`Continuations::take_expired`]) instead of per-entry
+/// `contains_key` + remove dances.
+pub struct Continuations<K, V> {
+    entries: BTreeMap<K, Entry<V>>,
+    high_water: usize,
+}
+
+impl<K: Ord, V> Default for Continuations<K, V> {
+    fn default() -> Self {
+        Continuations { entries: BTreeMap::new(), high_water: 0 }
+    }
+}
+
+impl<K: Ord + Clone, V> Continuations<K, V> {
+    /// Park a continuation that never expires (resumed only by a message).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.entries.insert(key, Entry { value, deadline: None });
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Park a continuation that expires at `deadline` if not resumed.
+    pub fn insert_with_deadline(&mut self, key: K, value: V, deadline: SimTime) {
+        self.entries.insert(key, Entry { value, deadline: Some(deadline) });
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Resume: take the continuation for `key`, if still pending.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|e| e.value)
+    }
+
+    /// Peek at a pending continuation.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.entries.get_mut(key).map(|e| &mut e.value)
+    }
+
+    /// Is work still pending under `key`?
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The continuation under `key`, inserting a default (no deadline)
+    /// if absent — the `entry().or_default()` idiom.
+    pub fn entry_or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        let after = self.entries.len() + usize::from(!self.entries.contains_key(&key));
+        self.high_water = self.high_water.max(after);
+        let e = self
+            .entries
+            .entry(key)
+            .or_insert_with(|| Entry { value: V::default(), deadline: None });
+        &mut e.value
+    }
+
+    /// Remove and return every entry whose deadline is at or before
+    /// `now`, in key order. One sweep serves all due entries, so a
+    /// deadline tick only needs the clock, not the key that armed it.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<(K, V)> {
+        let due: Vec<K> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.deadline.is_some_and(|d| d <= now))
+            .map(|(k, _)| k.clone())
+            .collect();
+        due.into_iter()
+            .map(|k| {
+                let e = self.entries.remove(&k).expect("due key present");
+                (k, e.value)
+            })
+            .collect()
+    }
+
+    /// Number of pending continuations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No pending continuations?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Most entries ever pending at once (high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// All of a node's pending work, behind one sequence counter (the old
+/// code grew a separate `next_seq` per use site).
+#[derive(Default)]
+pub struct ContTable {
+    next_seq: u64,
+    /// Distributed queries awaiting offers (expire on the query timeout).
+    pub(crate) queries: Continuations<u64, PendingQuery>,
+    /// Remote spawns awaiting `SpawnDone`.
+    pub(crate) spawns: Continuations<u64, SpawnCont>,
+    /// Outgoing ORB requests awaiting replies.
+    pub(crate) calls: Continuations<RequestId, CallCont>,
+    /// Package fetches awaiting `PackageBytes`/`FetchFailed`, by name.
+    pub(crate) fetches: Continuations<String, Vec<FetchCont>>,
+    /// Migrations awaiting `MigrateDone`.
+    pub(crate) migrations: Continuations<u64, PendingMigration>,
+}
+
+impl ContTable {
+    pub(crate) fn new() -> Self {
+        ContTable { next_seq: 1, ..ContTable::default() }
+    }
+
+    /// The node-wide sequence for queries, spawn rounds and migrations.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Total pending continuations across all five tables.
+    pub fn depth(&self) -> usize {
+        self.queries.len()
+            + self.spawns.len()
+            + self.calls.len()
+            + self.fetches.len()
+            + self.migrations.len()
+    }
+
+    /// Sum of per-table high-water marks (upper bound on peak depth).
+    pub fn peak_depth(&self) -> usize {
+        self.queries.high_water()
+            + self.spawns.high_water()
+            + self.calls.high_water()
+            + self.fetches.high_water()
+            + self.migrations.high_water()
+    }
+}
+
+// ===================== continuation payloads ============================
+
+/// Why a query was started (what to do when it completes).
+pub(crate) enum QueryPurpose {
+    Collect {
+        sink: QuerySink,
+        first_wins: bool,
+    },
+    Resolve {
+        instance: InstanceId,
+        port: String,
+        policy: ResolvePolicy,
+        sink: Option<SpawnSink>,
+    },
+}
+
+pub(crate) struct PendingQuery {
+    pub purpose: QueryPurpose,
+    pub offers: Vec<Offer>,
+    pub started: SimTime,
+    pub first_offer_at: Option<SimTime>,
+    pub query: ComponentQuery,
+}
+
+/// What to do when a remote spawn completes.
+pub(crate) enum SpawnCont {
+    /// Hand the result to a driver sink (`NodeCmd::SpawnOn`).
+    Sink(SpawnSink),
+    Connect {
+        instance: InstanceId,
+        port: String,
+        sink: Option<SpawnSink>,
+    },
+    Assembly {
+        name: String,
+        sink: AssemblySink,
+        pending: Rc<RefCell<PendingAssembly>>,
+    },
+}
+
+/// What to do when a reply to an outgoing ORB request arrives.
+pub(crate) enum CallCont {
+    /// Route to a local instance's `_reply` op with this token.
+    ToInstance { oid: u64, token: u64 },
+    /// Hand to a driver sink.
+    Sink(InvokeSink),
+}
+
+/// What to do once a fetched package is installed.
+pub(crate) enum FetchCont {
+    SpawnAndConnect {
+        component: String,
+        min_version: Version,
+        instance: InstanceId,
+        port: String,
+        sink: Option<SpawnSink>,
+    },
+    FinishMigration {
+        rid: u64,
+        origin: HostId,
+        component: String,
+        version: Version,
+        state: Value,
+        instance_name: Option<String>,
+    },
+}
+
+pub(crate) struct PendingMigration {
+    pub instance: InstanceId,
+    pub sink: Option<MigrateSink>,
+}
+
+/// Assembly deployment in progress: connections fire once all spawns land.
+pub(crate) struct PendingAssembly {
+    pub assembly: AssemblyDescriptor,
+    pub refs: BTreeMap<String, ObjectRef>,
+    pub outstanding: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_expire_in_key_order_and_only_once() {
+        let mut c: Continuations<u64, &str> = Continuations::default();
+        c.insert_with_deadline(2, "b", SimTime::from_millis(20));
+        c.insert_with_deadline(1, "a", SimTime::from_millis(10));
+        c.insert(3, "never");
+        assert_eq!(c.take_expired(SimTime::from_millis(5)), vec![]);
+        assert_eq!(
+            c.take_expired(SimTime::from_millis(20)),
+            vec![(1, "a"), (2, "b")]
+        );
+        assert_eq!(c.take_expired(SimTime::from_millis(100)), vec![]);
+        assert!(c.contains_key(&3));
+        assert_eq!(c.high_water(), 3);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn entry_or_default_accumulates() {
+        let mut c: Continuations<String, Vec<u32>> = Continuations::default();
+        c.entry_or_default("x".into()).push(1);
+        c.entry_or_default("x".into()).push(2);
+        assert_eq!(c.remove(&"x".to_string()), Some(vec![1, 2]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cont_table_sequences_and_depth() {
+        let mut t = ContTable::new();
+        assert_eq!(t.next_seq(), 1);
+        assert_eq!(t.next_seq(), 2);
+        t.calls.insert(RequestId(7), CallCont::ToInstance { oid: 1, token: 9 });
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.peak_depth(), 1);
+        t.calls.remove(&RequestId(7));
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.peak_depth(), 1);
+    }
+}

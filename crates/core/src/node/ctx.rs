@@ -1,0 +1,244 @@
+//! The shared runtime context behind the four node services.
+//!
+//! [`NodeState`] owns everything the services share: the ORB object
+//! adapter, the network handle, the IDL repository, the Figure-1 data
+//! stores (repository / registry / resources), the MRM duty soft state,
+//! the unified continuation table and the per-service metrics.
+//! [`NodeCtx`] pairs a borrow of that state with the simulation context
+//! for the current event; every service handler runs against a
+//! `&mut NodeCtx`, so cross-service plumbing (control sends, ORB
+//! traffic, local delivery) lives here exactly once.
+
+use crate::behavior::BehaviorRegistry;
+use crate::cohesion::{DutyState, Hierarchy, MrmDuty};
+use crate::proto::CtrlMsg;
+use crate::registry::{ComponentRegistry, InstanceId};
+use crate::repository::ComponentRepository;
+use crate::resource::ResourceManager;
+use lc_des::{Ctx, SimTime};
+use lc_net::{DropReason, HostId, Net};
+use lc_orb::{ObjectAdapter, ObjectKey, ObjectRef, OrbError, Outcome, RequestId, SimOrb, Value};
+use lc_pkg::{Platform, TrustStore};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use super::continuations::ContTable;
+use super::metrics::NodeMetrics;
+use super::service::{Tick, TickMsg};
+use super::{NodeConfig, NodeSeed};
+
+/// One open push event channel: the event type plus its subscribers
+/// (consumer servant, delivery operation).
+pub(crate) type EventChannel = (String, Vec<(ObjectKey, String)>);
+
+/// Per-instance runtime bookkeeping the registry does not hold.
+pub(crate) struct InstanceRuntime {
+    pub qos: lc_pkg::QosSpec,
+    pub mobility: lc_pkg::Mobility,
+}
+
+/// The state shared by all node services (Fig. 1: the node is the
+/// *composition* of the four services over one runtime).
+pub struct NodeState {
+    /// The host this node serves.
+    pub host: HostId,
+    pub(crate) cfg: NodeConfig,
+    pub(crate) net: Net,
+    pub(crate) orb: SimOrb,
+    pub(crate) idl: Arc<lc_idl::Repository>,
+    pub(crate) adapter: ObjectAdapter,
+    /// The Component Repository (installed packages).
+    pub repository: ComponentRepository,
+    /// The Resource Manager.
+    pub resources: ResourceManager,
+    /// The Component Registry (instances + connections).
+    pub registry: ComponentRegistry,
+    pub(crate) behaviors: BehaviorRegistry,
+    pub(crate) trust: TrustStore,
+    pub(crate) hierarchy: Rc<Hierarchy>,
+    pub(crate) duties: Vec<MrmDuty>,
+    pub(crate) duty_state: Vec<DutyState>,
+    pub(crate) report_targets: Vec<HostId>,
+    /// Unified pending-work table (queries, spawns, calls, fetches,
+    /// migrations) behind one sequence counter.
+    pub(crate) conts: ContTable,
+    /// Per-service instrumentation.
+    pub(crate) metrics: NodeMetrics,
+    // container runtime state
+    pub(crate) instance_meta: BTreeMap<InstanceId, InstanceRuntime>,
+    pub(crate) oid_to_instance: BTreeMap<u64, InstanceId>,
+    /// Event subscriptions: (producer oid, port) → (event id, subscribers).
+    pub(crate) subs: BTreeMap<(u64, String), EventChannel>,
+    /// Requests to migrated-away instances are forwarded here.
+    pub(crate) forwards: BTreeMap<u64, ObjectRef>,
+    /// CPU FIFO: when the processor frees up (owned by the Resource
+    /// Manager's accounting, see `resource_svc::occupy_cpu`).
+    pub(crate) cpu_free_at: SimTime,
+}
+
+impl NodeState {
+    /// Build the shared state from a seed (no packages installed yet).
+    pub(crate) fn new(seed: NodeSeed) -> Self {
+        let cfg = seed.config;
+        let host = seed.host;
+        let duties = seed.hierarchy.duties_of(host);
+        let duty_state = duties.iter().map(|_| DutyState::default()).collect();
+        let report_targets = seed.hierarchy.report_targets(host);
+        let host_cfg = seed.net.host_cfg(host);
+        NodeState {
+            host,
+            cfg,
+            net: seed.net,
+            orb: seed.orb,
+            idl: seed.idl.clone(),
+            adapter: ObjectAdapter::new(host, seed.idl),
+            repository: ComponentRepository::new(),
+            resources: ResourceManager::from_host_cfg(&host_cfg),
+            registry: ComponentRegistry::new(),
+            behaviors: seed.behaviors,
+            trust: seed.trust,
+            hierarchy: seed.hierarchy,
+            duties,
+            duty_state,
+            report_targets,
+            conts: ContTable::new(),
+            metrics: NodeMetrics::default(),
+            instance_meta: BTreeMap::new(),
+            oid_to_instance: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            forwards: BTreeMap::new(),
+            cpu_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// This node's platform.
+    pub fn platform(&self) -> Platform {
+        self.resources.static_info().platform.clone()
+    }
+
+    /// The shared MRM hierarchy this node participates in.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The per-service instrumentation collected by the router.
+    pub fn node_metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Current pending-work depth across the unified continuation table.
+    pub fn continuation_depth(&self) -> usize {
+        self.conts.depth()
+    }
+
+    /// Peak pending-work depth (sum of per-table high-water marks).
+    pub fn continuation_peak_depth(&self) -> usize {
+        self.conts.peak_depth()
+    }
+}
+
+/// A service's view of one simulation event: the shared node state plus
+/// the DES context. All cross-cutting plumbing (control sends with local
+/// short-circuit, metric-counted ORB traffic, timers) hangs off this.
+pub struct NodeCtx<'a, 'b> {
+    /// The shared node state.
+    pub state: &'a mut NodeState,
+    /// The simulation context for the current event.
+    pub sim: &'a mut Ctx<'b>,
+}
+
+impl NodeCtx<'_, '_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Arm a node-internal timer.
+    pub(crate) fn timer_in(&mut self, delay: SimTime, tick: Tick) {
+        self.sim.timer_in(delay, TickMsg(tick));
+    }
+
+    /// Send a control message, delivering locally (no network, no
+    /// `query.msgs` accounting) when the target is this host. Remote
+    /// query traffic (`Query`/`Offers`/`QueryDone`) is counted under
+    /// `query.msgs` whether or not the fabric accepts the send.
+    pub(crate) fn send_ctrl(&mut self, to: HostId, msg: CtrlMsg) {
+        if to == self.state.host {
+            // Local delivery without the network.
+            let host = self.state.host;
+            self.deliver_ctrl_local(host, msg);
+            return;
+        }
+        let size = msg.wire_size();
+        if matches!(
+            msg,
+            CtrlMsg::Query { .. } | CtrlMsg::Offers { .. } | CtrlMsg::QueryDone { .. }
+        ) {
+            self.sim.metrics().incr("query.msgs");
+        }
+        let _ = self.net_send(to, size, msg);
+    }
+
+    /// Raw network send from this host, counted as a per-service
+    /// outgoing message when the fabric accepts it.
+    pub(crate) fn net_send<M: std::any::Any>(
+        &mut self,
+        to: HostId,
+        size: u64,
+        payload: M,
+    ) -> Result<SimTime, DropReason> {
+        let r = self.state.net.send(self.sim, self.state.host, to, size, payload);
+        if r.is_ok() {
+            self.state.metrics.msg_out();
+        }
+        r
+    }
+
+    /// ORB request from this host (counted as an outgoing message).
+    pub(crate) fn orb_request(
+        &mut self,
+        target: ObjectKey,
+        op: &str,
+        args: Vec<Value>,
+        oneway: bool,
+    ) -> Result<RequestId, DropReason> {
+        let r = self.state.orb.send_request(self.sim, self.state.host, target, op, args, oneway);
+        if r.is_ok() {
+            self.state.metrics.msg_out();
+        }
+        r
+    }
+
+    /// ORB reply from this host (counted as an outgoing message).
+    pub(crate) fn orb_reply(
+        &mut self,
+        to: HostId,
+        id: RequestId,
+        result: Result<Outcome, OrbError>,
+    ) -> Result<SimTime, DropReason> {
+        let r = self.state.orb.send_reply(self.sim, self.state.host, to, id, result);
+        if r.is_ok() {
+            self.state.metrics.msg_out();
+        }
+        r
+    }
+
+    /// ORB event delivery to a remote consumer (counted as outgoing).
+    pub(crate) fn orb_event(
+        &mut self,
+        event_id: &str,
+        payload: Value,
+        consumer: ObjectKey,
+        delivery_op: &str,
+    ) -> Result<SimTime, DropReason> {
+        let r = self
+            .state
+            .orb
+            .send_event(self.sim, self.state.host, event_id, payload, consumer, delivery_op);
+        if r.is_ok() {
+            self.state.metrics.msg_out();
+        }
+        r
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-service instrumentation for the node (`NodeMetrics`).
+//!
+//! The router in [`super::Node`] stamps every routed message, timer and
+//! deferred effect with the service that handled it, so experiments can
+//! break a node's work down by the four Figure-1 services plus the
+//! container. Latency figures are **wall clock** (they never feed back
+//! into virtual time), so the simulation stays deterministic while the
+//! instrumentation reflects real CPU cost.
+
+use std::collections::BTreeMap;
+
+/// The four Figure-1 services plus the container runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceKind {
+    /// Component Acceptor: run-time installation + package fetch serving.
+    Acceptor,
+    /// Component Registry: distributed queries, offers, MRM routing.
+    Registry,
+    /// Resource Manager: reports, CPU FIFO, load-balance triggers.
+    Resource,
+    /// Network Cohesion: keep-alive absorption, MRM sweeps, summaries.
+    Cohesion,
+    /// Container runtime: instances, invocation, events, migration.
+    Container,
+}
+
+impl ServiceKind {
+    /// All services, in display order.
+    pub const ALL: [ServiceKind; 5] = [
+        ServiceKind::Acceptor,
+        ServiceKind::Registry,
+        ServiceKind::Resource,
+        ServiceKind::Cohesion,
+        ServiceKind::Container,
+    ];
+
+    /// Stable lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::Acceptor => "acceptor",
+            ServiceKind::Registry => "registry",
+            ServiceKind::Resource => "resource",
+            ServiceKind::Cohesion => "cohesion",
+            ServiceKind::Container => "container",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ServiceKind::Acceptor => 0,
+            ServiceKind::Registry => 1,
+            ServiceKind::Resource => 2,
+            ServiceKind::Cohesion => 3,
+            ServiceKind::Container => 4,
+        }
+    }
+}
+
+/// Counters for one service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Messages routed *to* this service (commands, control traffic,
+    /// ORB wire messages — timers and internal effects excluded).
+    pub msgs_in: u64,
+    /// Messages this service put on the wire (control + ORB).
+    pub msgs_out: u64,
+    /// Handler activations (messages + timers + effects).
+    pub dispatches: u64,
+    /// Total wall-clock nanoseconds spent in this service's handlers.
+    pub dispatch_ns: u64,
+}
+
+impl ServiceMetrics {
+    /// Mean wall-clock nanoseconds per handler activation.
+    pub fn mean_dispatch_ns(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.dispatch_ns as f64 / self.dispatches as f64
+        }
+    }
+}
+
+/// The node-level instrumentation the refactor threads through the
+/// service seam: per-service message/latency counters plus per-command
+/// counts. Continuation-table depth lives with the table itself
+/// ([`super::ContTable`]) and is joined in at reflection time.
+#[derive(Clone, Debug, Default)]
+pub struct NodeMetrics {
+    per_service: [ServiceMetrics; 5],
+    cmds: BTreeMap<&'static str, u64>,
+    current: Option<ServiceKind>,
+}
+
+impl NodeMetrics {
+    /// Counters for one service.
+    pub fn service(&self, kind: ServiceKind) -> &ServiceMetrics {
+        &self.per_service[kind.index()]
+    }
+
+    /// `(command name, count)` for every [`super::NodeCmd`] seen.
+    pub fn cmd_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.cmds.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total messages in across all services.
+    pub fn total_msgs_in(&self) -> u64 {
+        self.per_service.iter().map(|s| s.msgs_in).sum()
+    }
+
+    /// Total messages out across all services.
+    pub fn total_msgs_out(&self) -> u64 {
+        self.per_service.iter().map(|s| s.msgs_out).sum()
+    }
+
+    pub(crate) fn note_cmd(&mut self, name: &'static str) {
+        *self.cmds.entry(name).or_insert(0) += 1;
+    }
+
+    /// Begin a handler activation: attribute subsequent sends to `kind`.
+    pub(crate) fn begin(&mut self, kind: ServiceKind, counts_as_msg: bool) {
+        self.current = Some(kind);
+        let s = &mut self.per_service[kind.index()];
+        s.dispatches += 1;
+        if counts_as_msg {
+            s.msgs_in += 1;
+        }
+    }
+
+    /// End a handler activation started with [`Self::begin`].
+    pub(crate) fn finish(&mut self, kind: ServiceKind, elapsed_ns: u64) {
+        self.per_service[kind.index()].dispatch_ns += elapsed_ns;
+        self.current = None;
+    }
+
+    /// Record one outgoing message, charged to the active service (or to
+    /// the container when sent from outside a handler, e.g. public API).
+    pub(crate) fn msg_out(&mut self) {
+        let kind = self.current.unwrap_or(ServiceKind::Container);
+        self.per_service[kind.index()].msgs_out += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_follows_begin_finish() {
+        let mut m = NodeMetrics::default();
+        m.begin(ServiceKind::Registry, true);
+        m.msg_out();
+        m.msg_out();
+        m.finish(ServiceKind::Registry, 1000);
+        m.begin(ServiceKind::Cohesion, false);
+        m.finish(ServiceKind::Cohesion, 500);
+        assert_eq!(m.service(ServiceKind::Registry).msgs_in, 1);
+        assert_eq!(m.service(ServiceKind::Registry).msgs_out, 2);
+        assert_eq!(m.service(ServiceKind::Registry).dispatch_ns, 1000);
+        assert_eq!(m.service(ServiceKind::Cohesion).msgs_in, 0);
+        assert_eq!(m.service(ServiceKind::Cohesion).dispatches, 1);
+        assert_eq!(m.total_msgs_out(), 2);
+    }
+
+    #[test]
+    fn cmd_counters_accumulate() {
+        let mut m = NodeMetrics::default();
+        m.note_cmd("Install");
+        m.note_cmd("Install");
+        m.note_cmd("Query");
+        let counts: Vec<_> = m.cmd_counts().collect();
+        assert_eq!(counts, vec![("Install", 2), ("Query", 1)]);
+    }
+}

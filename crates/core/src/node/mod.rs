@@ -1,0 +1,456 @@
+//! The Node: "each host participating must have running a server
+//! implementing the Node service" (§2.4.1, Fig. 1).
+//!
+//! One [`Node`] actor per simulated host *composes* the four services of
+//! the paper's Figure 1 — each a separate module implementing the
+//! [`NodeService`] trait over the shared [`NodeCtx`] runtime context:
+//!
+//! * [`resource_svc`] — **Resource Manager**: periodic resource reports
+//!   (doubling as the cohesion keep-alive), CPU FIFO accounting,
+//!   load-balance triggers.
+//! * [`registry_svc`] — **Component Registry**: distributed queries over
+//!   the MRM hierarchy, offer collection, resolve continuations.
+//! * [`acceptor`] — **Component Acceptor**: run-time installation with
+//!   signature/platform/behaviour checks, package fetch protocol.
+//! * [`cohesion_svc`] — **Network Cohesion**: report/summary absorption,
+//!   MRM sweeps, eviction/rejoin.
+//! * [`container`] (+ [`assembly_rt`]) — the container runtime: instance
+//!   life cycle, dependency resolution hand-off, port connection, event
+//!   channels, migration, assembly deployment.
+//!
+//! The router in this module assigns every input — [`NodeCmd`] driver
+//! messages, internal timer ticks, and network traffic ([`lc_net::NetMsg`]
+//! carrying [`crate::proto::CtrlMsg`] or [`lc_orb::OrbWire`]) — to
+//! exactly one service and times the handler into [`NodeMetrics`].
+//! Pending distributed work lives in one unified continuation table
+//! ([`Continuations`]) instead of per-concern maps.
+
+pub mod acceptor;
+pub mod assembly_rt;
+pub mod cohesion_svc;
+pub mod container;
+pub mod continuations;
+pub mod ctx;
+pub mod metrics;
+pub mod registry_svc;
+pub mod resource_svc;
+pub mod service;
+
+pub use acceptor::Acceptor;
+pub use cohesion_svc::CohesionSvc;
+pub use container::ContainerSvc;
+pub use continuations::Continuations;
+pub use ctx::{NodeCtx, NodeState};
+pub use metrics::{NodeMetrics, ServiceKind, ServiceMetrics};
+pub use registry_svc::RegistrySvc;
+pub use resource_svc::ResourceSvc;
+pub use service::{NodeService, ServiceReflect, SvcMsg, Tick};
+
+use crate::assembly::AssemblyDescriptor;
+use crate::behavior::BehaviorRegistry;
+use crate::cohesion::{CohesionConfig, Hierarchy};
+use crate::deploy::{PlacementStrategy, ResolvePolicy};
+use crate::proto::CtrlMsg;
+use crate::registry::{ComponentQuery, InstanceId, Offer};
+use lc_des::{Actor, AnyMsg, AnyMsgExt, Ctx, SimTime};
+use lc_net::{HostId, Net, NetMsg};
+use lc_orb::{ObjectRef, OrbError, OrbWire, Outcome, SimOrb, Value};
+use lc_pkg::{TrustStore, Version};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use service::{cmd_service, ctrl_service, tick_service, TickMsg};
+
+/// Automatic load-balancing policy (§2.4.3: "component instance
+/// migration and replication to achieve load balancing").
+#[derive(Clone, Debug)]
+pub struct LoadBalanceConfig {
+    /// How often a node examines its own load.
+    pub check_period: SimTime,
+    /// CPU utilisation above which the node tries to shed an instance.
+    pub overload_threshold: f64,
+}
+
+impl Default for LoadBalanceConfig {
+    fn default() -> Self {
+        LoadBalanceConfig {
+            check_period: SimTime::from_secs(2),
+            overload_threshold: 0.75,
+        }
+    }
+}
+
+/// Node-level configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Cohesion protocol parameters.
+    pub cohesion: CohesionConfig,
+    /// How long a query collects offers before it is finalized.
+    pub query_timeout: SimTime,
+    /// Security policy: refuse unsigned packages.
+    pub require_signature: bool,
+    /// Automatic load balancing (off by default; experiments and
+    /// deployments opt in).
+    pub load_balance: Option<LoadBalanceConfig>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            cohesion: CohesionConfig::default(),
+            query_timeout: SimTime::from_millis(500),
+            require_signature: false,
+            load_balance: None,
+        }
+    }
+}
+
+/// Where a driver observes query progress.
+#[derive(Debug, Default)]
+pub struct QueryResult {
+    /// Offers collected so far (deduplicated by (node, component, version)).
+    pub offers: Vec<Offer>,
+    /// Query finalized (timeout, done message, or first-offer short-circuit).
+    pub done: bool,
+    /// When the query started.
+    pub started: SimTime,
+    /// When the first offer arrived.
+    pub first_offer_at: Option<SimTime>,
+    /// When the query was finalized.
+    pub done_at: Option<SimTime>,
+}
+
+/// Shared handle the driver polls for query results.
+pub type QuerySink = Rc<RefCell<QueryResult>>;
+
+/// Shared handle for spawn results.
+pub type SpawnSink = Rc<RefCell<Option<Result<ObjectRef, String>>>>;
+
+/// Shared handle for invocation replies: `(reply time, outcome)` per call.
+pub type InvokeSink = Rc<RefCell<Vec<(SimTime, Result<Outcome, OrbError>)>>>;
+
+/// Shared handle for migration results.
+pub type MigrateSink = Rc<RefCell<Option<Result<ObjectRef, String>>>>;
+
+/// Shared handle for assembly deployment: instance name → reference.
+pub type AssemblySink = Rc<RefCell<BTreeMap<String, Result<ObjectRef, String>>>>;
+
+/// Commands from the local driver (application shell, experiments).
+pub enum NodeCmd {
+    /// Install a package from container bytes (local Component Acceptor).
+    Install(Rc<Vec<u8>>),
+    /// Issue a distributed component query.
+    Query {
+        /// The query.
+        query: ComponentQuery,
+        /// Result sink.
+        sink: QuerySink,
+        /// Finalize as soon as the first offers arrive.
+        first_wins: bool,
+    },
+    /// Create a local instance of an installed component.
+    SpawnLocal {
+        /// Component name.
+        component: String,
+        /// Minimum version.
+        min_version: Version,
+        /// Optional instance name.
+        instance_name: Option<String>,
+        /// Result sink.
+        sink: SpawnSink,
+    },
+    /// Ask a *remote* node to create an instance (driver-directed
+    /// placement, used by experiments that bypass the planner).
+    SpawnOn {
+        /// Target node.
+        node: HostId,
+        /// Component name.
+        component: String,
+        /// Minimum version.
+        min_version: Version,
+        /// Optional instance name.
+        instance_name: Option<String>,
+        /// Result sink.
+        sink: SpawnSink,
+    },
+    /// Resolve a `uses` port of a local instance through the network:
+    /// query → choose (connect/spawn/fetch) → connect.
+    Resolve {
+        /// The dependent instance.
+        instance: InstanceId,
+        /// Its `uses` port to satisfy.
+        port: String,
+        /// The query finding providers.
+        query: ComponentQuery,
+        /// Selection policy.
+        policy: ResolvePolicy,
+        /// Optional sink receiving the provider reference.
+        sink: Option<SpawnSink>,
+    },
+    /// Subscribe a consumer to a producer's event-source port.
+    Subscribe {
+        /// Producer instance reference.
+        producer: ObjectRef,
+        /// Producer's emits port.
+        port: String,
+        /// Consumer instance reference.
+        consumer: ObjectRef,
+        /// Delivery operation on the consumer servant.
+        delivery_op: String,
+    },
+    /// Invoke an operation on any object from this node (driver traffic).
+    Invoke {
+        /// Target object.
+        target: ObjectRef,
+        /// Operation.
+        op: String,
+        /// Arguments.
+        args: Vec<Value>,
+        /// Fire-and-forget?
+        oneway: bool,
+        /// Reply sink (ignored for oneway).
+        sink: Option<InvokeSink>,
+    },
+    /// Migrate a local instance to another node.
+    Migrate {
+        /// Instance to move.
+        instance: InstanceId,
+        /// Destination host.
+        to: HostId,
+        /// Result sink.
+        sink: Option<MigrateSink>,
+    },
+    /// Modify a running instance's reflected ports (§2.4.2: "CORBA-LC
+    /// offers operations which allow modifying the set of ports a
+    /// component exposes"). The change is immediately visible to
+    /// queries and visual builders through the Component Registry.
+    ModifyPorts {
+        /// The instance to modify.
+        instance: InstanceId,
+        /// Provided ports to add: `(port name, interface id)`.
+        add_provides: Vec<(String, String)>,
+        /// Provided ports to remove by name.
+        remove_provides: Vec<String>,
+    },
+    /// Deploy an application (assembly) with run-time placement.
+    ///
+    /// The placement view comes from this node's level-0 MRM duty soft
+    /// state, so the command should be sent to a node that is a leaf
+    /// MRM (any node can be configured as one).
+    StartAssembly {
+        /// The application descriptor.
+        assembly: AssemblyDescriptor,
+        /// Placement strategy (CORBA-LC vs static baseline).
+        strategy: PlacementStrategy,
+        /// Per-instance results.
+        sink: AssemblySink,
+    },
+}
+
+impl NodeCmd {
+    /// Stable command name, used for the per-command counters in
+    /// [`NodeMetrics`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeCmd::Install(_) => "Install",
+            NodeCmd::Query { .. } => "Query",
+            NodeCmd::SpawnLocal { .. } => "SpawnLocal",
+            NodeCmd::SpawnOn { .. } => "SpawnOn",
+            NodeCmd::Resolve { .. } => "Resolve",
+            NodeCmd::Subscribe { .. } => "Subscribe",
+            NodeCmd::Invoke { .. } => "Invoke",
+            NodeCmd::Migrate { .. } => "Migrate",
+            NodeCmd::ModifyPorts { .. } => "ModifyPorts",
+            NodeCmd::StartAssembly { .. } => "StartAssembly",
+        }
+    }
+}
+
+/// Everything needed to (re)create a node — used for initial bring-up and
+/// for respawning after a crash (dynamic state is lost, installed
+/// packages persist like files on disk).
+#[derive(Clone)]
+pub struct NodeSeed {
+    /// The host this node runs on.
+    pub host: HostId,
+    /// Configuration.
+    pub config: NodeConfig,
+    /// The network fabric.
+    pub net: Net,
+    /// ORB plumbing.
+    pub orb: SimOrb,
+    /// Shared MRM hierarchy.
+    pub hierarchy: Rc<Hierarchy>,
+    /// Behaviour registry (the loadable code).
+    pub behaviors: BehaviorRegistry,
+    /// Trust store for package verification.
+    pub trust: TrustStore,
+    /// Base IDL repository (system interfaces).
+    pub idl: Arc<lc_idl::Repository>,
+    /// Packages present "on disk" at boot (installed before start).
+    pub preinstalled: Vec<Rc<Vec<u8>>>,
+}
+
+impl NodeSeed {
+    /// Spawn a node actor from this seed, bind it to the host, and start
+    /// its timers. Returns the actor id.
+    pub fn spawn(&self, sim: &mut lc_des::Sim) -> lc_des::ActorId {
+        let mut node = Node::new(self.clone());
+        for pkg in &self.preinstalled {
+            // Pre-installed packages bypass the network (local media).
+            let _ = node.install_bytes(pkg);
+        }
+        let actor = sim.spawn(node);
+        self.net.bind(self.host, actor);
+        // Deterministic de-synchronization: stagger the first keep-alive
+        // by host id so report storms do not align.
+        let jitter = SimTime::from_micros(137 * (self.host.0 as u64 + 1));
+        sim.send_in(jitter, actor, TickMsg(Tick::KeepAlive));
+        sim.send_in(
+            jitter + self.config.cohesion.report_period / 2,
+            actor,
+            TickMsg(Tick::MrmSweep),
+        );
+        if let Some(lb) = &self.config.load_balance {
+            sim.send_in(jitter + lb.check_period, actor, TickMsg(Tick::LoadBalance));
+        }
+        actor
+    }
+}
+
+/// The node actor: the shared runtime state plus the five services the
+/// router dispatches into.
+pub struct Node {
+    state: NodeState,
+    /// The Component Acceptor service.
+    pub acceptor: Acceptor,
+    /// The Component Registry service (distributed queries).
+    pub registry_svc: RegistrySvc,
+    /// The Resource Manager service.
+    pub resource_svc: ResourceSvc,
+    /// The Network Cohesion service.
+    pub cohesion_svc: CohesionSvc,
+    /// The container runtime.
+    pub container: ContainerSvc,
+}
+
+impl Deref for Node {
+    type Target = NodeState;
+    fn deref(&self) -> &NodeState {
+        &self.state
+    }
+}
+
+impl DerefMut for Node {
+    fn deref_mut(&mut self) -> &mut NodeState {
+        &mut self.state
+    }
+}
+
+impl Node {
+    /// Build a node from a seed (no packages installed yet).
+    pub fn new(seed: NodeSeed) -> Self {
+        Node {
+            state: NodeState::new(seed),
+            acceptor: Acceptor,
+            registry_svc: RegistrySvc,
+            resource_svc: ResourceSvc,
+            cohesion_svc: CohesionSvc,
+            container: ContainerSvc,
+        }
+    }
+
+    /// The five services in display order.
+    pub fn services(&self) -> [&dyn NodeService; 5] {
+        [
+            &self.acceptor,
+            &self.registry_svc,
+            &self.resource_svc,
+            &self.cohesion_svc,
+            &self.container,
+        ]
+    }
+
+    /// Reflect every service's current state (§2.4.2 reflection).
+    pub fn service_reflections(&self) -> Vec<ServiceReflect> {
+        self.services().iter().map(|s| s.reflect(&self.state)).collect()
+    }
+
+    /// Route a message to one service, timing the handler.
+    fn route(&mut self, ctx: &mut Ctx<'_>, kind: ServiceKind, msg: SvcMsg) {
+        let Node { state, acceptor, registry_svc, resource_svc, cohesion_svc, container } = self;
+        let svc: &mut dyn NodeService = match kind {
+            ServiceKind::Acceptor => acceptor,
+            ServiceKind::Registry => registry_svc,
+            ServiceKind::Resource => resource_svc,
+            ServiceKind::Cohesion => cohesion_svc,
+            ServiceKind::Container => container,
+        };
+        state.metrics.begin(kind, true);
+        let t0 = std::time::Instant::now();
+        {
+            let mut nctx = NodeCtx { state: &mut *state, sim: &mut *ctx };
+            svc.handle(&mut nctx, msg);
+        }
+        state.metrics.finish(kind, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Route a timer tick to one service, timing the handler. Ticks are
+    /// internal work, not messages: they count as a dispatch but not as
+    /// a message in.
+    fn route_tick(&mut self, ctx: &mut Ctx<'_>, tick: Tick) {
+        let kind = tick_service(&tick);
+        let Node { state, acceptor, registry_svc, resource_svc, cohesion_svc, container } = self;
+        let svc: &mut dyn NodeService = match kind {
+            ServiceKind::Acceptor => acceptor,
+            ServiceKind::Registry => registry_svc,
+            ServiceKind::Resource => resource_svc,
+            ServiceKind::Cohesion => cohesion_svc,
+            ServiceKind::Container => container,
+        };
+        state.metrics.begin(kind, false);
+        let t0 = std::time::Instant::now();
+        {
+            let mut nctx = NodeCtx { state: &mut *state, sim: &mut *ctx };
+            svc.on_timer(&mut nctx, tick);
+        }
+        state.metrics.finish(kind, t0.elapsed().as_nanos() as u64);
+    }
+}
+
+impl Actor for Node {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        // Expose virtual time to servants dispatched during this event.
+        self.state.adapter.set_clock(ctx.now());
+        // Driver commands and timers arrive directly; network traffic
+        // arrives wrapped in NetMsg.
+        let msg = match msg.downcast_msg::<TickMsg>() {
+            Ok(TickMsg(tick)) => return self.route_tick(ctx, tick),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast_msg::<NodeCmd>() {
+            Ok(cmd) => {
+                self.state.metrics.note_cmd(cmd.name());
+                return self.route(ctx, cmd_service(&cmd), SvcMsg::Cmd(cmd));
+            }
+            Err(m) => m,
+        };
+        let net_msg = match msg.downcast_msg::<NetMsg>() {
+            Ok(nm) => nm,
+            Err(_) => return, // unknown message type: drop
+        };
+        let from = net_msg.from;
+        let payload = match net_msg.payload.downcast_msg::<CtrlMsg>() {
+            Ok(ctrl) => {
+                return self.route(ctx, ctrl_service(&ctrl), SvcMsg::Ctrl { from, msg: ctrl });
+            }
+            Err(p) => p,
+        };
+        if let Ok(wire) = payload.downcast_msg::<OrbWire>() {
+            self.route(ctx, ServiceKind::Container, SvcMsg::Orb(wire));
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Component Registry service (Fig. 1): the distributed query side —
+//! starting queries, MRM routing over the cohesion hierarchy
+//! ("incremental resource lookup", §2.4.3), offer collection, and query
+//! finalization into the driver- or resolve-continuations parked in the
+//! unified continuation table.
+
+use crate::deploy::{choose, ResolveAction};
+use crate::proto::{CtrlMsg, QueryId};
+use crate::registry::{ComponentQuery, InstanceId, Offer};
+use lc_net::HostId;
+use lc_pkg::Version;
+
+use super::continuations::{FetchCont, PendingQuery, QueryPurpose, SpawnCont};
+use super::ctx::{NodeCtx, NodeState};
+use super::metrics::ServiceKind;
+use super::service::{item, NodeService, ServiceReflect, SvcMsg, Tick};
+use super::{NodeCmd, SpawnSink};
+
+impl NodeState {
+    /// Offers this node's own registry/repository can make for a query.
+    pub(crate) fn local_offers_for(&self, query: &ComponentQuery) -> Vec<Offer> {
+        self.registry.local_offers(
+            self.host,
+            &self.repository,
+            query,
+            &self.idl,
+            self.resources.cpu_utilisation(),
+        )
+    }
+}
+
+impl NodeCtx<'_, '_> {
+    pub(crate) fn start_query(&mut self, query: ComponentQuery, purpose: QueryPurpose) {
+        let seq = self.state.conts.next_seq();
+        let qid = QueryId { origin: self.state.host, seq };
+        let started = self.sim.now();
+        if let QueryPurpose::Collect { sink, .. } = &purpose {
+            sink.borrow_mut().started = started;
+        }
+        let timeout = self.state.cfg.query_timeout;
+        self.state.conts.queries.insert_with_deadline(
+            seq,
+            PendingQuery {
+                purpose,
+                offers: Vec::new(),
+                started,
+                first_offer_at: None,
+                query: query.clone(),
+            },
+            started + timeout,
+        );
+        self.sim.metrics().incr("query.started");
+
+        // Answer locally first (own repository).
+        let local = self.state.local_offers_for(&query);
+        if !local.is_empty() {
+            self.on_offers(qid, local);
+            if !self.state.conts.queries.contains_key(&seq) {
+                return; // first_wins completed instantly
+            }
+        }
+
+        // Send to our leaf-group MRM (first reachable replica). The hop
+        // is *ascending*: a miss at the group escalates to the parent
+        // ("request higher hierarchy level requests").
+        let targets = self.state.report_targets.clone();
+        self.send_query_to_first_reachable(&targets, qid, query, 0, false);
+        self.timer_in(timeout, Tick::QueryDeadline(seq));
+    }
+
+    fn send_query_to_first_reachable(
+        &mut self,
+        replicas: &[HostId],
+        qid: QueryId,
+        query: ComponentQuery,
+        level: u8,
+        descending: bool,
+    ) -> bool {
+        for &mrm in replicas {
+            if mrm == self.state.host {
+                // We are our own MRM: route internally.
+                self.mrm_route_query(qid, query, level, descending);
+                return true;
+            }
+            if self.state.net.reachable(self.state.host, mrm) {
+                let msg = CtrlMsg::Query { qid, query, level, descending };
+                let size = msg.wire_size();
+                if self.net_send(mrm, size, msg).is_ok() {
+                    self.sim.metrics().incr("query.msgs");
+                    return true;
+                }
+                return false; // send failed despite reachable — give up hop
+            }
+            self.sim.metrics().incr("query.failover");
+        }
+        false
+    }
+
+    /// MRM query routing (§2.4.3: incremental resource lookup).
+    pub(crate) fn mrm_route_query(
+        &mut self,
+        qid: QueryId,
+        query: ComponentQuery,
+        level: u8,
+        descending: bool,
+    ) {
+        let Some((duty_idx, duty)) = self
+            .state
+            .duties
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.level == level)
+            .map(|(i, d)| (i, d.clone()))
+        else {
+            // Not an MRM at this level (stale addressing) — drop.
+            self.sim.metrics().incr("query.misrouted");
+            return;
+        };
+
+        // Which members might hold a match? Name queries prune by
+        // summary; interface queries must visit the whole subtree.
+        let candidates: Vec<HostId> = match &query.name {
+            Some(name) => self.state.duty_state[duty_idx].may_have_component(name),
+            None => self.state.duty_state[duty_idx].alive().collect(),
+        };
+
+        let mut forwarded = 0usize;
+        if level == 0 {
+            for member in candidates {
+                if member == qid.origin {
+                    continue; // origin already answered locally
+                }
+                if member == self.state.host {
+                    // We are also a plain member: answer directly.
+                    let offers = self.state.local_offers_for(&query);
+                    if !offers.is_empty() {
+                        self.send_offers(qid, offers);
+                        forwarded += 1;
+                    }
+                    continue;
+                }
+                let msg =
+                    CtrlMsg::Query { qid, query: query.clone(), level: u8::MAX, descending: true };
+                let size = msg.wire_size();
+                if self.net_send(member, size, msg).is_ok() {
+                    self.sim.metrics().incr("query.msgs");
+                    forwarded += 1;
+                }
+            }
+        } else {
+            // Descend into matching child groups (members are child
+            // primaries; query them at level-1 duty).
+            for child in candidates {
+                if child == self.state.host {
+                    self.mrm_route_query(qid, query.clone(), level - 1, true);
+                    forwarded += 1;
+                    continue;
+                }
+                let msg = CtrlMsg::Query {
+                    qid,
+                    query: query.clone(),
+                    level: level - 1,
+                    descending: true,
+                };
+                let size = msg.wire_size();
+                if self.net_send(child, size, msg).is_ok() {
+                    self.sim.metrics().incr("query.msgs");
+                    forwarded += 1;
+                }
+            }
+        }
+
+        if forwarded == 0 && !descending {
+            // Nothing here; escalate if we can ("request higher
+            // hierarchy level requests").
+            if !duty.parent_replicas.is_empty() {
+                let reps = duty.parent_replicas.clone();
+                self.sim.metrics().incr("query.escalations");
+                self.send_query_to_first_reachable(&reps, qid, query, level + 1, false);
+            } else {
+                self.send_ctrl(qid.origin, CtrlMsg::QueryDone { qid });
+            }
+        } else if forwarded == 0 {
+            // Descending dead-end: report the miss so the origin can
+            // stop early when every branch misses (best effort — the
+            // origin's timeout is the backstop).
+            self.send_ctrl(qid.origin, CtrlMsg::QueryDone { qid });
+        }
+
+        // An ascending query also continues upward when this level had
+        // candidates but the origin wants *all* offers. Simplification:
+        // escalation only on miss; the origin's timeout bounds latency.
+    }
+
+    pub(crate) fn send_offers(&mut self, qid: QueryId, offers: Vec<Offer>) {
+        self.send_ctrl(qid.origin, CtrlMsg::Offers { qid, offers });
+    }
+
+    pub(crate) fn on_offers(&mut self, qid: QueryId, offers: Vec<Offer>) {
+        debug_assert_eq!(qid.origin, self.state.host);
+        let now = self.sim.now();
+        let Some(pq) = self.state.conts.queries.get_mut(&qid.seq) else { return };
+        if pq.first_offer_at.is_none() && !offers.is_empty() {
+            pq.first_offer_at = Some(now);
+            let ms = (now - pq.started).as_secs_f64() * 1e3;
+            self.sim.metrics().record("query.first_offer_ms", ms);
+        }
+        let pq = self.state.conts.queries.get_mut(&qid.seq).expect("still pending");
+        for offer in offers {
+            let dup = pq.offers.iter().any(|o| {
+                o.node == offer.node && o.component == offer.component && o.version == offer.version
+            });
+            if !dup {
+                pq.offers.push(offer);
+            }
+        }
+        let finish_now = match &pq.purpose {
+            QueryPurpose::Collect { first_wins, .. } => *first_wins && !pq.offers.is_empty(),
+            QueryPurpose::Resolve { .. } => !pq.offers.is_empty(),
+        };
+        if finish_now {
+            self.finish_query(qid.seq);
+        } else if let Some(pq) = self.state.conts.queries.get_mut(&qid.seq) {
+            // keep collecting; sync collect sinks for observers
+            if let QueryPurpose::Collect { sink, .. } = &pq.purpose {
+                sink.borrow_mut().offers = pq.offers.clone();
+                sink.borrow_mut().first_offer_at = pq.first_offer_at;
+            }
+        }
+    }
+
+    pub(crate) fn finish_query(&mut self, seq: u64) {
+        let Some(pq) = self.state.conts.queries.remove(&seq) else { return };
+        self.finalize_query(pq);
+    }
+
+    /// Finalize a pending query already removed from the table.
+    fn finalize_query(&mut self, pq: PendingQuery) {
+        let now = self.sim.now();
+        self.sim
+            .metrics()
+            .record("query.duration_ms", (now - pq.started).as_secs_f64() * 1e3);
+        if pq.offers.is_empty() {
+            self.sim.metrics().incr("query.misses");
+        } else {
+            self.sim.metrics().incr("query.hits");
+        }
+        match pq.purpose {
+            QueryPurpose::Collect { sink, .. } => {
+                let mut s = sink.borrow_mut();
+                s.offers = pq.offers;
+                s.first_offer_at = pq.first_offer_at;
+                s.done = true;
+                s.done_at = Some(now);
+            }
+            QueryPurpose::Resolve { instance, port, policy, sink } => {
+                match choose(&pq.offers, &policy) {
+                    None => {
+                        if let Some(s) = sink {
+                            *s.borrow_mut() = Some(Err(format!("no offers for port '{port}'")));
+                        }
+                    }
+                    Some((_, action)) => {
+                        self.apply_resolve_action(instance, port, action, sink, &pq.query)
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_resolve_action(
+        &mut self,
+        instance: InstanceId,
+        port: String,
+        action: ResolveAction,
+        sink: Option<SpawnSink>,
+        query: &ComponentQuery,
+    ) {
+        match action {
+            ResolveAction::ConnectExisting(provider) => {
+                self.connect_port(instance, &port, provider.clone());
+                if let Some(s) = sink {
+                    *s.borrow_mut() = Some(Ok(provider));
+                }
+            }
+            ResolveAction::SpawnRemote(node) => {
+                let rid = self.state.conts.next_seq();
+                self.state.conts.spawns.insert(rid, SpawnCont::Connect { instance, port, sink });
+                let component = query.name.clone().unwrap_or_default();
+                let min_version = query.min_version.unwrap_or(Version::new(0, 0));
+                let origin = self.state.host;
+                self.send_ctrl(
+                    node,
+                    CtrlMsg::Spawn { rid, origin, component, min_version, instance_name: None },
+                );
+                self.sim.metrics().incr("resolve.spawn_remote");
+            }
+            ResolveAction::FetchAndRunLocal { from } => {
+                let component = query.name.clone().unwrap_or_default();
+                let min_version = query.min_version.unwrap_or(Version::new(0, 0));
+                self.state.conts.fetches.entry_or_default(component.clone()).push(
+                    FetchCont::SpawnAndConnect {
+                        component: component.clone(),
+                        min_version,
+                        instance,
+                        port,
+                        sink,
+                    },
+                );
+                let reply_to = self.state.host;
+                self.send_ctrl(
+                    from,
+                    CtrlMsg::Fetch { name: component, version: min_version, reply_to },
+                );
+                self.sim.metrics().incr("resolve.fetch_local");
+            }
+        }
+    }
+}
+
+/// Registry-owned control traffic: `Query`, `Offers`, `QueryDone`.
+pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::Query { qid, query, level, descending } => {
+            if level == u8::MAX {
+                // Direct node query: answer from the local registry.
+                let offers = ctx.state.local_offers_for(&query);
+                if !offers.is_empty() {
+                    ctx.send_offers(qid, offers);
+                }
+            } else {
+                ctx.mrm_route_query(qid, query, level, descending);
+            }
+        }
+        CtrlMsg::Offers { qid, offers } => ctx.on_offers(qid, offers),
+        // Best-effort completion signal.
+        CtrlMsg::QueryDone { qid } if ctx.state.conts.queries.contains_key(&qid.seq) => {
+            ctx.finish_query(qid.seq);
+        }
+        _ => {}
+    }
+}
+
+/// Registry-owned driver commands: `Query`, `Resolve`.
+pub(crate) fn handle_cmd(ctx: &mut NodeCtx<'_, '_>, cmd: NodeCmd) {
+    match cmd {
+        NodeCmd::Query { query, sink, first_wins } => {
+            ctx.start_query(query, QueryPurpose::Collect { sink, first_wins });
+        }
+        NodeCmd::Resolve { instance, port, query, policy, sink } => {
+            ctx.start_query(query, QueryPurpose::Resolve { instance, port, policy, sink });
+        }
+        _ => {}
+    }
+}
+
+/// The Component Registry service (distributed query side).
+#[derive(Default)]
+pub struct RegistrySvc;
+
+impl NodeService for RegistrySvc {
+    fn kind(&self) -> ServiceKind {
+        ServiceKind::Registry
+    }
+
+    fn handle(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: SvcMsg) {
+        match msg {
+            SvcMsg::Cmd(cmd) => handle_cmd(ctx, cmd),
+            SvcMsg::Ctrl { from, msg } => handle_ctrl(ctx, from, msg),
+            SvcMsg::Orb(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
+        if let Tick::QueryDeadline(_) = tick {
+            // One sweep finalizes every query whose deadline has passed
+            // (count- and order-identical to the old per-seq checks:
+            // deadline timers fire in chronological order, and a query
+            // resumed early is no longer in the table).
+            let now = ctx.sim.now();
+            let expired = ctx.state.conts.queries.take_expired(now);
+            for (_seq, pq) in expired {
+                ctx.sim.metrics().incr("query.timeouts");
+                ctx.finalize_query(pq);
+            }
+        }
+    }
+
+    fn reflect(&self, state: &NodeState) -> ServiceReflect {
+        ServiceReflect {
+            kind: ServiceKind::Registry,
+            items: vec![
+                item("running instances", state.registry.instance_count()),
+                item("pending queries", state.conts.queries.len()),
+            ],
+        }
+    }
+}

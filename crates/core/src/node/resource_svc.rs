@@ -1,0 +1,176 @@
+//! Resource Manager service (Fig. 1): emits the periodic resource
+//! reports that double as the cohesion keep-alive, owns the node's CPU
+//! FIFO accounting, and drives the automatic load-balancing triggers
+//! (§2.4.3: "component instance migration and replication to achieve
+//! load balancing").
+
+use crate::proto::CtrlMsg;
+use lc_des::SimTime;
+use lc_net::HostId;
+use crate::registry::InstanceId;
+
+use super::ctx::{NodeCtx, NodeState};
+use super::metrics::ServiceKind;
+use super::service::{item, ms, NodeService, ServiceReflect, SvcMsg, Tick};
+
+impl NodeState {
+    /// Occupy the CPU FIFO with `cost` of work starting no earlier than
+    /// `now`, scaled by this node's CPU power. Returns `(scaled cost,
+    /// completion time)`.
+    pub(crate) fn occupy_cpu(&mut self, now: SimTime, cost: SimTime) -> (SimTime, SimTime) {
+        let scaled = cost.mul_f64(1.0 / self.resources.static_info().cpu_power);
+        let start = now.max(self.cpu_free_at);
+        let done = start + scaled;
+        self.cpu_free_at = done;
+        (scaled, done)
+    }
+
+    /// The heaviest *mobile* local instance (migration candidate).
+    pub(crate) fn heaviest_mobile_instance(&self) -> Option<(InstanceId, f64)> {
+        self.instance_meta
+            .iter()
+            .filter(|(_, m)| m.mobility == lc_pkg::Mobility::Mobile)
+            .map(|(id, m)| (*id, m.qos.cpu_min))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cpu"))
+    }
+
+    /// MRM side: the least-utilised alive member that can absorb the load.
+    pub(crate) fn pick_offload_target(&self, asking: HostId, cpu_needed: f64) -> Option<HostId> {
+        let mut best: Option<(f64, HostId)> = None;
+        for (duty, state) in self.duties.iter().zip(self.duty_state.iter()) {
+            if duty.level != 0 {
+                continue;
+            }
+            for (host, rec) in &state.records {
+                if *host == asking {
+                    continue;
+                }
+                if let crate::cohesion::MemberRecord::Node { report, .. } = rec {
+                    let free = (report.static_info.cpu_power - report.dynamic.cpu_used).max(0.0);
+                    let util = report.dynamic.cpu_used / report.static_info.cpu_power;
+                    if free >= cpu_needed * 2.0 && best.map(|(bu, _)| util < bu).unwrap_or(true) {
+                        best = Some((util, *host));
+                    }
+                }
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+}
+
+impl NodeCtx<'_, '_> {
+    /// Emit the periodic resource report to every report target. The
+    /// report *is* the keep-alive: the Network Cohesion layer's
+    /// liveness view is refreshed purely by absorbing these reports.
+    pub(crate) fn send_report(&mut self) {
+        let report = self.state.resources.report(self.state.repository.names());
+        for &mrm in &self.state.report_targets.clone() {
+            if mrm == self.state.host {
+                // An MRM absorbs its own report locally (no network hop).
+                let now = self.sim.now();
+                let fresh = self.state.resources.report(self.state.repository.names());
+                let host = self.state.host;
+                self.state.absorb_report(host, fresh, now);
+                continue;
+            }
+            let msg = CtrlMsg::Report { from: self.state.host, report: report.clone() };
+            let size = msg.wire_size();
+            let _ = self.net_send(mrm, size, msg);
+            self.sim.metrics().incr("cohesion.reports");
+        }
+    }
+
+    /// §2.4.3: when this node is overloaded, ask the group MRM for a
+    /// lighter member and migrate the heaviest *mobile* instance there.
+    fn load_balance_check(&mut self) {
+        let Some(lb) = self.state.cfg.load_balance.clone() else { return };
+        if self.state.resources.cpu_utilisation() < lb.overload_threshold {
+            return;
+        }
+        // Pick the heaviest mobile instance as the migration candidate.
+        let Some((_, cpu_needed)) = self.state.heaviest_mobile_instance() else { return };
+        let targets = self.state.report_targets.clone();
+        for mrm in targets {
+            if mrm == self.state.host {
+                // We are the MRM: answer ourselves.
+                let target = self.state.pick_offload_target(self.state.host, cpu_needed);
+                self.on_offload_target(target);
+                return;
+            }
+            if self.state.net.reachable(self.state.host, mrm) {
+                let from = self.state.host;
+                self.send_ctrl(mrm, CtrlMsg::OffloadQuery { from, cpu_needed });
+                return;
+            }
+        }
+    }
+
+    fn on_offload_target(&mut self, target: Option<HostId>) {
+        let Some(to) = target else {
+            self.sim.metrics().incr("lb.no_target");
+            return;
+        };
+        let Some((instance, _)) = self.state.heaviest_mobile_instance() else { return };
+        self.sim.metrics().incr("lb.migrations");
+        self.cmd_migrate(instance, to, None);
+    }
+}
+
+/// Resource-owned control traffic: `OffloadQuery`, `OffloadTarget`.
+pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg) {
+    match msg {
+        CtrlMsg::OffloadQuery { from: asker, cpu_needed } => {
+            let target = ctx.state.pick_offload_target(asker, cpu_needed);
+            ctx.send_ctrl(asker, CtrlMsg::OffloadTarget { target });
+        }
+        CtrlMsg::OffloadTarget { target } => {
+            ctx.on_offload_target(target);
+        }
+        _ => {}
+    }
+}
+
+/// The Resource Manager service.
+#[derive(Default)]
+pub struct ResourceSvc;
+
+impl NodeService for ResourceSvc {
+    fn kind(&self) -> ServiceKind {
+        ServiceKind::Resource
+    }
+
+    fn handle(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: SvcMsg) {
+        if let SvcMsg::Ctrl { from, msg } = msg {
+            handle_ctrl(ctx, from, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
+        match tick {
+            Tick::KeepAlive => {
+                ctx.send_report();
+                let period = ctx.state.cfg.cohesion.report_period;
+                ctx.timer_in(period, Tick::KeepAlive);
+            }
+            Tick::LoadBalance => {
+                ctx.load_balance_check();
+                if let Some(lb) = &ctx.state.cfg.load_balance {
+                    let period = lb.check_period;
+                    ctx.timer_in(period, Tick::LoadBalance);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn reflect(&self, state: &NodeState) -> ServiceReflect {
+        ServiceReflect {
+            kind: ServiceKind::Resource,
+            items: vec![
+                item("cpu utilisation", format!("{:.2}", state.resources.cpu_utilisation())),
+                item("cpu busy until", ms(state.cpu_free_at)),
+                item("mem free", state.resources.mem_free()),
+            ],
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The `NodeService` seam: one trait, one message enum, one timer enum,
+//! and the routing tables that assign every input to exactly one of the
+//! Figure-1 services (plus the container runtime).
+//!
+//! The [`super::Node`] router owns five service values and forwards each
+//! driver command, control message, ORB wire message and timer tick to
+//! the owning service through `&mut dyn NodeService`, timing the handler
+//! into [`super::NodeMetrics`]. A service that needs a sibling's
+//! behaviour *within the same event* (e.g. the registry finishing a
+//! query and wiring a port through the container) calls the shared
+//! [`NodeCtx`] plumbing directly — local control delivery
+//! ([`NodeCtx::deliver_ctrl_local`]) routes by the same tables, without
+//! network hops or extra message accounting, exactly like the
+//! pre-split synchronous code.
+
+use crate::proto::CtrlMsg;
+use lc_des::SimTime;
+use lc_net::HostId;
+use lc_orb::{OrbError, OrbWire, Outcome, RequestId};
+
+use super::ctx::{NodeCtx, NodeState};
+use super::metrics::ServiceKind;
+use super::NodeCmd;
+use super::{acceptor, cohesion_svc, container, registry_svc, resource_svc};
+
+/// Node-internal timer ticks, routed to services like messages.
+pub enum Tick {
+    /// Send the periodic resource report (doubles as the keep-alive).
+    KeepAlive,
+    /// Sweep MRM soft state and push summaries.
+    MrmSweep,
+    /// A query deadline elapsed: finalize every expired pending query.
+    QueryDeadline(u64),
+    /// A CPU-delayed reply is due.
+    SendReply {
+        /// Caller host awaiting the reply.
+        to: HostId,
+        /// Request being answered.
+        id: RequestId,
+        /// The (pre-computed) dispatch outcome.
+        result: Result<Outcome, OrbError>,
+    },
+    /// Periodic load-balance self-check.
+    LoadBalance,
+}
+
+/// Newtype so ticks route through the actor mailbox unambiguously.
+pub(crate) struct TickMsg(pub(crate) Tick);
+
+/// Any message a node service can receive from the router.
+pub enum SvcMsg {
+    /// A driver command (local API).
+    Cmd(NodeCmd),
+    /// A control message from a peer node (or delivered locally).
+    Ctrl {
+        /// Sending host.
+        from: HostId,
+        /// The message.
+        msg: CtrlMsg,
+    },
+    /// GIOP-style ORB traffic (requests, replies, events).
+    Orb(OrbWire),
+}
+
+/// One reflected fact sheet per service, rendered by `reflect.rs`.
+#[derive(Clone, Debug)]
+pub struct ServiceReflect {
+    /// Which service this describes.
+    pub kind: ServiceKind,
+    /// Ordered `(label, value)` facts.
+    pub items: Vec<(String, String)>,
+}
+
+/// The common contract of the four Figure-1 services and the container.
+pub trait NodeService {
+    /// Which service this is (for routing and metrics attribution).
+    fn kind(&self) -> ServiceKind;
+    /// Handle a routed message.
+    fn handle(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: SvcMsg);
+    /// Handle a routed timer tick.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick);
+    /// Reflect this service's current state (§2.4.2 reflection).
+    fn reflect(&self, state: &NodeState) -> ServiceReflect;
+}
+
+/// Which service owns a driver command.
+pub(crate) fn cmd_service(cmd: &NodeCmd) -> ServiceKind {
+    match cmd {
+        NodeCmd::Install(_) => ServiceKind::Acceptor,
+        NodeCmd::Query { .. } | NodeCmd::Resolve { .. } => ServiceKind::Registry,
+        NodeCmd::SpawnLocal { .. }
+        | NodeCmd::SpawnOn { .. }
+        | NodeCmd::Subscribe { .. }
+        | NodeCmd::Invoke { .. }
+        | NodeCmd::Migrate { .. }
+        | NodeCmd::ModifyPorts { .. }
+        | NodeCmd::StartAssembly { .. } => ServiceKind::Container,
+    }
+}
+
+/// Which service owns a control message.
+pub(crate) fn ctrl_service(msg: &CtrlMsg) -> ServiceKind {
+    match msg {
+        CtrlMsg::Report { .. } | CtrlMsg::Summary { .. } => ServiceKind::Cohesion,
+        CtrlMsg::Query { .. } | CtrlMsg::Offers { .. } | CtrlMsg::QueryDone { .. } => {
+            ServiceKind::Registry
+        }
+        CtrlMsg::Fetch { .. }
+        | CtrlMsg::PackageBytes { .. }
+        | CtrlMsg::FetchFailed { .. }
+        | CtrlMsg::Install { .. } => ServiceKind::Acceptor,
+        CtrlMsg::OffloadQuery { .. } | CtrlMsg::OffloadTarget { .. } => ServiceKind::Resource,
+        CtrlMsg::Spawn { .. }
+        | CtrlMsg::SpawnDone { .. }
+        | CtrlMsg::Subscribe { .. }
+        | CtrlMsg::MigrateIn { .. }
+        | CtrlMsg::MigrateDone { .. } => ServiceKind::Container,
+    }
+}
+
+/// Which service owns a timer tick.
+pub(crate) fn tick_service(tick: &Tick) -> ServiceKind {
+    match tick {
+        Tick::KeepAlive | Tick::LoadBalance => ServiceKind::Resource,
+        Tick::MrmSweep => ServiceKind::Cohesion,
+        Tick::QueryDeadline(_) => ServiceKind::Registry,
+        Tick::SendReply { .. } => ServiceKind::Container,
+    }
+}
+
+impl NodeCtx<'_, '_> {
+    /// Deliver a control message addressed to this host, synchronously,
+    /// within the current event — the in-process analogue of a network
+    /// hop. No `query.msgs` or per-service `msgs_in` accounting (there
+    /// is no message on the wire), matching the pre-split `send_ctrl`
+    /// local short-circuit; handler time stays attributed to the
+    /// outermost routed service.
+    pub(crate) fn deliver_ctrl_local(&mut self, from: HostId, msg: CtrlMsg) {
+        match ctrl_service(&msg) {
+            ServiceKind::Acceptor => acceptor::handle_ctrl(self, from, msg),
+            ServiceKind::Registry => registry_svc::handle_ctrl(self, from, msg),
+            ServiceKind::Resource => resource_svc::handle_ctrl(self, from, msg),
+            ServiceKind::Cohesion => cohesion_svc::handle_ctrl(self, from, msg),
+            ServiceKind::Container => container::handle_ctrl(self, from, msg),
+        }
+    }
+}
+
+/// Shared `fmt` helper for reflect items.
+pub(crate) fn item(label: &str, value: impl std::fmt::Display) -> (String, String) {
+    (label.to_owned(), value.to_string())
+}
+
+/// Helper for elapsed virtual-time durations (ms) in reflect output.
+pub(crate) fn ms(t: SimTime) -> String {
+    format!("{:.2} ms", t.as_secs_f64() * 1e3)
+}

@@ -6,7 +6,7 @@
 //! among them." The snapshot is plain data (no references into the node),
 //! so tools can hold it across simulation steps.
 
-use crate::node::Node;
+use crate::node::{Node, NodeMetrics, ServiceReflect};
 use crate::registry::Connection;
 use lc_net::DeviceClass;
 use lc_pkg::Version;
@@ -65,6 +65,14 @@ pub struct NodeSnapshot {
     pub instances: Vec<InstanceView>,
     /// Port connections (assembly view).
     pub connections: Vec<Connection>,
+    /// Per-service reflected state (the Fig. 1 decomposition).
+    pub services: Vec<ServiceReflect>,
+    /// Per-service instrumentation counters.
+    pub metrics: NodeMetrics,
+    /// Continuations currently pending across all tables.
+    pub continuation_depth: usize,
+    /// High-water mark of pending continuations.
+    pub continuation_peak: usize,
 }
 
 /// Take a reflective snapshot of a node.
@@ -105,6 +113,10 @@ pub fn snapshot(node: &Node) -> NodeSnapshot {
             })
             .collect(),
         connections: node.registry.connections().to_vec(),
+        services: node.service_reflections(),
+        metrics: node.node_metrics().clone(),
+        continuation_depth: node.continuation_depth(),
+        continuation_peak: node.continuation_peak_depth(),
     }
 }
 
@@ -142,6 +154,29 @@ pub fn render(s: &NodeSnapshot) -> String {
     out.push_str("  Connections (assembly view):\n");
     for c in &s.connections {
         out.push_str(&format!("    {} .{} -> {}\n", c.from, c.from_port, c.to));
+    }
+    out.push_str("  Services (Fig. 1 decomposition):\n");
+    for svc in &s.services {
+        let m = s.metrics.service(svc.kind);
+        out.push_str(&format!(
+            "    {:<9}  in={} out={} dispatches={}\n",
+            svc.kind.name(),
+            m.msgs_in,
+            m.msgs_out,
+            m.dispatches
+        ));
+        for (label, value) in &svc.items {
+            out.push_str(&format!("      {label}: {value}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "  Continuations pending: {} (peak {})\n",
+        s.continuation_depth, s.continuation_peak
+    ));
+    let cmds: Vec<String> =
+        s.metrics.cmd_counts().map(|(name, n)| format!("{name}={n}")).collect();
+    if !cmds.is_empty() {
+        out.push_str(&format!("  Commands handled: {}\n", cmds.join(" ")));
     }
     out
 }

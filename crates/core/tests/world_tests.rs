@@ -855,3 +855,135 @@ fn runtime_port_modification_changes_query_results() {
     assert_eq!(info.provides[0].name, "stats");
     assert_eq!(world.sim.metrics_ref().counter("reflect.port_changes"), 1);
 }
+
+#[test]
+fn migration_forwarding_table_tracks_old_reference() {
+    // The origin node keeps a forwarding entry for the migrated-away
+    // oid; requests to the old reference are re-targeted transparently,
+    // and unrelated oids are never forwarded.
+    let mut world = demo_world(Topology::lan(3), 11);
+    settle(&mut world, 10);
+    let spawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "Counter".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("c".into()),
+            sink: spawn.clone(),
+        },
+    );
+    settle(&mut world, 10);
+    let old_ref = spawn.borrow().clone().unwrap().unwrap();
+    let instance = world.node(HostId(0)).unwrap().registry.named("c").unwrap().id;
+    let msink: lc_core::MigrateSink = Rc::default();
+    world.cmd(HostId(0), NodeCmd::Migrate { instance, to: HostId(1), sink: Some(msink.clone()) });
+    settle(&mut world, 2000);
+    let new_ref = msink.borrow().clone().unwrap().unwrap();
+
+    let origin = world.node(HostId(0)).unwrap();
+    assert_eq!(origin.forward_count(), 1, "one forwarding entry after one migration");
+    let fwd = origin.forward_target(old_ref.key.oid).expect("old oid must be forwarded");
+    assert_eq!(fwd.key, new_ref.key, "forward entry points at the migrated instance");
+
+    // Two calls through the stale reference both get forwarded replies.
+    let value: lc_core::InvokeSink = Rc::default();
+    for _ in 0..2 {
+        world.cmd(
+            HostId(2),
+            NodeCmd::Invoke {
+                target: old_ref.clone(),
+                op: "value".into(),
+                args: vec![],
+                oneway: false,
+                sink: Some(value.clone()),
+            },
+        );
+    }
+    settle(&mut world, 300);
+    let replies = value.borrow();
+    assert_eq!(replies.len(), 2, "both forwarded requests must be answered");
+    assert!(replies.iter().all(|(_, r)| r.is_ok()));
+    assert_eq!(world.sim.metrics_ref().counter("migrate.forwarded_requests"), 2);
+}
+
+#[test]
+fn event_channels_close_when_producer_instance_dies() {
+    // Destroying a producer instance must drop its event channels and
+    // their subscriptions, so no delivery is attempted to or from it.
+    let mut world = demo_world(Topology::lan(3), 12);
+    settle(&mut world, 10);
+    let gspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(0),
+        NodeCmd::SpawnLocal {
+            component: "GuiPart".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("gui".into()),
+            sink: gspawn.clone(),
+        },
+    );
+    world.cmd(HostId(2), NodeCmd::Install(demo::watcher_package()));
+    settle(&mut world, 20);
+    let wspawn: lc_core::SpawnSink = Rc::default();
+    world.cmd(
+        HostId(2),
+        NodeCmd::SpawnLocal {
+            component: "Watcher".into(),
+            min_version: Version::new(1, 0),
+            instance_name: Some("w".into()),
+            sink: wspawn.clone(),
+        },
+    );
+    settle(&mut world, 20);
+    let gui_ref = gspawn.borrow().clone().unwrap().unwrap();
+    let watcher_ref = wspawn.borrow().clone().unwrap().unwrap();
+    world.cmd(
+        HostId(2),
+        NodeCmd::Subscribe {
+            producer: gui_ref.clone(),
+            port: "rendered".into(),
+            consumer: watcher_ref,
+            delivery_op: "_push_rendered".into(),
+        },
+    );
+    settle(&mut world, 50);
+    assert_eq!(world.node(HostId(0)).unwrap().event_channel_count(), 1);
+    assert_eq!(world.node(HostId(0)).unwrap().subscription_count(), 1);
+
+    world.cmd(
+        HostId(1),
+        NodeCmd::Invoke {
+            target: gui_ref.clone(),
+            op: "render".into(),
+            args: vec![Value::string("frame0")],
+            oneway: true,
+            sink: None,
+        },
+    );
+    settle(&mut world, 100);
+    assert_eq!(world.sim.metrics_ref().counter("events.published"), 1);
+
+    // Kill the producer instance; the channel and its subscriber go too.
+    let gui_instance = world.node(HostId(0)).unwrap().registry.named("gui").unwrap().id;
+    let actor = world.actors[0];
+    assert!(world.sim.actor_as_mut::<lc_core::Node>(actor).unwrap().destroy_instance(gui_instance));
+    let node = world.node(HostId(0)).unwrap();
+    assert_eq!(node.event_channel_count(), 0, "channels rooted at the dead instance are dropped");
+    assert_eq!(node.subscription_count(), 0);
+    assert_eq!(node.registry.instance_count(), 0);
+
+    // A render sent to the dead reference publishes nothing.
+    world.cmd(
+        HostId(1),
+        NodeCmd::Invoke {
+            target: gui_ref,
+            op: "render".into(),
+            args: vec![Value::string("frame1")],
+            oneway: true,
+            sink: None,
+        },
+    );
+    settle(&mut world, 100);
+    assert_eq!(world.sim.metrics_ref().counter("events.published"), 1);
+}

@@ -44,13 +44,13 @@
 //! ```
 
 pub mod metrics;
+pub mod rng;
 pub mod time;
 
 pub use metrics::{Histogram, Metrics};
+pub use rng::SimRng;
 pub use time::SimTime;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -131,7 +131,7 @@ struct Core {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
-    rng: StdRng,
+    rng: SimRng,
     metrics: Metrics,
     events_fired: u64,
     next_actor: u32,
@@ -167,7 +167,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Deterministic per-simulation RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rng
     }
 
@@ -229,7 +229,7 @@ impl Sim {
                 now: SimTime::ZERO,
                 seq: 0,
                 queue: BinaryHeap::new(),
-                rng: StdRng::seed_from_u64(seed),
+                rng: SimRng::seed_from_u64(seed),
                 metrics: Metrics::default(),
                 events_fired: 0,
                 next_actor: 0,
@@ -252,7 +252,7 @@ impl Sim {
     }
 
     /// Deterministic RNG (same stream the actors see).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rng
     }
 
@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn same_seed_same_history() {
         fn history(seed: u64) -> (SimTime, u64, u64) {
-            use rand::Rng;
+
             struct Jitter {
                 peer: Option<ActorId>,
                 left: u32,

@@ -49,20 +49,26 @@ pub fn compile(src: &str) -> Result<Repository, CompileError> {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lc_prop::{alphabet, check, Gen};
+    use std::collections::BTreeSet;
 
-    fn ident() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9_]{0,8}"
-            .prop_filter("not a keyword", |s| !lexer::KEYWORDS.contains(&s.as_str()))
+    fn ident(g: &mut Gen) -> String {
+        loop {
+            let mut s = g.string_of(alphabet::LOWER, 1..2);
+            s.push_str(&g.string_of(alphabet::LOWER_IDENT, 0..9));
+            if !lexer::KEYWORDS.contains(&s.as_str()) {
+                return s;
+            }
+        }
     }
 
-    proptest! {
-        /// Any generated flat interface compiles and its ops round-trip.
-        #[test]
-        fn generated_interfaces_compile(
-            iface in ident(),
-            ops in prop::collection::btree_set(ident(), 0..6),
-        ) {
+    /// Any generated flat interface compiles and its ops round-trip.
+    #[test]
+    fn generated_interfaces_compile() {
+        check("generated_interfaces_compile", |g| {
+            let iface = ident(g);
+            let ops: BTreeSet<String> =
+                (0..g.gen_range(0..6usize)).map(|_| ident(g)).collect();
             let body: String = ops
                 .iter()
                 .map(|o| format!("void {o}(in long a, out string b);"))
@@ -71,17 +77,20 @@ mod proptests {
             let repo = compile(&src).unwrap();
             let id = format!("IDL:{iface}:1.0");
             let meta = repo.interface(&id).unwrap();
-            prop_assert_eq!(meta.ops.len(), ops.len());
+            assert_eq!(meta.ops.len(), ops.len());
             for o in &ops {
-                prop_assert!(meta.op(o).is_some());
+                assert!(meta.op(o).is_some());
             }
-        }
+        });
+    }
 
-        /// Duplicate operation names must be rejected.
-        #[test]
-        fn duplicate_ops_rejected(name in ident()) {
+    /// Duplicate operation names must be rejected.
+    #[test]
+    fn duplicate_ops_rejected() {
+        check("duplicate_ops_rejected", |g| {
+            let name = ident(g);
             let src = format!("interface i {{ void {name}(); void {name}(); }};");
-            prop_assert!(compile(&src).is_err());
-        }
+            assert!(compile(&src).is_err());
+        });
     }
 }

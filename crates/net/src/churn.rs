@@ -12,7 +12,6 @@
 
 use crate::{HostId, Net};
 use lc_des::{Sim, SimTime};
-use rand::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -31,6 +31,9 @@ pub use cdr::{encoded_len, Decoder, Encoder};
 pub use events::{check_event, make_event};
 pub use local::{LocalOrb, LocalOrbStats};
 pub use object::{ObjectKey, ObjectRef, OrbError};
-pub use servant::{DispatchResult, Invocation, ObjectAdapter, OutCall, OutCallKind, Outcome, Servant};
+pub use servant::{
+    DispatchResult, DispatchStats, Invocation, ObjectAdapter, OutCall, OutCallKind, Outcome,
+    Servant,
+};
 pub use sim::{OrbWire, RequestId, SimOrb, HEADER_BYTES};
 pub use value::{check_value, Value};

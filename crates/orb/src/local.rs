@@ -19,7 +19,7 @@ use crate::servant::{ObjectAdapter, OutCall, OutCallKind, Outcome, Servant};
 use crate::value::Value;
 use lc_idl::Repository;
 use lc_net::HostId;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -75,12 +75,12 @@ impl LocalOrb {
 
     /// Activate a servant.
     pub fn activate(&self, servant: Box<dyn Servant>) -> ObjectRef {
-        self.inner.lock().adapter.activate(servant)
+        self.inner.lock().unwrap().adapter.activate(servant)
     }
 
     /// Deactivate a servant.
     pub fn deactivate(&self, r: &ObjectRef) {
-        self.inner.lock().adapter.deactivate(r.key.oid);
+        self.inner.lock().unwrap().adapter.deactivate(r.key.oid);
     }
 
     /// Bind an event-source port of `producer` to an event type; events
@@ -92,6 +92,7 @@ impl LocalOrb {
         );
         self.inner
             .lock()
+            .unwrap()
             .port_events
             .insert((producer.key.oid, port.to_owned()), event_id.to_owned());
     }
@@ -106,6 +107,7 @@ impl LocalOrb {
         );
         self.inner
             .lock()
+            .unwrap()
             .subs
             .entry(event_id.to_owned())
             .or_default()
@@ -117,7 +119,7 @@ impl LocalOrb {
         check_event(payload, event_id, &self.repo)
             .map_err(|e| OrbError::BadParam(e.to_string()))?;
         let subs = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             inner.stats.events += 1;
             inner.subs.get(event_id).cloned().unwrap_or_default()
         };
@@ -141,7 +143,7 @@ impl LocalOrb {
         args: &[Value],
     ) -> Result<Outcome, OrbError> {
         let (outcome, follow_ups, events) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             inner.stats.requests += 1;
             inner.stats.request_bytes += encoded_len(args);
             let res = inner.adapter.dispatch(target.key, op, args);
@@ -213,7 +215,7 @@ impl LocalOrb {
         args: &[Value],
     ) -> Result<Outcome, OrbError> {
         let (outcome, follow_ups, events) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             inner.stats.requests += 1;
             let res = inner.adapter.dispatch_raw(target.key, op, args);
             let events = self.resolve_events(&mut inner, target.key.oid, res.events);
@@ -273,12 +275,17 @@ impl LocalOrb {
 
     /// A snapshot of the statistics.
     pub fn stats(&self) -> LocalOrbStats {
-        self.inner.lock().stats
+        self.inner.lock().unwrap().stats
+    }
+
+    /// A snapshot of the underlying adapter's dispatch counters.
+    pub fn dispatch_stats(&self) -> crate::servant::DispatchStats {
+        self.inner.lock().unwrap().adapter.dispatch_stats()
     }
 
     /// Number of active servants.
     pub fn active_count(&self) -> usize {
-        self.inner.lock().adapter.active_count()
+        self.inner.lock().unwrap().adapter.active_count()
     }
 }
 

@@ -168,6 +168,38 @@ pub struct DispatchResult {
     pub cpu_cost: lc_des::SimTime,
 }
 
+/// Running counters over an adapter's dispatch activity, for the node's
+/// per-service instrumentation and the E1 overhead report. Wall-clock
+/// time only — it never feeds back into simulated behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Type-checked IDL dispatches.
+    pub typed: u64,
+    /// Raw system-op dispatches (`_connect_*`, `_reply`, `_push_*`, …).
+    pub raw: u64,
+    /// Dispatches that produced an error outcome.
+    pub errors: u64,
+    /// Total wall-clock nanoseconds spent inside servant dispatch.
+    pub total_ns: u64,
+}
+
+impl DispatchStats {
+    /// Total dispatches, typed + raw.
+    pub fn total(&self) -> u64 {
+        self.typed + self.raw
+    }
+
+    /// Mean wall-clock nanoseconds per dispatch.
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / n as f64
+        }
+    }
+}
+
 /// The per-host servant table.
 pub struct ObjectAdapter {
     host: HostId,
@@ -175,12 +207,30 @@ pub struct ObjectAdapter {
     next_oid: u64,
     servants: HashMap<u64, Box<dyn Servant>>,
     clock: lc_des::SimTime,
+    stats: DispatchStats,
 }
 
 impl ObjectAdapter {
     /// New adapter for `host`, validating against `repo`.
     pub fn new(host: HostId, repo: Arc<Repository>) -> Self {
-        ObjectAdapter { host, repo, next_oid: 1, servants: HashMap::new(), clock: lc_des::SimTime::ZERO }
+        ObjectAdapter {
+            host,
+            repo,
+            next_oid: 1,
+            servants: HashMap::new(),
+            clock: lc_des::SimTime::ZERO,
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Dispatch counters since creation (or the last reset).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Zero the dispatch counters (e.g. between benchmark phases).
+    pub fn reset_dispatch_stats(&mut self) {
+        self.stats = DispatchStats::default();
     }
 
     /// Set the virtual time exposed to servants during dispatch.
@@ -258,6 +308,15 @@ impl ObjectAdapter {
     /// servant's interface, check argument types, run the servant, check
     /// result types.
     pub fn dispatch(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+        let t0 = std::time::Instant::now();
+        let res = self.dispatch_inner(key, op, args);
+        self.stats.typed += 1;
+        self.stats.errors += res.outcome.is_err() as u64;
+        self.stats.total_ns += t0.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn dispatch_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
         let fail = |e: OrbError| DispatchResult {
             outcome: Err(e),
             outbox: Vec::new(),
@@ -349,6 +408,15 @@ impl ObjectAdapter {
     /// operations that are not part of any IDL interface: event delivery
     /// (`_push_*` on consumer ports) and reply routing (`_reply`).
     pub fn dispatch_raw(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+        let t0 = std::time::Instant::now();
+        let res = self.dispatch_raw_inner(key, op, args);
+        self.stats.raw += 1;
+        self.stats.errors += res.outcome.is_err() as u64;
+        self.stats.total_ns += t0.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn dispatch_raw_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
         if key.host != self.host {
             return DispatchResult {
                 outcome: Err(OrbError::ObjectNotExist),

@@ -4,7 +4,7 @@
 
 use lc_idl::types::ResolvedType;
 use lc_orb::{check_value, Decoder, Encoder, ObjectKey, ObjectRef, Value};
-use proptest::prelude::*;
+use lc_prop::{check, Gen};
 
 const IDL: &str = r#"
     struct Point { long x; double y; };
@@ -12,81 +12,74 @@ const IDL: &str = r#"
     interface Thing { void f(); };
 "#;
 
-/// A strategy producing `(type, well-typed value)` pairs, recursively.
-fn typed_value() -> impl Strategy<Value = (ResolvedType, Value)> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(|b| (ResolvedType::Boolean, Value::Boolean(b))),
-        any::<u8>().prop_map(|b| (ResolvedType::Octet, Value::Octet(b))),
-        any::<char>().prop_map(|c| (ResolvedType::Char, Value::Char(c))),
-        any::<i16>().prop_map(|v| (ResolvedType::Short { unsigned: false }, Value::Short(v))),
-        any::<u16>().prop_map(|v| (ResolvedType::Short { unsigned: true }, Value::UShort(v))),
-        any::<i32>().prop_map(|v| (ResolvedType::Long { unsigned: false }, Value::Long(v))),
-        any::<u32>().prop_map(|v| (ResolvedType::Long { unsigned: true }, Value::ULong(v))),
-        any::<i64>()
-            .prop_map(|v| (ResolvedType::LongLong { unsigned: false }, Value::LongLong(v))),
-        any::<u64>()
-            .prop_map(|v| (ResolvedType::LongLong { unsigned: true }, Value::ULongLong(v))),
-        any::<f32>()
-            .prop_filter("finite", |f| f.is_finite())
-            .prop_map(|v| (ResolvedType::Float, Value::Float(v))),
-        any::<f64>()
-            .prop_filter("finite", |f| f.is_finite())
-            .prop_map(|v| (ResolvedType::Double, Value::Double(v))),
-        "[ -~]{0,40}".prop_map(|s| (ResolvedType::String, Value::Str(s))),
-        (any::<i32>(), any::<f64>().prop_filter("finite", |f| f.is_finite())).prop_map(
-            |(x, y)| {
-                (
-                    ResolvedType::Struct("IDL:Point:1.0".into()),
-                    Value::Struct {
-                        id: "IDL:Point:1.0".into(),
-                        fields: vec![Value::Long(x), Value::Double(y)],
-                    },
-                )
-            }
+/// Produce a `(type, well-typed value)` pair, recursively: at depth > 0 a
+/// draw may be a homogeneous sequence of deeper draws.
+fn typed_value(g: &mut Gen, depth: usize) -> (ResolvedType, Value) {
+    // One extra arm for sequences while depth remains.
+    let arms = if depth > 0 { 16u32 } else { 15 };
+    match g.gen_range(0..arms) {
+        0 => (ResolvedType::Boolean, Value::Boolean(g.gen_bool())),
+        1 => (ResolvedType::Octet, Value::Octet(g.any_u8())),
+        2 => (ResolvedType::Char, Value::Char(g.any_char())),
+        3 => (ResolvedType::Short { unsigned: false }, Value::Short(g.any_i16())),
+        4 => (ResolvedType::Short { unsigned: true }, Value::UShort(g.any_u16())),
+        5 => (ResolvedType::Long { unsigned: false }, Value::Long(g.any_i32())),
+        6 => (ResolvedType::Long { unsigned: true }, Value::ULong(g.any_u32())),
+        7 => (ResolvedType::LongLong { unsigned: false }, Value::LongLong(g.any_i64())),
+        8 => (ResolvedType::LongLong { unsigned: true }, Value::ULongLong(g.any_u64())),
+        9 => (ResolvedType::Float, Value::Float(g.any_f32())),
+        10 => (ResolvedType::Double, Value::Double(g.any_f64())),
+        11 => (ResolvedType::String, Value::Str(g.ascii_printable(0..41))),
+        12 => (
+            ResolvedType::Struct("IDL:Point:1.0".into()),
+            Value::Struct {
+                id: "IDL:Point:1.0".into(),
+                fields: vec![Value::Long(g.any_i32()), Value::Double(g.any_f64())],
+            },
         ),
-        (0u32..3).prop_map(|o| {
+        13 => {
+            let ordinal = g.gen_range(0..3u32);
             (
                 ResolvedType::Enum("IDL:Color:1.0".into()),
-                Value::Enum { id: "IDL:Color:1.0".into(), ordinal: o },
+                Value::Enum { id: "IDL:Color:1.0".into(), ordinal },
             )
-        }),
-        (any::<u32>(), any::<u64>()).prop_map(|(h, oid)| {
-            (
-                ResolvedType::Object("IDL:Thing:1.0".into()),
-                Value::ObjRef(ObjectRef {
-                    key: ObjectKey { host: lc_net::HostId(h), oid },
-                    type_id: "IDL:Thing:1.0".into(),
-                }),
-            )
-        }),
-    ];
-    leaf.prop_recursive(3, 48, 6, |inner| {
-        prop::collection::vec(inner, 0..6).prop_map(|items| {
-            // A sequence must be homogeneous: take the first item's type
-            // (or octet for empty) and keep only matching items.
-            match items.first() {
-                None => (
+        }
+        14 => (
+            ResolvedType::Object("IDL:Thing:1.0".into()),
+            Value::ObjRef(ObjectRef {
+                key: ObjectKey { host: lc_net::HostId(g.any_u32()), oid: g.any_u64() },
+                type_id: "IDL:Thing:1.0".into(),
+            }),
+        ),
+        _ => {
+            // A sequence must be homogeneous: generate one element to fix
+            // the type, then keep generating until one matches it.
+            let n = g.gen_range(0..6usize);
+            if n == 0 {
+                return (
                     ResolvedType::Sequence(Box::new(ResolvedType::Octet)),
                     Value::Sequence(vec![]),
-                ),
-                Some((t0, _)) => {
-                    let t0 = t0.clone();
-                    let vals: Vec<Value> = items
-                        .iter()
-                        .filter(|(t, _)| *t == t0)
-                        .map(|(_, v)| v.clone())
-                        .collect();
-                    (ResolvedType::Sequence(Box::new(t0)), Value::Sequence(vals))
+                );
+            }
+            let (t0, v0) = typed_value(g, depth - 1);
+            let mut vals = vec![v0];
+            for _ in 1..n {
+                let (t, v) = typed_value(g, depth - 1);
+                if t == t0 {
+                    vals.push(v);
                 }
             }
-        })
-    })
+            (ResolvedType::Sequence(Box::new(t0)), Value::Sequence(vals))
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn round_trip_exact((ty, value) in typed_value()) {
-        let repo = lc_idl::compile(IDL).unwrap();
+#[test]
+fn round_trip_exact() {
+    let repo = lc_idl::compile(IDL).unwrap();
+    check("round_trip_exact", |g| {
+        let depth = g.gen_range(0..4usize);
+        let (ty, value) = typed_value(g, depth);
         // well-typed by construction
         check_value(&value, &ty, &repo).unwrap();
         let mut enc = Encoder::new();
@@ -94,21 +87,21 @@ proptest! {
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes, &repo);
         let back = dec.value(&ty).unwrap();
-        prop_assert_eq!(&back, &value);
-        prop_assert_eq!(dec.consumed(), bytes.len());
+        assert_eq!(&back, &value);
+        assert_eq!(dec.consumed(), bytes.len());
         // encoding is deterministic
         let mut enc2 = Encoder::new();
         enc2.value(&back);
-        prop_assert_eq!(enc2.into_bytes(), bytes);
-    }
+        assert_eq!(enc2.into_bytes(), bytes);
+    });
+}
 
-    /// Decoding arbitrary garbage never panics.
-    #[test]
-    fn decoder_total(
-        garbage in prop::collection::vec(any::<u8>(), 0..200),
-        pick in 0usize..8,
-    ) {
-        let repo = lc_idl::compile(IDL).unwrap();
+/// Decoding arbitrary garbage never panics.
+#[test]
+fn decoder_total() {
+    let repo = lc_idl::compile(IDL).unwrap();
+    check("decoder_total", |g| {
+        let garbage = g.bytes(0..200);
         let tys = [
             ResolvedType::Boolean,
             ResolvedType::Long { unsigned: false },
@@ -119,7 +112,8 @@ proptest! {
             ResolvedType::Enum("IDL:Color:1.0".into()),
             ResolvedType::Object("IDL:Thing:1.0".into()),
         ];
+        let ty = g.pick(&tys).clone();
         let mut dec = Decoder::new(&garbage, &repo);
-        let _ = dec.value(&tys[pick]);
-    }
+        let _ = dec.value(&ty);
+    });
 }

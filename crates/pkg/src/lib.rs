@@ -49,23 +49,31 @@ pub use sign::{Signature, SigningKey, TrustStore};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lc_prop::{alphabet, check, Gen};
+    use std::collections::BTreeSet;
 
-    fn platform() -> impl Strategy<Value = Platform> {
-        ("[a-z]{2,6}", "[a-z]{2,6}", "[a-z-]{2,8}")
-            .prop_map(|(a, o, r)| Platform::new(&a, &o, &r))
+    const LOWER_DASH: &str = "abcdefghijklmnopqrstuvwxyz-";
+
+    fn platform(g: &mut Gen) -> Platform {
+        Platform::new(
+            &g.string_of(alphabet::LOWER, 2..7),
+            &g.string_of(alphabet::LOWER, 2..7),
+            &g.string_of(LOWER_DASH, 2..9),
+        )
     }
 
-    proptest! {
-        /// Any generated package round-trips through the wire format.
-        #[test]
-        fn package_round_trips(
-            name in "[A-Za-z][A-Za-z0-9]{0,12}",
-            major in 0u32..20, minor in 0u32..20,
-            idl in "[ -~]{0,200}",
-            platforms in prop::collection::btree_set(platform(), 0..4),
-            payload in prop::collection::vec(any::<u8>(), 0..2000),
-        ) {
+    /// Any generated package round-trips through the wire format.
+    #[test]
+    fn package_round_trips() {
+        check("package_round_trips", |g| {
+            let mut name = g.string_of(alphabet::ALPHA, 1..2);
+            name.push_str(&g.string_of(alphabet::ALNUM, 0..13));
+            let (major, minor) = (g.gen_range(0..20u32), g.gen_range(0..20u32));
+            let idl = g.ascii_printable(0..201);
+            let platforms: BTreeSet<Platform> =
+                (0..g.gen_range(0..4usize)).map(|_| platform(g)).collect();
+            let payload = g.bytes(0..2000);
+
             let desc = ComponentDescriptor::new(&name, Version::new(major, minor), "vendor");
             let mut pkg = Package::new(desc).with_idl("x.idl", &idl);
             for (i, p) in platforms.into_iter().enumerate() {
@@ -73,13 +81,16 @@ mod proptests {
             }
             let bytes = pkg.to_bytes();
             let back = Package::from_bytes(&bytes).unwrap();
-            prop_assert_eq!(pkg, back);
-        }
+            assert_eq!(pkg, back);
+        });
+    }
 
-        /// Parsing never panics on arbitrary bytes.
-        #[test]
-        fn from_bytes_total(garbage in prop::collection::vec(any::<u8>(), 0..4000)) {
+    /// Parsing never panics on arbitrary bytes.
+    #[test]
+    fn from_bytes_total() {
+        check("from_bytes_total", |g| {
+            let garbage = g.bytes(0..4000);
             let _ = Package::from_bytes(&garbage);
-        }
+        });
     }
 }

@@ -238,29 +238,34 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lc_prop::check;
 
-    proptest! {
-        #[test]
-        fn round_trip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+    #[test]
+    fn round_trip_arbitrary() {
+        check("round_trip_arbitrary", |g| {
+            let data = g.bytes(0..5000);
             let c = compress(&data);
-            prop_assert_eq!(decompress(&c).unwrap(), data);
-        }
+            assert_eq!(decompress(&c).unwrap(), data);
+        });
+    }
 
-        #[test]
-        fn round_trip_repetitive(
-            seed in prop::collection::vec(any::<u8>(), 1..20),
-            reps in 1usize..200,
-        ) {
+    #[test]
+    fn round_trip_repetitive() {
+        check("round_trip_repetitive", |g| {
+            let seed = g.bytes(1..20);
+            let reps = g.gen_range(1..200usize);
             let data: Vec<u8> = seed.iter().copied().cycle().take(seed.len() * reps).collect();
             let c = compress(&data);
-            prop_assert_eq!(decompress(&c).unwrap(), data);
-        }
+            assert_eq!(decompress(&c).unwrap(), data);
+        });
+    }
 
-        /// Decompression never panics on arbitrary garbage.
-        #[test]
-        fn decompress_total(garbage in prop::collection::vec(any::<u8>(), 0..2000)) {
+    /// Decompression never panics on arbitrary garbage.
+    #[test]
+    fn decompress_total() {
+        check("decompress_total", |g| {
+            let garbage = g.bytes(0..2000);
             let _ = decompress(&garbage);
-        }
+        });
     }
 }

@@ -30,69 +30,63 @@ pub use writer::to_string;
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lc_prop::{alphabet, check, Gen};
 
-    fn name_strategy() -> impl Strategy<Value = String> {
-        "[a-zA-Z][a-zA-Z0-9_-]{0,12}"
+    fn gen_name(g: &mut Gen) -> String {
+        let mut s = g.string_of(alphabet::ALPHA, 1..2);
+        s.push_str(&g.string_of(alphabet::NAME, 0..13));
+        s
     }
 
-    fn text_strategy() -> impl Strategy<Value = String> {
+    fn gen_text(g: &mut Gen) -> String {
         // Arbitrary printable text including XML-special characters; the
         // writer must escape whatever we throw at it.
-        "[ -~]{0,40}"
+        g.ascii_printable(0..41)
     }
 
-    fn element_strategy() -> impl Strategy<Value = Element> {
-        let leaf =
-            (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
-                .prop_map(|(name, attrs)| {
-                    let mut e = Element::new(&name);
-                    for (k, v) in attrs {
-                        if !e.attrs.iter().any(|(ek, _)| *ek == k) {
-                            e.set_attr(&k, &v);
-                        }
-                    }
-                    e
-                });
-        leaf.prop_recursive(3, 24, 4, |inner| {
-            (
-                name_strategy(),
-                prop::collection::vec((name_strategy(), text_strategy()), 0..3),
-                prop::collection::vec(
-                    prop_oneof![
-                        inner.prop_map(Node::Element),
-                        // Text nodes without leading/trailing whitespace:
-                        // the parser trims inter-element whitespace.
-                        "[!-~][ -~]{0,20}[!-~]".prop_map(Node::Text),
-                    ],
-                    0..4,
-                ),
-            )
-                .prop_map(|(name, attrs, children)| {
-                    let mut e = Element::new(&name);
-                    for (k, v) in attrs {
-                        if !e.attrs.iter().any(|(ek, _)| *ek == k) {
-                            e.set_attr(&k, &v);
-                        }
-                    }
-                    // Merge adjacent text nodes to keep round-trips exact.
-                    for c in children {
-                        match (&c, e.children.last_mut()) {
-                            (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
-                            _ => e.children.push(c),
-                        }
-                    }
-                    e
-                })
-        })
+    /// Text nodes without leading/trailing whitespace: the parser trims
+    /// inter-element whitespace.
+    fn gen_trimmed_text(g: &mut Gen) -> String {
+        const NON_SPACE: &str = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+        let mut s = g.string_of(NON_SPACE, 1..2);
+        s.push_str(&g.ascii_printable(0..21));
+        s.push_str(&g.string_of(NON_SPACE, 1..2));
+        s
     }
 
-    proptest! {
-        #[test]
-        fn write_parse_round_trips(e in element_strategy()) {
+    fn gen_element(g: &mut Gen, depth: usize) -> Element {
+        let mut e = Element::new(&gen_name(g));
+        for _ in 0..g.gen_range(0..3usize) {
+            let (k, v) = (gen_name(g), gen_text(g));
+            if !e.attrs.iter().any(|(ek, _)| *ek == k) {
+                e.set_attr(&k, &v);
+            }
+        }
+        if depth > 0 {
+            for _ in 0..g.gen_range(0..4usize) {
+                let c = if g.gen_bool() {
+                    Node::Element(gen_element(g, depth - 1))
+                } else {
+                    Node::Text(gen_trimmed_text(g))
+                };
+                // Merge adjacent text nodes to keep round-trips exact.
+                match (&c, e.children.last_mut()) {
+                    (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
+                    _ => e.children.push(c),
+                }
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn write_parse_round_trips() {
+        check("write_parse_round_trips", |g| {
+            let depth = g.gen_range(0..4usize);
+            let e = gen_element(g, depth);
             let s = to_string(&e);
             let back = parse(&s).expect("own output must parse");
-            prop_assert_eq!(e, back);
-        }
+            assert_eq!(e, back);
+        });
     }
 }
