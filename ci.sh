@@ -6,4 +6,13 @@ cd "$(dirname "$0")"
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Fault-injection determinism gate: the same seeds must reproduce the
+# same faults, retries and recoveries byte-for-byte (E10 prints only
+# virtual-time/count columns, so any diff is a real regression).
+./target/release/e10_fault_tolerance > /tmp/e10_run1.txt
+./target/release/e10_fault_tolerance > /tmp/e10_run2.txt
+diff /tmp/e10_run1.txt /tmp/e10_run2.txt
+rm -f /tmp/e10_run1.txt /tmp/e10_run2.txt
+
 echo "ci: all green"

@@ -22,7 +22,9 @@ use lc_des::{Actor, AnyMsg, AnyMsgExt, Ctx, SimTime};
 use lc_net::{HostId, Net, NetMsg};
 use std::collections::BTreeSet;
 
-/// Protocol messages.
+/// Protocol messages. `Clone` because the fabric may duplicate frames
+/// in flight; the protocol is idempotent under duplicates.
+#[derive(Clone)]
 enum Msg {
     /// Member → coordinator, each period.
     Heartbeat { from: HostId },
@@ -266,7 +268,7 @@ mod tests {
     use lc_net::Topology;
 
     fn run_stable(n: usize, secs: u64) -> (u64, u64, u64) {
-        let net = Net::new(Topology::lan(n));
+        let net = Net::builder(Topology::lan(n)).build();
         let mut sim = Sim::new(7);
         let cfg = StrongConfig { period: SimTime::from_millis(500), timeout_intervals: 3 };
         StrongMember::install(&mut sim, &net, &cfg);
@@ -288,7 +290,7 @@ mod tests {
 
     #[test]
     fn crash_triggers_acked_view_broadcast() {
-        let net = Net::new(Topology::lan(8));
+        let net = Net::builder(Topology::lan(8)).build();
         let mut sim = Sim::new(9);
         let cfg = StrongConfig { period: SimTime::from_millis(500), timeout_intervals: 3 };
         let actors = StrongMember::install(&mut sim, &net, &cfg);
@@ -308,7 +310,7 @@ mod tests {
 
     #[test]
     fn rejoin_triggers_another_view() {
-        let net = Net::new(Topology::lan(4));
+        let net = Net::builder(Topology::lan(4)).build();
         let mut sim = Sim::new(11);
         let cfg = StrongConfig { period: SimTime::from_millis(500), timeout_intervals: 3 };
         let actors = StrongMember::install(&mut sim, &net, &cfg);

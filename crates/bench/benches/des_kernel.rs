@@ -58,7 +58,7 @@ fn main() {
         let s = topo.add_site("l");
         topo.add_host(HostCfg::new(s));
         topo.add_host(HostCfg::new(s));
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let mut sim = Sim::new(1);
         let sink = sim.spawn(Sink);
         net.bind(lc_net::HostId(1), sink);

@@ -1,0 +1,458 @@
+//! E10 — fault injection and end-to-end recovery.
+//!
+//! The seeded [`lc_net::FaultPlan`] injects message loss, duplication,
+//! jitter, timed partitions and node crash/restart schedules *under*
+//! the unchanged protocol stack; the recovery layer added on top
+//! (per-request deadlines + exponential backoff + retry budgets in the
+//! container, request-id dedup on the servant side, query re-issue and
+//! partial-result tagging in the registry) is what this experiment
+//! measures:
+//!
+//! 1. invocation reliability vs loss rate, with and without the retry
+//!    policy — success rate, p50/p99 latency, retry amplification,
+//!    servant-side dedup hits and exactly-once effects;
+//! 2. distributed-query success vs loss for CORBA-LC (hierarchical,
+//!    with query re-issue) against the flat baseline and against
+//!    strong-consistency semantics (partial results count as failure);
+//! 3. a timed partition isolating one site: the hierarchy keeps serving
+//!    local offers inside the partition, the flat registry goes dark;
+//! 4. a scripted MRM crash/restart window driven by the fault plan's
+//!    crash schedule, absorbed by MRM replication.
+//!
+//! Everything runs in virtual time on seeded RNGs: two runs of this
+//! binary produce byte-identical output (checked by ci.sh).
+
+use lc_bench::{f2, print_table};
+use lc_core::cohesion::CohesionConfig;
+use lc_core::demo;
+use lc_core::node::{InvokePolicy, NodeCmd, QueryResult};
+use lc_core::testkit::{build_world_on, World};
+use lc_core::{ComponentQuery, InvokeSink, NodeConfig};
+use lc_des::SimTime;
+use lc_net::{ChurnHooks, FaultPlan, HostId, LinkFaults, Net, Topology};
+use lc_orb::{ObjectRef, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const N: u32 = 64;
+const LOSS_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+fn cohesion() -> CohesionConfig {
+    CohesionConfig {
+        fanout: 8,
+        replicas: 2,
+        report_period: SimTime::from_millis(500),
+        timeout_intervals: 3,
+    }
+}
+
+/// Uniform loss/duplication/jitter on every link, or `None` at 0 loss
+/// (the zero-fault path must not even draw from the fault RNG).
+fn loss_plan(seed: u64, loss: f64) -> Option<FaultPlan> {
+    (loss > 0.0).then(|| {
+        FaultPlan::seeded(seed).default_link(
+            LinkFaults::none()
+                .drop_p(loss)
+                .dup_p(loss / 2.0)
+                .jitter(SimTime::from_millis(2)),
+        )
+    })
+}
+
+/// 64 nodes, campus topology, every group's host ≡ 7 (mod 8) owns the
+/// Counter component.
+fn world(seed: u64, plan: Option<FaultPlan>, cfg: NodeConfig) -> World {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let mut b = Net::builder(Topology::campus(8, 8));
+    if let Some(p) = plan {
+        b = b.fault_plan(p);
+    }
+    build_world_on(
+        b.build(),
+        seed,
+        cfg,
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        |host| if host.0 % 8 == 7 { vec![demo::counter_package()] } else { Vec::new() },
+    )
+}
+
+fn hier_cfg(invoke: InvokePolicy, query_retries: u32) -> NodeConfig {
+    NodeConfig {
+        cohesion: cohesion(),
+        query_timeout: SimTime::from_millis(600),
+        invoke,
+        query_retries,
+        ..Default::default()
+    }
+}
+
+fn pctl(sorted_ms: &[f64], p: f64) -> Option<f64> {
+    if sorted_ms.is_empty() {
+        return None;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    Some(sorted_ms[idx])
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or("-".into(), |m| format!("{m:.1}"))
+}
+
+// ---------------------------------------------------------------- T1 --
+
+struct InvokeStats {
+    success: f64,
+    p50: Option<f64>,
+    p99: Option<f64>,
+    amplification: f64,
+    dedup_hits: u64,
+    servant_execs: i64,
+}
+
+/// K cross-site invocations of `Counter::inc` from host 12 against the
+/// instance on host 7, under uniform loss.
+fn invoke_run(loss: f64, policy: InvokePolicy) -> InvokeStats {
+    const K: usize = 200;
+    let seed = 1000 + (loss * 100.0) as u64;
+    let mut w = world(seed, loss_plan(seed, loss), hier_cfg(policy, 0));
+    w.sim.run_until(SimTime::from_secs(2));
+
+    let owner = HostId(7);
+    let client = HostId(12);
+    let spawn: Rc<RefCell<Option<Result<ObjectRef, String>>>> = Rc::default();
+    w.cmd(
+        owner,
+        NodeCmd::SpawnLocal {
+            component: "Counter".into(),
+            min_version: lc_pkg::Version::new(1, 0),
+            instance_name: None,
+            sink: spawn.clone(),
+        },
+    );
+    w.sim.run_until(SimTime::from_secs(3));
+    let target = spawn.borrow().clone().expect("spawn ran").expect("spawn ok");
+
+    let mut calls: Vec<(SimTime, InvokeSink)> = Vec::new();
+    for _ in 0..K {
+        let sink: InvokeSink = Rc::default();
+        calls.push((w.sim.now(), sink.clone()));
+        w.cmd(
+            client,
+            NodeCmd::Invoke {
+                target: target.clone(),
+                op: "inc".into(),
+                args: vec![Value::Long(1)],
+                oneway: false,
+                sink: Some(sink),
+            },
+        );
+        let next = w.sim.now() + SimTime::from_millis(100);
+        w.sim.run_until(next);
+    }
+    // Drain outstanding retries and late replies.
+    let drain = w.sim.now() + SimTime::from_secs(10);
+    w.sim.run_until(drain);
+
+    let mut latencies: Vec<f64> = calls
+        .iter()
+        .filter_map(|(t0, sink)| {
+            sink.borrow()
+                .iter()
+                .find(|(_, r)| r.is_ok())
+                .map(|(t, _)| (*t - *t0).as_secs_f64() * 1e3)
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let success = latencies.len() as f64 / K as f64;
+    let retries = w.sim.metrics_ref().counter("orb.retries");
+    let dedup_hits = w.sim.metrics_ref().counter("orb.dedup_hits");
+
+    // Exactly-once check: read the counter back over the loopback path
+    // (same-host sends bypass fault injection, so this read is reliable).
+    let vsink: InvokeSink = Rc::default();
+    w.cmd(
+        owner,
+        NodeCmd::Invoke {
+            target,
+            op: "value".into(),
+            args: vec![],
+            oneway: false,
+            sink: Some(vsink.clone()),
+        },
+    );
+    let fin = w.sim.now() + SimTime::from_secs(1);
+    w.sim.run_until(fin);
+    let servant_execs = vsink
+        .borrow()
+        .first()
+        .and_then(|(_, r)| r.as_ref().ok().and_then(|o| o.ret.as_long()))
+        .map_or(-1, i64::from);
+
+    InvokeStats {
+        success,
+        p50: pctl(&latencies, 0.50),
+        p99: pctl(&latencies, 0.99),
+        amplification: (K as u64 + retries) as f64 / K as f64,
+        dedup_hits,
+        servant_execs,
+    }
+}
+
+// ---------------------------------------------------------------- T2 --
+
+/// 100 first-wins queries from rotating non-owner origins under loss.
+/// Returns (success rate, strong-semantics success rate, query
+/// re-issues, partial results).
+fn query_run(loss: f64, cfg: NodeConfig, seed_salt: u64) -> (f64, f64, u64, u64) {
+    const Q: u32 = 100;
+    let seed = 2000 + (loss * 100.0) as u64 + seed_salt;
+    let mut w = world(seed, loss_plan(seed, loss), cfg);
+    w.sim.run_until(SimTime::from_secs(3));
+
+    let mut sinks = Vec::new();
+    for q in 0..Q {
+        // Rotate over hosts 2..=6 of each group: never an MRM seat
+        // (group offsets 0/1) and never the component owner (offset 7).
+        let origin = HostId((q % 8) * 8 + 2 + (q * 5) % 5);
+        let sink: Rc<RefCell<QueryResult>> = Rc::default();
+        w.cmd(
+            origin,
+            NodeCmd::Query {
+                query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                sink: sink.clone(),
+                first_wins: true,
+            },
+        );
+        sinks.push(sink);
+        let next = w.sim.now() + SimTime::from_millis(250);
+        w.sim.run_until(next);
+    }
+    let drain = w.sim.now() + SimTime::from_secs(5);
+    w.sim.run_until(drain);
+
+    let hits = sinks.iter().filter(|s| !s.borrow().offers.is_empty()).count();
+    let complete = sinks
+        .iter()
+        .filter(|s| {
+            let s = s.borrow();
+            !s.offers.is_empty() && !s.partial
+        })
+        .count();
+    (
+        hits as f64 / Q as f64,
+        complete as f64 / Q as f64,
+        w.sim.metrics_ref().counter("query.retries"),
+        w.sim.metrics_ref().counter("query.partial"),
+    )
+}
+
+// ---------------------------------------------------------------- T3 --
+
+/// Probe queries from host 20 (site 2) every 250ms across a timed
+/// partition isolating its whole site during [10s, 20s). Returns the
+/// success rate (before, during, after).
+fn partition_run(cfg: NodeConfig, seed_salt: u64) -> (f64, f64, f64) {
+    let site2: Vec<HostId> = (16..24).map(HostId).collect();
+    let plan = FaultPlan::seeded(4000 + seed_salt).partition(
+        SimTime::from_secs(10),
+        SimTime::from_secs(20),
+        &site2,
+    );
+    let mut w = world(4000 + seed_salt, Some(plan), cfg);
+    w.sim.run_until(SimTime::from_secs(3));
+
+    let mut probes: Vec<(SimTime, Rc<RefCell<QueryResult>>)> = Vec::new();
+    while w.sim.now() < SimTime::from_secs(30) {
+        let sink: Rc<RefCell<QueryResult>> = Rc::default();
+        probes.push((w.sim.now(), sink.clone()));
+        w.cmd(
+            HostId(20),
+            NodeCmd::Query {
+                query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                sink,
+                first_wins: true,
+            },
+        );
+        let next = w.sim.now() + SimTime::from_millis(250);
+        w.sim.run_until(next);
+    }
+    let drain = w.sim.now() + SimTime::from_secs(3);
+    w.sim.run_until(drain);
+
+    let rate = |lo: u64, hi: u64| {
+        let in_window: Vec<_> = probes
+            .iter()
+            .filter(|(t, _)| *t >= SimTime::from_secs(lo) && *t < SimTime::from_secs(hi))
+            .collect();
+        let hits = in_window.iter().filter(|(_, s)| !s.borrow().offers.is_empty()).count();
+        hits as f64 / in_window.len().max(1) as f64
+    };
+    (rate(3, 10), rate(10, 20), rate(20, 30))
+}
+
+// ---------------------------------------------------------------- T4 --
+
+/// Crash/restart schedule from the fault plan: the primary MRM of the
+/// client's group (host 8) is down during [8s, 16s); queries keep
+/// succeeding through the replica seat. Returns (success rate during
+/// the outage, crashes, restarts).
+fn crash_run() -> (f64, u64, u64) {
+    let plan = FaultPlan::seeded(5000).crash(
+        HostId(8),
+        SimTime::from_secs(8),
+        Some(SimTime::from_secs(16)),
+    );
+    let w = world(5000, Some(plan), hier_cfg(InvokePolicy::default(), 1));
+    let mut sim = w.sim;
+    let seeds = w.seeds.clone();
+    let actors = Rc::new(RefCell::new(w.actors.clone()));
+    let (a1, a2) = (actors.clone(), actors.clone());
+    w.net.install_drivers(
+        &mut sim,
+        ChurnHooks {
+            on_crash: Box::new(move |sim, h| sim.kill(a1.borrow()[h.0 as usize])),
+            on_recover: Box::new(move |sim, h| {
+                let a = seeds[h.0 as usize].spawn(sim);
+                a2.borrow_mut()[h.0 as usize] = a;
+            }),
+        },
+    );
+    sim.run_until(SimTime::from_secs(3));
+
+    let mut outage_probes = Vec::new();
+    while sim.now() < SimTime::from_secs(20) {
+        let sink: Rc<RefCell<QueryResult>> = Rc::default();
+        let during = sim.now() >= SimTime::from_secs(8) && sim.now() < SimTime::from_secs(16);
+        let actor = actors.borrow()[12];
+        sim.send_in(
+            SimTime::ZERO,
+            actor,
+            NodeCmd::Query {
+                query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                sink: sink.clone(),
+                first_wins: true,
+            },
+        );
+        if during {
+            outage_probes.push(sink);
+        }
+        let next = sim.now() + SimTime::from_millis(250);
+        sim.run_until(next);
+    }
+    sim.run_until(SimTime::from_secs(22));
+    let hits = outage_probes.iter().filter(|s| !s.borrow().offers.is_empty()).count();
+    (
+        hits as f64 / outage_probes.len().max(1) as f64,
+        sim.metrics_ref().counter("net.fault.crashes"),
+        sim.metrics_ref().counter("net.fault.restarts"),
+    )
+}
+
+fn main() {
+    println!("E10: fault injection — invocation retry/backoff, query degradation, partitions");
+
+    // T1: invocation reliability sweep.
+    let mut rows = Vec::new();
+    for loss in LOSS_RATES {
+        for (label, policy) in
+            [("none", InvokePolicy::default()), ("retry x3", InvokePolicy::standard())]
+        {
+            let s = invoke_run(loss, policy);
+            rows.push(vec![
+                format!("{:.0}%", loss * 100.0),
+                label.into(),
+                f2(s.success * 100.0),
+                fmt_ms(s.p50),
+                fmt_ms(s.p99),
+                f2(s.amplification),
+                s.dedup_hits.to_string(),
+                s.servant_execs.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "invocation reliability vs loss (200 cross-site calls, deadline 250ms)",
+        &["loss", "recovery", "success %", "p50 ms", "p99 ms", "retry amp", "dedup hits", "servant execs"],
+        &rows,
+    );
+
+    // T2: query success, CORBA-LC vs flat vs strong semantics.
+    let mut rows = Vec::new();
+    for loss in LOSS_RATES {
+        let (lc, _, lc_retries, lc_partial) =
+            query_run(loss, hier_cfg(InvokePolicy::default(), 2), 0);
+        let (flat, _, _, _) = query_run(
+            loss,
+            NodeConfig {
+                cohesion: lc_baselines::flat_config(N as usize, 2, SimTime::from_millis(500)),
+                query_timeout: SimTime::from_millis(600),
+                ..Default::default()
+            },
+            7,
+        );
+        let (_, strong, _, _) = query_run(loss, hier_cfg(InvokePolicy::default(), 0), 13);
+        rows.push(vec![
+            format!("{:.0}%", loss * 100.0),
+            f2(lc * 100.0),
+            f2(flat * 100.0),
+            f2(strong * 100.0),
+            lc_retries.to_string(),
+            lc_partial.to_string(),
+        ]);
+    }
+    print_table(
+        "query success vs loss (100 first-wins queries)",
+        &[
+            "loss",
+            "CORBA-LC %",
+            "flat %",
+            "strong-sem %",
+            "LC re-issues",
+            "LC partial",
+        ],
+        &rows,
+    );
+
+    // T3: timed partition of site 2 during [10s, 20s).
+    let (hb, hd, ha) = partition_run(hier_cfg(InvokePolicy::default(), 1), 0);
+    let (fb, fd, fa) = partition_run(
+        NodeConfig {
+            cohesion: lc_baselines::flat_config(N as usize, 2, SimTime::from_millis(500)),
+            query_timeout: SimTime::from_millis(600),
+            ..Default::default()
+        },
+        1,
+    );
+    print_table(
+        "site-2 partition [10s,20s): query success from inside the partition",
+        &["registry", "before %", "during %", "after %"],
+        &[
+            vec!["CORBA-LC hierarchy".into(), f2(hb * 100.0), f2(hd * 100.0), f2(ha * 100.0)],
+            vec!["flat".into(), f2(fb * 100.0), f2(fd * 100.0), f2(fa * 100.0)],
+        ],
+    );
+
+    // T4: crash/restart schedule absorbed by MRM replication.
+    let (avail, crashes, restarts) = crash_run();
+    print_table(
+        "scheduled MRM crash [8s,16s) (replicas=2)",
+        &["query success during outage %", "crashes", "restarts"],
+        &[vec![f2(avail * 100.0), crashes.to_string(), restarts.to_string()]],
+    );
+
+    println!(
+        "\nReading: without recovery, invocation success tracks (1-loss)^2 per\n\
+         request/reply pair and lost calls hang; the deadline+backoff budget\n\
+         recovers nearly all of it at bounded retry amplification, and the\n\
+         servant-side request-id cache keeps effects exactly-once (servant\n\
+         execs never exceed the issued calls). The hierarchical registry\n\
+         degrades gracefully: re-issued queries restore success under loss,\n\
+         partial results are tagged instead of hanging, and a partitioned\n\
+         site keeps resolving local components while the flat registry goes\n\
+         dark for the whole window."
+    );
+}

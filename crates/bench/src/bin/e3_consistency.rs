@@ -99,7 +99,7 @@ fn run_soft(mean_uptime: Option<SimTime>, seed: u64) -> Row {
 
 /// Strong consistency baseline under identical churn.
 fn run_strong(mean_uptime: Option<SimTime>, seed: u64) -> Row {
-    let net = Net::new(Topology::campus(8, 8));
+    let net = Net::builder(Topology::campus(8, 8)).build();
     let mut sim = Sim::new(seed);
     let cfg = StrongConfig {
         period: SimTime::from_millis(PERIOD_MS),

@@ -43,9 +43,9 @@ pub use behavior::BehaviorRegistry;
 pub use cohesion::{CohesionConfig, Hierarchy};
 pub use deploy::{NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
 pub use node::{
-    AssemblySink, Continuations, InvokeSink, LoadBalanceConfig, MigrateSink, Node, NodeCmd,
-    NodeConfig, NodeCtx, NodeMetrics, NodeSeed, NodeService, NodeState, QueryResult, QuerySink,
-    ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick,
+    AssemblySink, Continuations, InvokePolicy, InvokeSink, LoadBalanceConfig, MigrateSink, Node,
+    NodeCmd, NodeConfig, NodeCtx, NodeMetrics, NodeSeed, NodeService, NodeState, QueryResult,
+    QuerySink, ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick,
 };
 pub use proto::{CtrlMsg, GroupSummary, QueryId};
 pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, Offer};
@@ -89,7 +89,29 @@ pub mod testkit {
         idl: Arc<lc_idl::Repository>,
         preinstalled: impl Fn(lc_net::HostId) -> Vec<Rc<Vec<u8>>>,
     ) -> World {
-        let net = Net::new(topo);
+        build_world_on(
+            Net::builder(topo).build(),
+            seed,
+            config,
+            behaviors,
+            trust,
+            idl,
+            preinstalled,
+        )
+    }
+
+    /// Build a world over an already-configured fabric — used by the
+    /// fault-tolerance experiments to attach a
+    /// [`lc_net::FaultPlan`]/churn via [`Net::builder`] first.
+    pub fn build_world_on(
+        net: Net,
+        seed: u64,
+        config: NodeConfig,
+        behaviors: BehaviorRegistry,
+        trust: TrustStore,
+        idl: Arc<lc_idl::Repository>,
+        preinstalled: impl Fn(lc_net::HostId) -> Vec<Rc<Vec<u8>>>,
+    ) -> World {
         let orb = SimOrb::new(net.clone());
         let hierarchy = Rc::new(Hierarchy::build(&net.host_ids(), config.cohesion.clone()));
         let mut sim = Sim::new(seed);

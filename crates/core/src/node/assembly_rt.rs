@@ -6,7 +6,7 @@
 use crate::assembly::{AssemblyDescriptor, ConnectionKind};
 use crate::deploy::{NodeView, PlacementStrategy};
 use crate::proto::CtrlMsg;
-use lc_orb::{ObjectKey, ObjectRef, Value};
+use lc_orb::{DispatchOpts, ObjectKey, ObjectRef, Value};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -161,8 +161,12 @@ impl NodeCtx<'_, '_> {
         for action in actions {
             match action {
                 Wire::ConnectLocal { consumer, op, provider } => {
-                    let res =
-                        self.state.adapter.dispatch_raw(consumer, &op, &[Value::ObjRef(provider)]);
+                    let res = self.state.adapter.invoke(
+                        consumer,
+                        &op,
+                        &[Value::ObjRef(provider)],
+                        DispatchOpts::raw(),
+                    );
                     self.process_dispatch_effects(consumer.oid, res);
                 }
                 Wire::ConnectRemote { consumer, op, provider } => {

@@ -7,10 +7,12 @@ use crate::proto::CtrlMsg;
 use crate::registry::{Connection, InstanceId, InstanceInfo, InstancePort};
 use lc_des::SimTime;
 use lc_net::HostId;
-use lc_orb::{ObjectKey, ObjectRef, OrbError, OrbWire, Outcome, RequestId, SimOrb, Value};
+use lc_orb::{
+    DispatchOpts, ObjectKey, ObjectRef, OrbError, OrbWire, Outcome, RequestId, SimOrb, Value,
+};
 use lc_pkg::Version;
 
-use super::continuations::{CallCont, FetchCont, PendingMigration, SpawnCont};
+use super::continuations::{CallCont, FetchCont, PendingCall, PendingMigration, RetryState, SpawnCont};
 use super::ctx::{InstanceRuntime, NodeCtx, NodeState};
 use super::metrics::ServiceKind;
 use super::service::{item, NodeService, ServiceReflect, SvcMsg, Tick};
@@ -120,14 +122,110 @@ impl NodeCtx<'_, '_> {
                 to: provider.clone(),
                 to_port: String::new(),
             });
-            let res = self.state.adapter.dispatch_raw(
+            let res = self.state.adapter.invoke(
                 key,
                 &format!("_connect_{port}"),
                 &[Value::ObjRef(provider)],
+                DispatchOpts::raw(),
             );
             self.process_dispatch_effects(key.oid, res);
             self.sim.metrics().incr("resolve.connected");
         }
+    }
+
+    /// Issue an outgoing two-way ORB call under the node's invocation
+    /// recovery policy. Without a configured deadline this is the legacy
+    /// fail-fast path (send once, fail the continuation on a send
+    /// error). With a deadline, the call is parked with its re-send
+    /// state and swept by [`Tick::CallSweep`]; even a fail-fast send
+    /// error parks the call, because the receiver may restart before
+    /// the retry budget is spent.
+    pub(crate) fn send_call(
+        &mut self,
+        target: ObjectKey,
+        op: String,
+        args: Vec<Value>,
+        cont: CallCont,
+    ) {
+        match self.state.cfg.invoke.deadline {
+            None => match self.orb_request(target, &op, args, false) {
+                Ok(rid) => {
+                    self.state.conts.calls.insert(rid, PendingCall { cont, retry: None });
+                }
+                Err(e) => self.fail_call(cont, OrbError::from(e)),
+            },
+            Some(deadline) => {
+                let rid = self.state.orb.fresh_id();
+                let _ = self.orb_request_with_id(rid, target, &op, args.clone());
+                let retry = Some(RetryState { target, op, args, attempts: 1 });
+                self.state.conts.calls.insert_with_deadline(
+                    rid,
+                    PendingCall { cont, retry },
+                    self.now() + deadline,
+                );
+                self.timer_in(deadline, Tick::CallSweep);
+            }
+        }
+    }
+
+    /// Complete a call continuation with a failure.
+    pub(crate) fn fail_call(&mut self, cont: CallCont, err: OrbError) {
+        match cont {
+            CallCont::Sink(sink) => {
+                sink.borrow_mut().push((self.sim.now(), Err(err)));
+            }
+            CallCont::ToInstance { oid, token } => {
+                let res = self.state.adapter.invoke(
+                    ObjectKey { host: self.state.host, oid },
+                    "_reply",
+                    &[Value::ULongLong(token), Value::Boolean(false)],
+                    DispatchOpts::raw(),
+                );
+                self.process_dispatch_effects(oid, res);
+            }
+        }
+    }
+
+    /// Sweep expired outgoing calls: re-send those with budget left
+    /// (exponential backoff, same request id so the servant can dedup),
+    /// fail the rest with `TIMEOUT`.
+    fn sweep_calls(&mut self) {
+        let now = self.sim.now();
+        let policy = self.state.cfg.invoke.clone();
+        let Some(deadline) = policy.deadline else { return };
+        for (rid, pc) in self.state.conts.calls.take_expired(now) {
+            let can_retry =
+                pc.retry.as_ref().is_some_and(|r| r.attempts < 1 + policy.retries);
+            if !can_retry {
+                self.sim.metrics().incr("orb.call_timeouts");
+                self.fail_call(pc.cont, OrbError::Timeout);
+                continue;
+            }
+            let attempts = pc.retry.as_ref().map_or(1, |r| r.attempts);
+            // Backoff doubles per attempt already made, capped.
+            let backoff = std::cmp::min(
+                policy.backoff_base.mul_f64((1u64 << (attempts - 1).min(20)) as f64),
+                policy.backoff_cap,
+            );
+            self.state.conts.calls.insert_with_deadline(
+                rid,
+                pc,
+                now + backoff + deadline,
+            );
+            self.timer_in(backoff, Tick::CallRetry(rid));
+            self.timer_in(backoff + deadline, Tick::CallSweep);
+        }
+    }
+
+    /// A scheduled re-send is due: if the call is still pending, re-send
+    /// it under the *same* request id.
+    fn retry_call(&mut self, rid: RequestId) {
+        let Some(pc) = self.state.conts.calls.get_mut(&rid) else { return };
+        let Some(retry) = pc.retry.as_mut() else { return };
+        retry.attempts += 1;
+        let (target, op, args) = (retry.target, retry.op.clone(), retry.args.clone());
+        self.sim.metrics().incr("orb.retries");
+        let _ = self.orb_request_with_id(rid, target, &op, args);
     }
 
     /// Send out-calls and publish events produced by a dispatch.
@@ -137,26 +235,17 @@ impl NodeCtx<'_, '_> {
         res: lc_orb::DispatchResult,
     ) {
         for call in res.outbox {
-            let oneway = matches!(call.kind, lc_orb::OutCallKind::OneWay);
-            match self.orb_request(call.target.key, &call.op, call.args, oneway) {
-                Ok(rid) => {
-                    if let lc_orb::OutCallKind::Request { token } = call.kind {
-                        self.state
-                            .conts
-                            .calls
-                            .insert(rid, CallCont::ToInstance { oid: producer_oid, token });
-                    }
+            match call.kind {
+                lc_orb::OutCallKind::OneWay => {
+                    let _ = self.orb_request(call.target.key, &call.op, call.args, true);
                 }
-                Err(_) => {
-                    if let lc_orb::OutCallKind::Request { token } = call.kind {
-                        // Deliver the failure immediately.
-                        let res = self.state.adapter.dispatch_raw(
-                            ObjectKey { host: self.state.host, oid: producer_oid },
-                            "_reply",
-                            &[Value::ULongLong(token), Value::Boolean(false)],
-                        );
-                        self.process_dispatch_effects(producer_oid, res);
-                    }
+                lc_orb::OutCallKind::Request { token } => {
+                    self.send_call(
+                        call.target.key,
+                        call.op,
+                        call.args,
+                        CallCont::ToInstance { oid: producer_oid, token },
+                    );
                 }
             }
         }
@@ -174,8 +263,12 @@ impl NodeCtx<'_, '_> {
         self.sim.metrics().incr("events.published");
         for (consumer, op) in subscribers {
             if consumer.host == self.state.host {
-                let res =
-                    self.state.adapter.dispatch_raw(consumer, &op, std::slice::from_ref(&payload));
+                let res = self.state.adapter.invoke(
+                    consumer,
+                    &op,
+                    std::slice::from_ref(&payload),
+                    DispatchOpts::raw(),
+                );
                 self.process_dispatch_effects(consumer.oid, res);
             } else {
                 let _ = self.orb_event(&event_id, payload.clone(), consumer, &op);
@@ -206,6 +299,21 @@ impl NodeCtx<'_, '_> {
             }
         }
 
+        // Servant-side duplicate suppression: a retried (same id) or
+        // fabric-duplicated request whose reply is already cached is
+        // answered from the cache — the servant executes exactly once.
+        let dedup = self.state.cfg.invoke.dedup_window;
+        if dedup > SimTime::ZERO {
+            if let (Some(back), Some(cached)) =
+                (reply_to, self.state.conts.replies.get_mut(&id))
+            {
+                let cached = cached.clone();
+                self.sim.metrics().incr("orb.dedup_hits");
+                let _ = self.orb_reply(back, id, cached);
+                return;
+            }
+        }
+
         // System ops (`_connect_*`, `_reply`, `_get_state`…) are raw;
         // IDL ops are type-checked. Attribute accessors (`_get_x`) exist
         // in the interface metadata, so try typed dispatch first.
@@ -216,17 +324,25 @@ impl NodeCtx<'_, '_> {
             .map(|s| s.interface_id().to_owned())
             .and_then(|tid| self.state.idl.interface(&tid).map(|i| i.op(&op).is_some()))
             .unwrap_or(false);
-        let res = if typed {
-            self.state.adapter.dispatch(target, &op, &args)
-        } else if op.starts_with('_') {
-            self.state.adapter.dispatch_raw(target, &op, &args)
+        let opts = if typed || !op.starts_with('_') {
+            DispatchOpts::typed()
         } else {
-            self.state.adapter.dispatch(target, &op, &args)
+            DispatchOpts::raw()
         };
+        let res = self.state.adapter.invoke(target, &op, &args, opts);
 
         let cpu_cost = res.cpu_cost;
         let outcome = res.outcome.clone();
         self.process_dispatch_effects(target.oid, res);
+
+        if dedup > SimTime::ZERO && reply_to.is_some() {
+            self.state.conts.replies.insert_with_deadline(
+                id,
+                outcome.clone(),
+                self.sim.now() + dedup,
+            );
+            self.timer_in(dedup, Tick::DedupSweep);
+        }
 
         if cpu_cost > SimTime::ZERO {
             // Occupy the CPU: FIFO over the node's processor, scaled by
@@ -245,21 +361,24 @@ impl NodeCtx<'_, '_> {
     fn on_reply(&mut self, id: RequestId, result: Result<Outcome, OrbError>) {
         match self.state.conts.calls.remove(&id) {
             None => {
+                // Duplicate or post-timeout reply (the continuation is
+                // gone): count and drop.
                 self.sim.metrics().incr("orb.orphan_replies");
             }
-            Some(CallCont::Sink(sink)) => {
+            Some(PendingCall { cont: CallCont::Sink(sink), .. }) => {
                 sink.borrow_mut().push((self.sim.now(), result));
             }
-            Some(CallCont::ToInstance { oid, token }) => {
+            Some(PendingCall { cont: CallCont::ToInstance { oid, token }, .. }) => {
                 let mut args = vec![Value::ULongLong(token), Value::Boolean(result.is_ok())];
                 if let Ok(out) = result {
                     args.push(out.ret);
                     args.extend(out.outs);
                 }
-                let res = self.state.adapter.dispatch_raw(
+                let res = self.state.adapter.invoke(
                     ObjectKey { host: self.state.host, oid },
                     "_reply",
                     &args,
+                    DispatchOpts::raw(),
                 );
                 self.process_dispatch_effects(oid, res);
             }
@@ -279,7 +398,12 @@ impl NodeCtx<'_, '_> {
         let result = match self.state.spawn_local(component, version, instance_name) {
             Ok(objref) => {
                 if !matches!(state, Value::Void) {
-                    let res = self.state.adapter.dispatch_raw(objref.key, "_set_state", &[state]);
+                    let res = self.state.adapter.invoke(
+                        objref.key,
+                        "_set_state",
+                        &[state],
+                        DispatchOpts::raw(),
+                    );
                     self.process_dispatch_effects(objref.key.oid, res);
                 }
                 Ok(objref)
@@ -305,7 +429,12 @@ impl NodeCtx<'_, '_> {
             }
             return;
         };
-        let state = match self.state.adapter.dispatch_raw(info.objref.key, "_get_state", &[]) {
+        let state = match self.state.adapter.invoke(
+            info.objref.key,
+            "_get_state",
+            &[],
+            DispatchOpts::raw(),
+        ) {
             lc_orb::DispatchResult { outcome: Ok(out), .. } => out.ret,
             _ => Value::Void,
         };
@@ -462,22 +591,14 @@ pub(crate) fn handle_cmd(ctx: &mut NodeCtx<'_, '_>, cmd: NodeCmd) {
             };
             ctx.send_ctrl(producer.key.host, msg);
         }
-        NodeCmd::Invoke { target, op, args, oneway, sink } => {
-            match ctx.orb_request(target.key, &op, args, oneway) {
-                Ok(rid) => {
-                    if !oneway {
-                        if let Some(sink) = sink {
-                            ctx.state.conts.calls.insert(rid, CallCont::Sink(sink));
-                        }
-                    }
-                }
-                Err(_) => {
-                    if let Some(sink) = sink {
-                        sink.borrow_mut().push((ctx.sim.now(), Err(OrbError::CommFailure)));
-                    }
-                }
+        NodeCmd::Invoke { target, op, args, oneway, sink } => match sink {
+            Some(sink) if !oneway => {
+                ctx.send_call(target.key, op, args, CallCont::Sink(sink));
             }
-        }
+            _ => {
+                let _ = ctx.orb_request(target.key, &op, args, oneway);
+            }
+        },
         NodeCmd::Migrate { instance, to, sink } => ctx.cmd_migrate(instance, to, sink),
         NodeCmd::ModifyPorts { instance, add_provides, remove_provides } => {
             if let Some(info) = ctx.state.registry.instance_mut(instance) {
@@ -505,7 +626,8 @@ pub(crate) fn handle_orb(ctx: &mut NodeCtx<'_, '_>, wire: OrbWire) {
         }
         OrbWire::Reply { id, result } => ctx.on_reply(id, result),
         OrbWire::Event { payload, consumer, delivery_op, .. } => {
-            let res = ctx.state.adapter.dispatch_raw(consumer, &delivery_op, &[payload]);
+            let res =
+                ctx.state.adapter.invoke(consumer, &delivery_op, &[payload], DispatchOpts::raw());
             ctx.process_dispatch_effects(consumer.oid, res);
         }
     }
@@ -529,8 +651,17 @@ impl NodeService for ContainerSvc {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
-        if let Tick::SendReply { to, id, result } = tick {
-            let _ = ctx.orb_reply(to, id, result);
+        match tick {
+            Tick::SendReply { to, id, result } => {
+                let _ = ctx.orb_reply(to, id, result);
+            }
+            Tick::CallSweep => ctx.sweep_calls(),
+            Tick::CallRetry(rid) => ctx.retry_call(rid),
+            Tick::DedupSweep => {
+                let now = ctx.now();
+                ctx.state.conts.replies.take_expired(now);
+            }
+            _ => {}
         }
     }
 

@@ -13,7 +13,7 @@ use crate::deploy::ResolvePolicy;
 use crate::registry::{ComponentQuery, InstanceId, Offer};
 use lc_des::SimTime;
 use lc_net::HostId;
-use lc_orb::{ObjectRef, RequestId, Value};
+use lc_orb::{ObjectKey, ObjectRef, OrbError, Outcome, RequestId, Value};
 use lc_pkg::Version;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -127,11 +127,16 @@ pub struct ContTable {
     /// Remote spawns awaiting `SpawnDone`.
     pub(crate) spawns: Continuations<u64, SpawnCont>,
     /// Outgoing ORB requests awaiting replies.
-    pub(crate) calls: Continuations<RequestId, CallCont>,
+    pub(crate) calls: Continuations<RequestId, PendingCall>,
     /// Package fetches awaiting `PackageBytes`/`FetchFailed`, by name.
     pub(crate) fetches: Continuations<String, Vec<FetchCont>>,
     /// Migrations awaiting `MigrateDone`.
     pub(crate) migrations: Continuations<u64, PendingMigration>,
+    /// Servant-side duplicate suppression: replies already produced, by
+    /// request id, remembered for the invoke policy's dedup window so a
+    /// retried or fabric-duplicated request re-sends the cached reply
+    /// instead of re-executing the servant.
+    pub(crate) replies: Continuations<RequestId, Result<Outcome, OrbError>>,
 }
 
 impl ContTable {
@@ -187,6 +192,9 @@ pub(crate) struct PendingQuery {
     pub started: SimTime,
     pub first_offer_at: Option<SimTime>,
     pub query: ComponentQuery,
+    /// Re-issues left for a query expiring with zero offers
+    /// (`NodeConfig::query_retries`).
+    pub retries_left: u32,
 }
 
 /// What to do when a remote spawn completes.
@@ -211,6 +219,23 @@ pub(crate) enum CallCont {
     ToInstance { oid: u64, token: u64 },
     /// Hand to a driver sink.
     Sink(InvokeSink),
+}
+
+/// One in-flight outgoing ORB call: the completion continuation plus,
+/// when the node's invoke policy enables recovery, everything needed to
+/// re-send the request under the same id.
+pub(crate) struct PendingCall {
+    pub cont: CallCont,
+    pub retry: Option<RetryState>,
+}
+
+/// Re-send state for a call under a deadline/retry policy.
+pub(crate) struct RetryState {
+    pub target: ObjectKey,
+    pub op: String,
+    pub args: Vec<Value>,
+    /// Send attempts made so far (the first send counts as 1).
+    pub attempts: u32,
 }
 
 /// What to do once a fetched package is installed.
@@ -279,7 +304,10 @@ mod tests {
         let mut t = ContTable::new();
         assert_eq!(t.next_seq(), 1);
         assert_eq!(t.next_seq(), 2);
-        t.calls.insert(RequestId(7), CallCont::ToInstance { oid: 1, token: 9 });
+        t.calls.insert(
+            RequestId(7),
+            PendingCall { cont: CallCont::ToInstance { oid: 1, token: 9 }, retry: None },
+        );
         assert_eq!(t.depth(), 1);
         assert_eq!(t.peak_depth(), 1);
         t.calls.remove(&RequestId(7));

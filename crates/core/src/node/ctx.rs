@@ -182,7 +182,7 @@ impl NodeCtx<'_, '_> {
 
     /// Raw network send from this host, counted as a per-service
     /// outgoing message when the fabric accepts it.
-    pub(crate) fn net_send<M: std::any::Any>(
+    pub(crate) fn net_send<M: std::any::Any + Clone>(
         &mut self,
         to: HostId,
         size: u64,
@@ -204,6 +204,25 @@ impl NodeCtx<'_, '_> {
         oneway: bool,
     ) -> Result<RequestId, DropReason> {
         let r = self.state.orb.send_request(self.sim, self.state.host, target, op, args, oneway);
+        if r.is_ok() {
+            self.state.metrics.msg_out();
+        }
+        r
+    }
+
+    /// Re-send an ORB request under an explicit id (retries keep the
+    /// first attempt's id so the servant can suppress duplicates).
+    pub(crate) fn orb_request_with_id(
+        &mut self,
+        id: RequestId,
+        target: ObjectKey,
+        op: &str,
+        args: Vec<Value>,
+    ) -> Result<SimTime, DropReason> {
+        let r = self
+            .state
+            .orb
+            .send_request_with_id(self.sim, self.state.host, id, target, op, args, false);
         if r.is_ok() {
             self.state.metrics.msg_out();
         }

@@ -83,6 +83,55 @@ impl Default for LoadBalanceConfig {
     }
 }
 
+/// Client-side invocation recovery policy: per-request deadlines,
+/// exponential backoff with a bounded retry budget, and the matching
+/// servant-side duplicate-suppression window. Retries re-send under the
+/// *same* request id, so a slow (not lost) original plus its retry still
+/// execute the servant exactly once.
+#[derive(Clone, Debug)]
+pub struct InvokePolicy {
+    /// Per-attempt reply deadline; `None` disables recovery entirely
+    /// (calls wait forever — the pre-fault-fabric behaviour).
+    pub deadline: Option<SimTime>,
+    /// Re-send budget after the first attempt.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per further attempt.
+    pub backoff_base: SimTime,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: SimTime,
+    /// How long a servant remembers sent replies by request id so
+    /// duplicated/retried requests are answered from cache instead of
+    /// re-executed. `ZERO` disables the cache.
+    pub dedup_window: SimTime,
+}
+
+impl Default for InvokePolicy {
+    fn default() -> Self {
+        InvokePolicy {
+            deadline: None,
+            retries: 0,
+            backoff_base: SimTime::from_millis(50),
+            backoff_cap: SimTime::from_secs(1),
+            dedup_window: SimTime::ZERO,
+        }
+    }
+}
+
+impl InvokePolicy {
+    /// The recovery preset used by the fault-tolerance experiments:
+    /// 250 ms deadline, 3 retries, 50 ms base backoff capped at 1 s,
+    /// 5 s dedup window.
+    pub fn standard() -> Self {
+        InvokePolicy {
+            deadline: Some(SimTime::from_millis(250)),
+            retries: 3,
+            backoff_base: SimTime::from_millis(50),
+            backoff_cap: SimTime::from_secs(1),
+            dedup_window: SimTime::from_secs(5),
+        }
+    }
+}
+
 /// Node-level configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -95,6 +144,12 @@ pub struct NodeConfig {
     /// Automatic load balancing (off by default; experiments and
     /// deployments opt in).
     pub load_balance: Option<LoadBalanceConfig>,
+    /// Invocation recovery policy (off by default).
+    pub invoke: InvokePolicy,
+    /// How many times a query that expires with *zero* offers is
+    /// re-issued before being finalized empty (graceful degradation
+    /// under loss; 0 = finalize on first timeout).
+    pub query_retries: u32,
 }
 
 impl Default for NodeConfig {
@@ -104,6 +159,8 @@ impl Default for NodeConfig {
             query_timeout: SimTime::from_millis(500),
             require_signature: false,
             load_balance: None,
+            invoke: InvokePolicy::default(),
+            query_retries: 0,
         }
     }
 }
@@ -121,6 +178,12 @@ pub struct QueryResult {
     pub first_offer_at: Option<SimTime>,
     /// When the query was finalized.
     pub done_at: Option<SimTime>,
+    /// The query timed out before the search completed: `offers` is a
+    /// partial view, served instead of hanging (graceful degradation).
+    pub partial: bool,
+    /// For partial results, how old the collected offer view was at
+    /// finalization (finalize time − first offer arrival).
+    pub staleness: Option<SimTime>,
 }
 
 /// Shared handle the driver polls for query results.

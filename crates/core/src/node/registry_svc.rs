@@ -46,6 +46,7 @@ impl NodeCtx<'_, '_> {
                 started,
                 first_offer_at: None,
                 query: query.clone(),
+                retries_left: self.state.cfg.query_retries,
             },
             started + timeout,
         );
@@ -231,11 +232,15 @@ impl NodeCtx<'_, '_> {
 
     pub(crate) fn finish_query(&mut self, seq: u64) {
         let Some(pq) = self.state.conts.queries.remove(&seq) else { return };
-        self.finalize_query(pq);
+        self.finalize_query(pq, false);
     }
 
     /// Finalize a pending query already removed from the table.
-    fn finalize_query(&mut self, pq: PendingQuery) {
+    /// `timed_out` marks results collected when the deadline fired
+    /// before the search completed: the offer set is then *partial* —
+    /// served with a staleness tag instead of hanging the caller
+    /// (graceful degradation under loss and partitions).
+    fn finalize_query(&mut self, pq: PendingQuery, timed_out: bool) {
         let now = self.sim.now();
         self.sim
             .metrics()
@@ -245,6 +250,10 @@ impl NodeCtx<'_, '_> {
         } else {
             self.sim.metrics().incr("query.hits");
         }
+        let partial = timed_out && !pq.offers.is_empty();
+        if partial {
+            self.sim.metrics().incr("query.partial");
+        }
         match pq.purpose {
             QueryPurpose::Collect { sink, .. } => {
                 let mut s = sink.borrow_mut();
@@ -252,6 +261,12 @@ impl NodeCtx<'_, '_> {
                 s.first_offer_at = pq.first_offer_at;
                 s.done = true;
                 s.done_at = Some(now);
+                s.partial = partial;
+                s.staleness = if partial {
+                    pq.first_offer_at.map(|t| now.saturating_sub(t))
+                } else {
+                    None
+                };
             }
             QueryPurpose::Resolve { instance, port, policy, sink } => {
                 match choose(&pq.offers, &policy) {
@@ -379,9 +394,24 @@ impl NodeService for RegistrySvc {
             // resumed early is no longer in the table).
             let now = ctx.sim.now();
             let expired = ctx.state.conts.queries.take_expired(now);
-            for (_seq, pq) in expired {
+            for (seq, mut pq) in expired {
+                // A query expiring with *zero* offers may be re-issued:
+                // under loss the first round's messages may simply have
+                // been dropped.
+                if pq.offers.is_empty() && pq.retries_left > 0 {
+                    pq.retries_left -= 1;
+                    let timeout = ctx.state.cfg.query_timeout;
+                    let query = pq.query.clone();
+                    ctx.state.conts.queries.insert_with_deadline(seq, pq, now + timeout);
+                    ctx.sim.metrics().incr("query.retries");
+                    let qid = QueryId { origin: ctx.state.host, seq };
+                    let targets = ctx.state.report_targets.clone();
+                    ctx.send_query_to_first_reachable(&targets, qid, query, 0, false);
+                    ctx.timer_in(timeout, Tick::QueryDeadline(seq));
+                    continue;
+                }
                 ctx.sim.metrics().incr("query.timeouts");
-                ctx.finalize_query(pq);
+                ctx.finalize_query(pq, true);
             }
         }
     }

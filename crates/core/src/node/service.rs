@@ -42,6 +42,13 @@ pub enum Tick {
     },
     /// Periodic load-balance self-check.
     LoadBalance,
+    /// An outgoing-call deadline elapsed: sweep expired calls, retrying
+    /// with backoff or failing those whose budget is spent.
+    CallSweep,
+    /// A scheduled re-send of an outgoing call is due.
+    CallRetry(RequestId),
+    /// Sweep the servant-side duplicate-suppression reply cache.
+    DedupSweep,
 }
 
 /// Newtype so ticks route through the actor mailbox unambiguously.
@@ -124,7 +131,9 @@ pub(crate) fn tick_service(tick: &Tick) -> ServiceKind {
         Tick::KeepAlive | Tick::LoadBalance => ServiceKind::Resource,
         Tick::MrmSweep => ServiceKind::Cohesion,
         Tick::QueryDeadline(_) => ServiceKind::Registry,
-        Tick::SendReply { .. } => ServiceKind::Container,
+        Tick::SendReply { .. } | Tick::CallSweep | Tick::CallRetry(_) | Tick::DedupSweep => {
+            ServiceKind::Container
+        }
     }
 }
 

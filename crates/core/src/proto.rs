@@ -53,7 +53,11 @@ pub struct QueryId {
 }
 
 /// Control messages of the CORBA-LC runtime.
-#[derive(Debug)]
+///
+/// `Clone` because the fabric's fault plan may duplicate messages in
+/// flight (the protocol tolerates duplicate control traffic: reports and
+/// summaries are idempotent soft state, queries dedup by [`QueryId`]).
+#[derive(Clone, Debug)]
 pub enum CtrlMsg {
     // ---- soft-consistency cohesion (§2.4.3) --------------------------
     /// Periodic resource report; doubles as the keep-alive.

@@ -708,6 +708,7 @@ fn automatic_load_balancing_sheds_instances() {
             check_period: SimTime::from_millis(500),
             overload_threshold: 0.5,
         }),
+        ..NodeConfig::default()
     };
     let mut world = build_world(
         Topology::lan(8),
@@ -790,6 +791,7 @@ fn fixed_instances_are_never_auto_migrated() {
             check_period: SimTime::from_millis(500),
             overload_threshold: 0.5,
         }),
+        ..NodeConfig::default()
     };
     let fixed_for_world = fixed_pkg.clone();
     let mut world = build_world(

@@ -58,9 +58,20 @@ pub struct ChurnDriver {
 impl ChurnDriver {
     /// Create a driver; call [`ChurnDriver::install`] to arm it.
     pub fn new(net: Net, cfg: ChurnConfig, hooks: ChurnHooks) -> Self {
+        Self::with_shared_hooks(net, cfg, Rc::new(RefCell::new(hooks)))
+    }
+
+    /// Like [`ChurnDriver::new`] but sharing `hooks` with another driver
+    /// (e.g. a `FaultPlan` crash schedule installed by
+    /// `Net::install_drivers`).
+    pub(crate) fn with_shared_hooks(
+        net: Net,
+        cfg: ChurnConfig,
+        hooks: Rc<RefCell<ChurnHooks>>,
+    ) -> Self {
         assert!(cfg.mean_uptime > SimTime::ZERO, "mean uptime must be positive");
         assert!(cfg.mean_downtime > SimTime::ZERO, "mean downtime must be positive");
-        ChurnDriver { net, cfg, hooks: Rc::new(RefCell::new(hooks)) }
+        ChurnDriver { net, cfg, hooks }
     }
 
     /// Schedule the first crash for every victim host.
@@ -132,7 +143,7 @@ mod tests {
     #[test]
     fn churn_crashes_and_recovers() {
         let topo = Topology::lan(10);
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let victims = net.host_ids();
         let crashes = Arc::new(AtomicU32::new(0));
         let recoveries = Arc::new(AtomicU32::new(0));
@@ -174,7 +185,7 @@ mod tests {
     #[test]
     fn churn_is_deterministic_per_seed() {
         fn run(seed: u64) -> u64 {
-            let net = Net::new(Topology::lan(5));
+            let net = Net::builder(Topology::lan(5)).build();
             let mut sim = Sim::new(seed);
             ChurnDriver::new(
                 net.clone(),

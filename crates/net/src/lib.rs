@@ -10,8 +10,10 @@
 //! * a latency + bandwidth cost model with FIFO serialization at each
 //!   host's uplink and downlink,
 //! * **fault injection**: hosts crash and recover ([`Net::set_host_up`]),
-//!   sites can be partitioned from each other, and [`churn`] drives a
-//!   continuous crash/recovery process,
+//!   sites can be partitioned from each other, [`churn`] drives a
+//!   continuous crash/recovery process, and a seeded [`FaultPlan`]
+//!   injects message-level faults (loss, jitter, duplication,
+//!   reordering, timed partitions, scheduled crashes) — see [`fault`],
 //! * byte/message accounting split into intra-site and inter-site traffic
 //!   (the quantity the paper's "reduces network load and exploits
 //!   locality" claim is about).
@@ -22,12 +24,15 @@
 //! destination host's bound actor.
 
 pub mod churn;
+pub mod fault;
 pub mod topology;
 
 pub use churn::{ChurnConfig, ChurnDriver, ChurnHooks};
+pub use fault::{CrashWindow, FaultPlan, LinkFaults, PartitionWindow};
 pub use topology::{DeviceClass, HostCfg, HostId, LinkClass, SiteId, Topology};
 
-use lc_des::{ActorId, AnyMsg, Ctx, SimTime};
+use fault::Verdict;
+use lc_des::{ActorId, AnyMsg, Ctx, Sim, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -77,6 +82,25 @@ struct HostState {
 struct NetInner {
     topo: Topology,
     hosts: Vec<HostState>,
+    /// Message-level fault schedule; `None` draws zero fault randomness.
+    fault: Option<FaultPlan>,
+    /// Churn process armed by [`Net::install_drivers`].
+    churn: Option<ChurnConfig>,
+}
+
+/// Fluent constructor for [`Net`]: topology, fault plan and churn config
+/// in one chain.
+///
+/// ```ignore
+/// let net = Net::builder(Topology::lan(8))
+///     .fault_plan(FaultPlan::seeded(7).default_link(LinkFaults::none().drop_p(0.01)))
+///     .churn(ChurnConfig { … })
+///     .build();
+/// ```
+pub struct NetBuilder {
+    topo: Topology,
+    fault: Option<FaultPlan>,
+    churn: Option<ChurnConfig>,
 }
 
 /// Handle to the shared network fabric. Cheap to clone.
@@ -85,10 +109,23 @@ pub struct Net {
     inner: Rc<RefCell<NetInner>>,
 }
 
-impl Net {
-    /// Build a fabric for `topo`. All hosts start up and unbound.
-    pub fn new(topo: Topology) -> Self {
-        let hosts = topo
+impl NetBuilder {
+    /// Inject message-level faults according to `plan`.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Configure a churn process (armed by [`Net::install_drivers`]).
+    pub fn churn(mut self, cfg: ChurnConfig) -> Self {
+        self.churn = Some(cfg);
+        self
+    }
+
+    /// Build the fabric. All hosts start up and unbound.
+    pub fn build(self) -> Net {
+        let hosts = self
+            .topo
             .hosts()
             .iter()
             .map(|cfg| HostState {
@@ -102,7 +139,63 @@ impl Net {
                 bytes_recv: 0,
             })
             .collect();
-        Net { inner: Rc::new(RefCell::new(NetInner { topo, hosts })) }
+        Net {
+            inner: Rc::new(RefCell::new(NetInner {
+                topo: self.topo,
+                hosts,
+                fault: self.fault,
+                churn: self.churn,
+            })),
+        }
+    }
+}
+
+impl Net {
+    /// Start building a fabric for `topo`.
+    pub fn builder(topo: Topology) -> NetBuilder {
+        NetBuilder { topo, fault: None, churn: None }
+    }
+
+    /// Build a fault-free fabric for `topo`.
+    #[deprecated(note = "use `Net::builder(topo).build()`")]
+    pub fn new(topo: Topology) -> Self {
+        Self::builder(topo).build()
+    }
+
+    /// Arm everything the fabric config scheduled on the simulation:
+    /// the fault plan's crash windows and, if configured, the churn
+    /// process. Both report node state changes through the same
+    /// `hooks`, so the layer above handles scheduled and random
+    /// crashes identically. Call once, before `sim.run*`.
+    pub fn install_drivers(&self, sim: &mut Sim, hooks: ChurnHooks) {
+        let hooks = Rc::new(RefCell::new(hooks));
+        let crashes: Vec<CrashWindow> = self
+            .inner
+            .borrow()
+            .fault
+            .as_ref()
+            .map(|p| p.crashes().to_vec())
+            .unwrap_or_default();
+        for cw in crashes {
+            let (net, h) = (self.clone(), hooks.clone());
+            sim.control_in(cw.down_at.saturating_sub(sim.now()), move |sim| {
+                net.set_host_up(cw.host, false);
+                sim.metrics().incr("net.fault.crashes");
+                (h.borrow_mut().on_crash)(sim, cw.host);
+            });
+            if let Some(up_at) = cw.up_at {
+                let (net, h) = (self.clone(), hooks.clone());
+                sim.control_in(up_at.saturating_sub(sim.now()), move |sim| {
+                    net.set_host_up(cw.host, true);
+                    sim.metrics().incr("net.fault.restarts");
+                    (h.borrow_mut().on_recover)(sim, cw.host);
+                });
+            }
+        }
+        let churn = self.inner.borrow().churn.clone();
+        if let Some(cfg) = churn {
+            ChurnDriver::with_shared_hooks(self.clone(), cfg, hooks).install(sim);
+        }
     }
 
     /// Number of hosts in the topology.
@@ -185,7 +278,14 @@ impl Net {
     ///
     /// On success schedules a [`NetMsg`] for the destination's bound actor
     /// and returns the delivery time. Records metrics under `net.*`.
-    pub fn send<M: std::any::Any>(
+    ///
+    /// Fail-fast `Err(DropReason)` covers conditions a real ORB detects
+    /// at connect time (host down, unbound, explicit partition group).
+    /// Faults injected by a [`FaultPlan`] are *silent*: the sender still
+    /// pays uplink serialization and gets `Ok(would-have-arrived)` while
+    /// nothing (loss, active partition window) or two copies
+    /// (duplication) reach the receiver — recovery is the caller's job.
+    pub fn send<M: std::any::Any + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
         from: HostId,
@@ -194,7 +294,21 @@ impl Net {
         payload: M,
     ) -> Result<SimTime, DropReason> {
         let now = ctx.now();
-        let (target, deliver_at, class) = {
+        enum Planned {
+            Deliver {
+                target: ActorId,
+                deliver_at: SimTime,
+                class: LinkClass,
+                delayed: bool,
+                dup_at: Option<SimTime>,
+            },
+            Lost {
+                would_arrive: SimTime,
+                class: LinkClass,
+                severed: bool,
+            },
+        }
+        let planned = {
             let mut inner = self.inner.borrow_mut();
             if !inner.hosts[from.0 as usize].up {
                 drop(inner);
@@ -226,46 +340,106 @@ impl Net {
             };
             let latency = inner.topo.latency(from_site, to_site);
 
-            let deliver_at = if from == to {
-                // Loopback: no serialization, a fixed tiny in-host hop.
-                now + Topology::LOOPBACK_LATENCY
+            if from == to {
+                // Loopback: no serialization, no injected faults, a fixed
+                // tiny in-host hop.
+                inner.hosts[from.0 as usize].bytes_sent += size;
+                inner.hosts[to.0 as usize].bytes_recv += size;
+                Planned::Deliver {
+                    target,
+                    deliver_at: now + Topology::LOOPBACK_LATENCY,
+                    class,
+                    delayed: false,
+                    dup_at: None,
+                }
             } else {
-                // Uplink FIFO serialization at the sender…
+                // Uplink FIFO serialization at the sender (paid even when
+                // the fabric then loses the message)…
                 let up_bw = inner.hosts[from.0 as usize].cfg.up_bw;
                 let tx = bw_delay(size, up_bw);
                 let start = now.max(inner.hosts[from.0 as usize].up_free);
                 let up_done = start + tx;
                 inner.hosts[from.0 as usize].up_free = up_done;
+                inner.hosts[from.0 as usize].bytes_sent += size;
                 // …propagation…
                 let arrived = up_done + latency;
-                // …downlink FIFO serialization at the receiver.
-                let down_bw = inner.hosts[to.0 as usize].cfg.down_bw;
-                let rx = bw_delay(size, down_bw);
-                let start_rx = arrived.max(inner.hosts[to.0 as usize].down_free);
-                let done = start_rx + rx;
-                inner.hosts[to.0 as usize].down_free = done;
-                done
-            };
-
-            inner.hosts[from.0 as usize].bytes_sent += size;
-            inner.hosts[to.0 as usize].bytes_recv += size;
-            (target, deliver_at, class)
+                let verdict = match inner.fault.as_mut() {
+                    None => Verdict::Deliver { extra: SimTime::ZERO, duplicate: None },
+                    Some(plan) => plan.decide(from, to, now),
+                };
+                match verdict {
+                    Verdict::Dropped | Verdict::Severed => Planned::Lost {
+                        would_arrive: arrived,
+                        class,
+                        severed: matches!(verdict, Verdict::Severed),
+                    },
+                    Verdict::Deliver { extra, duplicate } => {
+                        // …downlink FIFO serialization at the receiver;
+                        // jitter/reorder delay lands *after* the FIFO so a
+                        // held-back message really is overtaken.
+                        let down_bw = inner.hosts[to.0 as usize].cfg.down_bw;
+                        let rx = bw_delay(size, down_bw);
+                        let start_rx = arrived.max(inner.hosts[to.0 as usize].down_free);
+                        let done = start_rx + rx;
+                        inner.hosts[to.0 as usize].down_free = done;
+                        inner.hosts[to.0 as usize].bytes_recv += size;
+                        let dup_at = duplicate.map(|dup_extra| {
+                            inner.hosts[to.0 as usize].bytes_recv += size;
+                            done + dup_extra
+                        });
+                        Planned::Deliver {
+                            target,
+                            deliver_at: done + extra,
+                            class,
+                            delayed: extra > SimTime::ZERO,
+                            dup_at,
+                        }
+                    }
+                }
+            }
         };
 
         ctx.metrics().incr("net.msgs");
         ctx.metrics().add("net.bytes", size);
-        match class {
-            LinkClass::Loopback => ctx.metrics().add("net.bytes.loopback", size),
-            LinkClass::IntraSite => ctx.metrics().add("net.bytes.intra", size),
-            LinkClass::InterSite => ctx.metrics().add("net.bytes.inter", size),
+        match planned {
+            Planned::Lost { would_arrive, class, severed } => {
+                // The sender transmitted: traffic counts, delivery doesn't.
+                match class {
+                    LinkClass::Loopback => ctx.metrics().add("net.bytes.loopback", size),
+                    LinkClass::IntraSite => ctx.metrics().add("net.bytes.intra", size),
+                    LinkClass::InterSite => ctx.metrics().add("net.bytes.inter", size),
+                }
+                ctx.metrics().incr("net.fault.dropped");
+                if severed {
+                    ctx.metrics().incr("net.fault.severed");
+                }
+                Ok(would_arrive)
+            }
+            Planned::Deliver { target, deliver_at, class, delayed, dup_at } => {
+                match class {
+                    LinkClass::Loopback => ctx.metrics().add("net.bytes.loopback", size),
+                    LinkClass::IntraSite => ctx.metrics().add("net.bytes.intra", size),
+                    LinkClass::InterSite => ctx.metrics().add("net.bytes.inter", size),
+                }
+                if delayed {
+                    ctx.metrics().incr("net.fault.delayed");
+                }
+                if let Some(dup_at) = dup_at {
+                    ctx.metrics().incr("net.fault.duplicated");
+                    ctx.send_in(
+                        dup_at.saturating_sub(now),
+                        target,
+                        NetMsg { from, to, size, payload: Box::new(payload.clone()) },
+                    );
+                }
+                ctx.send_in(
+                    deliver_at.saturating_sub(now),
+                    target,
+                    NetMsg { from, to, size, payload: Box::new(payload) },
+                );
+                Ok(deliver_at)
+            }
         }
-
-        ctx.send_in(
-            deliver_at.saturating_sub(now),
-            target,
-            NetMsg { from, to, size, payload: Box::new(payload) },
-        );
-        Ok(deliver_at)
     }
 
     /// Multicast: each receiver gets its own copy, but the per-copy cost is
@@ -340,7 +514,22 @@ mod tests {
         topo.set_inter_site_latency(SimTime::from_millis(latency_ms));
         let h0 = topo.add_host(HostCfg::new(s0).bw(up_bw, down_bw));
         let h1 = topo.add_host(HostCfg::new(s1).bw(up_bw, down_bw));
-        (Net::new(topo), h0, h1)
+        (Net::builder(topo).build(), h0, h1)
+    }
+
+    fn two_host_net_with(
+        plan: FaultPlan,
+        up_bw: f64,
+        down_bw: f64,
+        latency_ms: u64,
+    ) -> (Net, HostId, HostId) {
+        let mut topo = Topology::new();
+        let s0 = topo.add_site("a");
+        let s1 = topo.add_site("b");
+        topo.set_inter_site_latency(SimTime::from_millis(latency_ms));
+        let h0 = topo.add_host(HostCfg::new(s0).bw(up_bw, down_bw));
+        let h1 = topo.add_host(HostCfg::new(s1).bw(up_bw, down_bw));
+        (Net::builder(topo).fault_plan(plan).build(), h0, h1)
     }
 
     #[test]
@@ -438,7 +627,7 @@ mod tests {
         let s0 = topo.add_site("a");
         let h0 = topo.add_host(HostCfg::new(s0));
         let h1 = topo.add_host(HostCfg::new(s0));
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let mut sim = Sim::new(1);
         let sink = sim.spawn(Sink { arrivals: vec![] });
         net.bind(h1, sink);
@@ -471,7 +660,7 @@ mod tests {
         let s = topo.add_site("lan");
         let sender = topo.add_host(HostCfg::new(s));
         let rcv: Vec<HostId> = (0..5).map(|_| topo.add_host(HostCfg::new(s))).collect();
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let mut sim = Sim::new(1);
         let sinks: Vec<_> = rcv
             .iter()
@@ -502,5 +691,141 @@ mod tests {
             let n = sim.actor_as::<Sink>(*s).unwrap().arrivals.len();
             assert_eq!(n, if i == 2 { 0 } else { 1 });
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn new_shim_still_builds_a_fabric() {
+        let net = Net::new(Topology::lan(3));
+        assert_eq!(net.host_count(), 3);
+    }
+
+    /// Sends `copies` messages, recording the `Ok` results.
+    struct FaultPusher {
+        net: Net,
+        from: HostId,
+        to: HostId,
+        copies: u32,
+        oks: u32,
+    }
+    impl Actor for FaultPusher {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+            for _ in 0..self.copies {
+                if self.net.send(ctx, self.from, self.to, 100, ()).is_ok() {
+                    self.oks += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_loss_is_silent() {
+        // drop_p = 1: nothing arrives, yet every send reports Ok.
+        let plan = FaultPlan::seeded(5).default_link(LinkFaults::none().drop_p(1.0));
+        let (net, h0, h1) = two_host_net_with(plan, 1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(FaultPusher { net: net.clone(), from: h0, to: h1, copies: 10, oks: 0 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        assert_eq!(sim.actor_as::<FaultPusher>(pusher).unwrap().oks, 10);
+        assert!(sim.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
+        assert_eq!(sim.metrics_ref().counter("net.fault.dropped"), 10);
+        // the sender transmitted: bytes counted out, none counted in
+        assert_eq!(net.host_traffic(h0).0, 1000);
+        assert_eq!(net.host_traffic(h1).1, 0);
+    }
+
+    #[test]
+    fn injected_duplication_delivers_twice() {
+        let plan = FaultPlan::seeded(5).default_link(LinkFaults::none().dup_p(1.0));
+        let (net, h0, h1) = two_host_net_with(plan, 1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(FaultPusher { net: net.clone(), from: h0, to: h1, copies: 3, oks: 0 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        assert_eq!(sim.actor_as::<Sink>(sink).unwrap().arrivals.len(), 6);
+        assert_eq!(sim.metrics_ref().counter("net.fault.duplicated"), 3);
+    }
+
+    #[test]
+    fn partition_window_cuts_then_heals() {
+        // Window [0, 5ms): the first send is severed, a send at 5ms lands.
+        let plan =
+            FaultPlan::seeded(5).partition(SimTime::ZERO, SimTime::from_millis(5), &[HostId(1)]);
+        let (net, h0, h1) = two_host_net_with(plan, 1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(FaultPusher { net: net.clone(), from: h0, to: h1, copies: 1, oks: 0 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.send_in(SimTime::from_millis(5), pusher, Go);
+        sim.run();
+        assert_eq!(sim.actor_as::<Sink>(sink).unwrap().arrivals.len(), 1);
+        assert_eq!(sim.metrics_ref().counter("net.fault.severed"), 1);
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers() {
+        let plan = FaultPlan::seeded(5)
+            .default_link(LinkFaults::none().jitter(SimTime::from_millis(50)));
+        let (net, h0, h1) = two_host_net_with(plan, 1e6, 1e6, 1);
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(Sink { arrivals: vec![] });
+        net.bind(h1, sink);
+        let pusher =
+            sim.spawn(FaultPusher { net: net.clone(), from: h0, to: h1, copies: 1, oks: 0 });
+        net.bind(h0, pusher);
+        sim.send_in(SimTime::ZERO, pusher, Go);
+        sim.run();
+        let arr = &sim.actor_as::<Sink>(sink).unwrap().arrivals;
+        assert_eq!(arr.len(), 1);
+        // baseline delivery would be 0.1ms tx + 1ms + 0.1ms rx = 1.2ms
+        assert!(arr[0].0 >= SimTime::from_micros(1200));
+        assert_eq!(sim.metrics_ref().counter("net.fault.delayed"), 1);
+    }
+
+    #[test]
+    fn crash_schedule_installs_and_restarts() {
+        let plan = FaultPlan::seeded(5).crash(
+            HostId(1),
+            SimTime::from_secs(1),
+            Some(SimTime::from_secs(2)),
+        );
+        let topo = Topology::lan(3);
+        let net = Net::builder(topo).fault_plan(plan).build();
+        let mut sim = Sim::new(1);
+        net.install_drivers(&mut sim, ChurnHooks::default());
+        sim.run_until(SimTime::from_millis(1500));
+        assert!(!net.is_up(HostId(1)));
+        sim.run_until(SimTime::from_secs(3));
+        assert!(net.is_up(HostId(1)));
+        assert_eq!(sim.metrics_ref().counter("net.fault.crashes"), 1);
+        assert_eq!(sim.metrics_ref().counter("net.fault.restarts"), 1);
+    }
+
+    #[test]
+    fn builder_arms_churn_via_install_drivers() {
+        let net = Net::builder(Topology::lan(4))
+            .churn(ChurnConfig {
+                mean_uptime: SimTime::from_secs(2),
+                mean_downtime: SimTime::from_millis(500),
+                victims: vec![HostId(0), HostId(1), HostId(2), HostId(3)],
+                until: SimTime::from_secs(30),
+            })
+            .build();
+        let mut sim = Sim::new(7);
+        net.install_drivers(&mut sim, ChurnHooks::default());
+        sim.run_until(SimTime::from_secs(60));
+        assert!(sim.metrics_ref().counter("churn.crashes") > 0);
     }
 }

@@ -1,0 +1,336 @@
+//! The unified invocation API: one [`Orb`] trait over every ORB flavour.
+//!
+//! E1's microbenchmarks and the unit tests want to exercise "an ORB"
+//! without caring whether requests run through the in-process loopback
+//! path ([`crate::LocalOrb`]) or over the simulated network
+//! ([`crate::SimOrb`] plumbing inside a DES). The trait captures the
+//! common surface — synchronous invoke, marshalled invoke, dispatch
+//! counters — and [`SimOrbClient`] packages the sim side as a
+//! self-contained harness (its own [`Sim`], fabric and server host) so
+//! both flavours satisfy it.
+
+use crate::cdr::{Decoder, Encoder};
+use crate::object::{ObjectKey, ObjectRef, OrbError};
+use crate::servant::{DispatchOpts, DispatchStats, ObjectAdapter, Outcome, Servant};
+use crate::sim::{OrbWire, SimOrb};
+use crate::value::Value;
+use lc_idl::ast::ParamMode;
+use lc_idl::types::OpMeta;
+use lc_idl::Repository;
+use lc_net::{HostCfg, Net, NetMsg, Topology};
+use lc_des::{Actor, ActorId, AnyMsg, AnyMsgExt, Ctx, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// What every ORB flavour can do.
+pub trait Orb {
+    /// Invoke `op` on `target` synchronously with full type checking.
+    fn invoke(&self, target: &ObjectRef, op: &str, args: &[Value]) -> Result<Outcome, OrbError>;
+
+    /// Invoke with a CDR encode/decode round-trip of arguments and
+    /// results — the CPU cost a remote call pays for marshalling.
+    fn invoke_marshalled(
+        &self,
+        target: &ObjectRef,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Outcome, OrbError>;
+
+    /// Dispatch counters of the underlying object adapter.
+    fn dispatch_stats(&self) -> DispatchStats;
+}
+
+/// Look up the operation metadata for `op` on `type_id`.
+pub(crate) fn op_meta<'r>(
+    repo: &'r Repository,
+    type_id: &str,
+    op: &str,
+) -> Result<&'r OpMeta, OrbError> {
+    let iface = repo
+        .interface(type_id)
+        .ok_or_else(|| OrbError::Internal(format!("unknown interface {type_id}")))?;
+    iface.op(op).ok_or_else(|| OrbError::BadOperation(op.to_owned()))
+}
+
+/// CDR-encode then decode the `in`/`inout` arguments via the op signature.
+pub(crate) fn cdr_round_trip_in_args(
+    repo: &Arc<Repository>,
+    opmeta: &OpMeta,
+    args: &[Value],
+) -> Result<Vec<Value>, OrbError> {
+    let mut enc = Encoder::new();
+    for a in args {
+        enc.value(a);
+    }
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes, repo);
+    let mut decoded = Vec::with_capacity(args.len());
+    for p in opmeta
+        .params
+        .iter()
+        .filter(|p| matches!(p.mode, ParamMode::In | ParamMode::InOut))
+    {
+        decoded.push(dec.value(&p.ty).map_err(|e| OrbError::BadParam(e.to_string()))?);
+    }
+    Ok(decoded)
+}
+
+/// CDR-encode then decode the return and `out`/`inout` values.
+pub(crate) fn cdr_round_trip_outcome(
+    repo: &Arc<Repository>,
+    opmeta: &OpMeta,
+    outcome: &Outcome,
+) -> Result<Outcome, OrbError> {
+    let mut enc = Encoder::new();
+    enc.value(&outcome.ret);
+    for o in &outcome.outs {
+        enc.value(o);
+    }
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes, repo);
+    let ret = dec.value(&opmeta.ret).map_err(|e| OrbError::Internal(e.to_string()))?;
+    let mut outs = Vec::with_capacity(outcome.outs.len());
+    for p in opmeta
+        .params
+        .iter()
+        .filter(|p| matches!(p.mode, ParamMode::Out | ParamMode::InOut))
+    {
+        outs.push(dec.value(&p.ty).map_err(|e| OrbError::Internal(e.to_string()))?);
+    }
+    Ok(Outcome { ret, outs })
+}
+
+impl Orb for crate::LocalOrb {
+    fn invoke(&self, target: &ObjectRef, op: &str, args: &[Value]) -> Result<Outcome, OrbError> {
+        crate::LocalOrb::invoke(self, target, op, args)
+    }
+
+    fn invoke_marshalled(
+        &self,
+        target: &ObjectRef,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Outcome, OrbError> {
+        crate::LocalOrb::invoke_marshalled(self, target, op, args)
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        crate::LocalOrb::dispatch_stats(self)
+    }
+}
+
+type ReplySlot = Rc<RefCell<Option<Result<Outcome, OrbError>>>>;
+
+/// Server side of the harness: the object adapter behind the fabric.
+struct ServerActor {
+    host: lc_net::HostId,
+    orb: SimOrb,
+    adapter: ObjectAdapter,
+}
+
+impl Actor for ServerActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        let m = msg.downcast_msg::<NetMsg>().expect("NetMsg");
+        if let Ok(OrbWire::Request { id, reply_to, target, op, args }) =
+            m.payload.downcast_msg::<OrbWire>()
+        {
+            self.adapter.set_clock(ctx.now());
+            let res = self.adapter.invoke(target, &op, &args, DispatchOpts::typed());
+            if let Some(back) = reply_to {
+                let _ = self.orb.send_reply(ctx, self.host, back, id, res.outcome);
+            }
+        }
+    }
+}
+
+/// One synchronous call for the client actor to perform.
+struct DoCall {
+    target: ObjectKey,
+    op: String,
+    args: Vec<Value>,
+}
+
+/// Client side: sends the request, parks the reply in the shared slot.
+struct ClientActor {
+    host: lc_net::HostId,
+    orb: SimOrb,
+    slot: ReplySlot,
+}
+
+impl Actor for ClientActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        match msg.downcast_msg::<DoCall>() {
+            Ok(call) => {
+                if let Err(e) =
+                    self.orb.send_request(ctx, self.host, call.target, &call.op, call.args, false)
+                {
+                    *self.slot.borrow_mut() = Some(Err(OrbError::from(e)));
+                }
+            }
+            Err(other) => {
+                let m = other.downcast_msg::<NetMsg>().expect("NetMsg");
+                if let Ok(OrbWire::Reply { result, .. }) = m.payload.downcast_msg::<OrbWire>() {
+                    *self.slot.borrow_mut() = Some(result);
+                }
+            }
+        }
+    }
+}
+
+/// The [`SimOrb`] side of the [`Orb`] trait: a self-contained two-host
+/// simulation (client + server LAN) whose `invoke` sends a real
+/// [`OrbWire::Request`] through the fabric, runs the DES until the reply
+/// lands, and returns it — the remote analogue of [`crate::LocalOrb`].
+pub struct SimOrbClient {
+    sim: RefCell<Sim>,
+    repo: Arc<Repository>,
+    client_host: lc_net::HostId,
+    server: ActorId,
+    client: ActorId,
+    slot: ReplySlot,
+}
+
+impl SimOrbClient {
+    /// Build the harness: two hosts on one LAN, a server actor owning
+    /// the adapter, a client actor issuing requests.
+    pub fn new(repo: Arc<Repository>) -> Self {
+        let mut topo = Topology::new();
+        let s = topo.add_site("lan");
+        let client_host = topo.add_host(HostCfg::new(s));
+        let server_host = topo.add_host(HostCfg::new(s));
+        let net = Net::builder(topo).build();
+        let orb = SimOrb::new(net.clone());
+        let mut sim = Sim::new(1);
+        let server = sim.spawn(ServerActor {
+            host: server_host,
+            orb: orb.clone(),
+            adapter: ObjectAdapter::new(server_host, repo.clone()),
+        });
+        net.bind(server_host, server);
+        let slot: ReplySlot = Rc::default();
+        let client =
+            sim.spawn(ClientActor { host: client_host, orb, slot: slot.clone() });
+        net.bind(client_host, client);
+        SimOrbClient { sim: RefCell::new(sim), repo, client_host, server, client, slot }
+    }
+
+    /// Activate a servant on the server host.
+    pub fn activate(&self, servant: Box<dyn Servant>) -> ObjectRef {
+        let mut sim = self.sim.borrow_mut();
+        let server = sim.actor_as_mut::<ServerActor>(self.server).expect("server actor");
+        server.adapter.activate(servant)
+    }
+
+    /// The client-side host (for tests that inspect traffic).
+    pub fn client_host(&self) -> lc_net::HostId {
+        self.client_host
+    }
+}
+
+impl Orb for SimOrbClient {
+    fn invoke(&self, target: &ObjectRef, op: &str, args: &[Value]) -> Result<Outcome, OrbError> {
+        let mut sim = self.sim.borrow_mut();
+        self.slot.borrow_mut().take();
+        let call = DoCall { target: target.key, op: op.to_owned(), args: args.to_vec() };
+        sim.send_in(SimTime::ZERO, self.client, call);
+        sim.run();
+        self.slot.borrow_mut().take().unwrap_or(Err(OrbError::Timeout))
+    }
+
+    fn invoke_marshalled(
+        &self,
+        target: &ObjectRef,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Outcome, OrbError> {
+        let opmeta = op_meta(&self.repo, &target.type_id, op)?.clone();
+        let decoded = cdr_round_trip_in_args(&self.repo, &opmeta, args)?;
+        let outcome = Orb::invoke(self, target, op, &decoded)?;
+        cdr_round_trip_outcome(&self.repo, &opmeta, &outcome)
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        self.sim
+            .borrow()
+            .actor_as::<ServerActor>(self.server)
+            .expect("server actor")
+            .adapter
+            .dispatch_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servant::Invocation;
+    use crate::LocalOrb;
+    use lc_idl::compile;
+
+    const IDL: &str = "interface Adder { long add(in long a, in long b); };";
+
+    struct AdderImpl;
+    impl Servant for AdderImpl {
+        fn interface_id(&self) -> &str {
+            "IDL:Adder:1.0"
+        }
+        fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
+            match inv.op {
+                "add" => {
+                    let (a, b) = (inv.args[0].as_long().unwrap(), inv.args[1].as_long().unwrap());
+                    inv.set_ret(Value::Long(a + b));
+                    Ok(())
+                }
+                o => Err(OrbError::BadOperation(o.into())),
+            }
+        }
+    }
+
+    /// The generic workload both flavours must agree on.
+    fn exercise(orb: &dyn Orb, target: &ObjectRef) -> Vec<Result<Outcome, OrbError>> {
+        vec![
+            orb.invoke(target, "add", &[Value::Long(2), Value::Long(3)]),
+            orb.invoke_marshalled(target, "add", &[Value::Long(40), Value::Long(2)]),
+            orb.invoke(target, "add", &[Value::string("x"), Value::Long(1)]),
+            orb.invoke(target, "nope", &[]),
+        ]
+    }
+
+    #[test]
+    fn local_and_sim_orbs_agree() {
+        let repo = Arc::new(compile(IDL).unwrap());
+        let local = LocalOrb::new(repo.clone());
+        let l_ref = local.activate(Box::new(AdderImpl));
+        let sim = SimOrbClient::new(repo);
+        let s_ref = sim.activate(Box::new(AdderImpl));
+
+        let l = exercise(&local, &l_ref);
+        let s = exercise(&sim, &s_ref);
+        assert_eq!(l, s);
+        assert_eq!(l[0].as_ref().unwrap().ret, Value::Long(5));
+        assert_eq!(l[1].as_ref().unwrap().ret, Value::Long(42));
+        assert!(matches!(l[2], Err(OrbError::BadParam(_))));
+        assert!(matches!(l[3], Err(OrbError::BadOperation(_))));
+
+        // both adapters saw the same four typed dispatches minus the
+        // client-side arg-marshalling failure? No: bad params still reach
+        // the adapter (checked there), so both count 4 typed dispatches.
+        assert_eq!(local.dispatch_stats().typed, 4);
+        assert_eq!(sim.dispatch_stats().typed, 4);
+    }
+
+    #[test]
+    fn sim_invoke_to_missing_object_fails() {
+        let repo = Arc::new(compile(IDL).unwrap());
+        let sim = SimOrbClient::new(repo);
+        let r = sim.activate(Box::new(AdderImpl));
+        let ghost = ObjectRef {
+            key: ObjectKey { host: r.key.host, oid: 999 },
+            type_id: r.type_id.clone(),
+        };
+        assert_eq!(
+            Orb::invoke(&sim, &ghost, "add", &[Value::Long(1), Value::Long(1)]),
+            Err(OrbError::ObjectNotExist)
+        );
+    }
+}

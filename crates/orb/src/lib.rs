@@ -17,8 +17,11 @@
 //! * [`local`] — the synchronous in-process ORB used for the E1
 //!   "lightweightness" microbenchmarks and unit tests,
 //! * [`sim`] — GIOP-style request/reply plumbing over the [`lc_net`]
-//!   simulated fabric, used by the node/container runtime in `lc-core`.
+//!   simulated fabric, used by the node/container runtime in `lc-core`,
+//! * [`api`] — the [`api::Orb`] trait unifying both invocation paths,
+//!   so benchmarks and tests run generically over either.
 
+pub mod api;
 pub mod cdr;
 pub mod events;
 pub mod local;
@@ -27,13 +30,14 @@ pub mod servant;
 pub mod sim;
 pub mod value;
 
+pub use api::{Orb, SimOrbClient};
 pub use cdr::{encoded_len, Decoder, Encoder};
 pub use events::{check_event, make_event};
 pub use local::{LocalOrb, LocalOrbStats};
-pub use object::{ObjectKey, ObjectRef, OrbError};
+pub use object::{CommReason, ObjectKey, ObjectRef, OrbError};
 pub use servant::{
-    DispatchResult, DispatchStats, Invocation, ObjectAdapter, OutCall, OutCallKind, Outcome,
-    Servant,
+    DispatchOpts, DispatchResult, DispatchStats, Invocation, ObjectAdapter, OutCall, OutCallKind,
+    Outcome, Servant,
 };
 pub use sim::{OrbWire, RequestId, SimOrb, HEADER_BYTES};
 pub use value::{check_value, Value};

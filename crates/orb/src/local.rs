@@ -12,10 +12,11 @@
 //! example: nested out-calls issued by servants are executed to fixpoint,
 //! and emitted events are fanned out to subscribed consumers.
 
-use crate::cdr::{encoded_len, Decoder, Encoder};
+use crate::api::{cdr_round_trip_in_args, cdr_round_trip_outcome, op_meta};
+use crate::cdr::encoded_len;
 use crate::events::check_event;
 use crate::object::{ObjectRef, OrbError};
-use crate::servant::{ObjectAdapter, OutCall, OutCallKind, Outcome, Servant};
+use crate::servant::{DispatchOpts, ObjectAdapter, OutCall, OutCallKind, Outcome, Servant};
 use crate::value::Value;
 use lc_idl::Repository;
 use lc_net::HostId;
@@ -99,7 +100,7 @@ impl LocalOrb {
 
     /// Subscribe `consumer` to an event type; deliveries dispatch
     /// `delivery_op(payload)` on it (raw dispatch, see
-    /// [`ObjectAdapter::dispatch_raw`]).
+    /// [`DispatchOpts::raw`]).
     pub fn subscribe(&self, event_id: &str, consumer: &ObjectRef, delivery_op: &str) {
         assert!(
             self.repo.event(event_id).is_some(),
@@ -146,7 +147,7 @@ impl LocalOrb {
             let mut inner = self.inner.lock().unwrap();
             inner.stats.requests += 1;
             inner.stats.request_bytes += encoded_len(args);
-            let res = inner.adapter.dispatch(target.key, op, args);
+            let res = inner.adapter.invoke(target.key, op, args, DispatchOpts::typed());
             let events = self.resolve_events(&mut inner, target.key.oid, res.events);
             (res.outcome, res.outbox, events)
         };
@@ -163,48 +164,10 @@ impl LocalOrb {
         op: &str,
         args: &[Value],
     ) -> Result<Outcome, OrbError> {
-        // Encode then decode the args via the op signature.
-        let iface = self
-            .repo
-            .interface(&target.type_id)
-            .ok_or_else(|| OrbError::Internal(format!("unknown interface {}", target.type_id)))?;
-        let opmeta = iface
-            .op(op)
-            .ok_or_else(|| OrbError::BadOperation(op.to_owned()))?
-            .clone();
-        let mut enc = Encoder::new();
-        for a in args {
-            enc.value(a);
-        }
-        let bytes = enc.into_bytes();
-        let mut dec = Decoder::new(&bytes, &self.repo);
-        let mut decoded = Vec::with_capacity(args.len());
-        for p in opmeta
-            .params
-            .iter()
-            .filter(|p| matches!(p.mode, lc_idl::ast::ParamMode::In | lc_idl::ast::ParamMode::InOut))
-        {
-            decoded.push(dec.value(&p.ty).map_err(|e| OrbError::BadParam(e.to_string()))?);
-        }
+        let opmeta = op_meta(&self.repo, &target.type_id, op)?.clone();
+        let decoded = cdr_round_trip_in_args(&self.repo, &opmeta, args)?;
         let outcome = self.invoke(target, op, &decoded)?;
-        // Encode/decode the results too.
-        let mut enc = Encoder::new();
-        enc.value(&outcome.ret);
-        for o in &outcome.outs {
-            enc.value(o);
-        }
-        let bytes = enc.into_bytes();
-        let mut dec = Decoder::new(&bytes, &self.repo);
-        let ret = dec.value(&opmeta.ret).map_err(|e| OrbError::Internal(e.to_string()))?;
-        let mut outs = Vec::with_capacity(outcome.outs.len());
-        for p in opmeta
-            .params
-            .iter()
-            .filter(|p| matches!(p.mode, lc_idl::ast::ParamMode::Out | lc_idl::ast::ParamMode::InOut))
-        {
-            outs.push(dec.value(&p.ty).map_err(|e| OrbError::Internal(e.to_string()))?);
-        }
-        Ok(Outcome { ret, outs })
+        cdr_round_trip_outcome(&self.repo, &opmeta, &outcome)
     }
 
     /// Raw invoke used for event delivery and reply routing.
@@ -217,7 +180,7 @@ impl LocalOrb {
         let (outcome, follow_ups, events) = {
             let mut inner = self.inner.lock().unwrap();
             inner.stats.requests += 1;
-            let res = inner.adapter.dispatch_raw(target.key, op, args);
+            let res = inner.adapter.invoke(target.key, op, args, DispatchOpts::raw());
             let events = self.resolve_events(&mut inner, target.key.oid, res.events);
             (res.outcome, res.outbox, events)
         };

@@ -34,6 +34,49 @@ impl std::fmt::Display for ObjectRef {
     }
 }
 
+/// Why a `COMM_FAILURE` happened — the fabric's [`lc_net::DropReason`]
+/// surfaced through the ORB so callers can distinguish a crashed peer
+/// from a partition from a dead node process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommReason {
+    /// The local (sending) host is down.
+    SenderDown,
+    /// The destination host is down.
+    ReceiverDown,
+    /// Sender and destination are in different partitions.
+    Partitioned,
+    /// The destination host has no node process listening.
+    Unbound,
+}
+
+impl From<lc_net::DropReason> for CommReason {
+    fn from(r: lc_net::DropReason) -> Self {
+        match r {
+            lc_net::DropReason::SenderDown => CommReason::SenderDown,
+            lc_net::DropReason::ReceiverDown => CommReason::ReceiverDown,
+            lc_net::DropReason::Partitioned => CommReason::Partitioned,
+            lc_net::DropReason::Unbound => CommReason::Unbound,
+        }
+    }
+}
+
+impl From<lc_net::DropReason> for OrbError {
+    fn from(r: lc_net::DropReason) -> Self {
+        OrbError::CommFailure(r.into())
+    }
+}
+
+impl std::fmt::Display for CommReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommReason::SenderDown => write!(f, "sender down"),
+            CommReason::ReceiverDown => write!(f, "receiver down"),
+            CommReason::Partitioned => write!(f, "partitioned"),
+            CommReason::Unbound => write!(f, "unbound"),
+        }
+    }
+}
+
 /// ORB-level failures (the CORBA system exceptions this subset needs).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum OrbError {
@@ -43,9 +86,10 @@ pub enum OrbError {
     BadOperation(String),
     /// Arguments failed the IDL type check.
     BadParam(String),
-    /// The destination host is unreachable (down or partitioned).
-    CommFailure,
-    /// A reply did not arrive in time.
+    /// The destination host is unreachable, and why.
+    CommFailure(CommReason),
+    /// A reply did not arrive in time (deadline elapsed, retry budget
+    /// exhausted).
     Timeout,
     /// Application-level exception raised by the servant, by repository id.
     UserException {
@@ -64,7 +108,7 @@ impl std::fmt::Display for OrbError {
             OrbError::ObjectNotExist => write!(f, "OBJECT_NOT_EXIST"),
             OrbError::BadOperation(op) => write!(f, "BAD_OPERATION: {op}"),
             OrbError::BadParam(m) => write!(f, "BAD_PARAM: {m}"),
-            OrbError::CommFailure => write!(f, "COMM_FAILURE"),
+            OrbError::CommFailure(r) => write!(f, "COMM_FAILURE ({r})"),
             OrbError::Timeout => write!(f, "TIMEOUT"),
             OrbError::UserException { id, detail } => write!(f, "user exception {id}: {detail}"),
             OrbError::Internal(m) => write!(f, "INTERNAL: {m}"),

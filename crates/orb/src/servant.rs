@@ -155,6 +155,34 @@ pub trait Servant: Send + Any {
     fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError>;
 }
 
+/// How [`ObjectAdapter::invoke`] performs a dispatch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DispatchOpts {
+    /// Verify the operation against the IDL repository (argument arity
+    /// and types on the way in, return/out types on the way out). Off
+    /// for runtime-internal system operations (`_reply`, `_push_*`, …)
+    /// that are not part of any IDL interface.
+    pub type_check: bool,
+}
+
+impl Default for DispatchOpts {
+    fn default() -> Self {
+        Self::typed()
+    }
+}
+
+impl DispatchOpts {
+    /// Full IDL-checked dispatch (the default).
+    pub fn typed() -> Self {
+        DispatchOpts { type_check: true }
+    }
+
+    /// Unchecked dispatch for runtime-internal system operations.
+    pub fn raw() -> Self {
+        DispatchOpts { type_check: false }
+    }
+}
+
 /// Everything produced by a dispatch, for the hosting runtime to act on.
 #[derive(Debug)]
 pub struct DispatchResult {
@@ -304,16 +332,39 @@ impl ObjectAdapter {
         }
     }
 
-    /// Full type-checked dispatch: verify the operation exists on the
-    /// servant's interface, check argument types, run the servant, check
-    /// result types.
-    pub fn dispatch(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+    /// The single dispatch entrypoint: run `op` on the servant at `key`
+    /// according to `opts` — type-checked against the IDL repository
+    /// ([`DispatchOpts::typed`]) or unchecked for runtime-internal
+    /// system operations ([`DispatchOpts::raw`]).
+    pub fn invoke(
+        &mut self,
+        key: ObjectKey,
+        op: &str,
+        args: &[Value],
+        opts: DispatchOpts,
+    ) -> DispatchResult {
         let t0 = std::time::Instant::now();
-        let res = self.dispatch_inner(key, op, args);
-        self.stats.typed += 1;
+        let res = if opts.type_check {
+            self.dispatch_inner(key, op, args)
+        } else {
+            self.dispatch_raw_inner(key, op, args)
+        };
+        if opts.type_check {
+            self.stats.typed += 1;
+        } else {
+            self.stats.raw += 1;
+        }
         self.stats.errors += res.outcome.is_err() as u64;
         self.stats.total_ns += t0.elapsed().as_nanos() as u64;
         res
+    }
+
+    /// Full type-checked dispatch: verify the operation exists on the
+    /// servant's interface, check argument types, run the servant, check
+    /// result types.
+    #[deprecated(note = "use `ObjectAdapter::invoke` with `DispatchOpts::typed()`")]
+    pub fn dispatch(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
+        self.invoke(key, op, args, DispatchOpts::typed())
     }
 
     fn dispatch_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
@@ -407,13 +458,9 @@ impl ObjectAdapter {
     /// Unchecked dispatch, used by the runtime itself for internal
     /// operations that are not part of any IDL interface: event delivery
     /// (`_push_*` on consumer ports) and reply routing (`_reply`).
+    #[deprecated(note = "use `ObjectAdapter::invoke` with `DispatchOpts::raw()`")]
     pub fn dispatch_raw(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
-        let t0 = std::time::Instant::now();
-        let res = self.dispatch_raw_inner(key, op, args);
-        self.stats.raw += 1;
-        self.stats.errors += res.outcome.is_err() as u64;
-        self.stats.total_ns += t0.elapsed().as_nanos() as u64;
-        res
+        self.invoke(key, op, args, DispatchOpts::raw())
     }
 
     fn dispatch_raw_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
@@ -497,25 +544,25 @@ mod tests {
     #[test]
     fn typed_dispatch_happy_path() {
         let (mut oa, r) = adapter();
-        let res = oa.dispatch(r.key, "add", &[Value::Long(5)]);
+        let res = oa.invoke(r.key, "add", &[Value::Long(5)], DispatchOpts::typed());
         let out = res.outcome.unwrap();
         assert_eq!(out.ret, Value::Long(5));
         assert_eq!(out.outs, vec![Value::Long(5)]);
         assert_eq!(res.events.len(), 1);
         assert_eq!(res.events[0].0, "changed");
-        let res2 = oa.dispatch(r.key, "_get_value", &[]);
+        let res2 = oa.invoke(r.key, "_get_value", &[], DispatchOpts::typed());
         assert_eq!(res2.outcome.unwrap().ret, Value::Long(5));
     }
 
     #[test]
     fn bad_args_rejected_before_servant_runs() {
         let (mut oa, r) = adapter();
-        let res = oa.dispatch(r.key, "add", &[Value::string("five")]);
+        let res = oa.invoke(r.key, "add", &[Value::string("five")], DispatchOpts::typed());
         assert!(matches!(res.outcome, Err(OrbError::BadParam(_))));
-        let res2 = oa.dispatch(r.key, "add", &[]);
+        let res2 = oa.invoke(r.key, "add", &[], DispatchOpts::typed());
         assert!(matches!(res2.outcome, Err(OrbError::BadParam(_))));
         // servant state untouched
-        let v = oa.dispatch(r.key, "_get_value", &[]).outcome.unwrap();
+        let v = oa.invoke(r.key, "_get_value", &[], DispatchOpts::typed()).outcome.unwrap();
         assert_eq!(v.ret, Value::Long(0));
     }
 
@@ -523,17 +570,17 @@ mod tests {
     fn unknown_op_and_object() {
         let (mut oa, r) = adapter();
         assert!(matches!(
-            oa.dispatch(r.key, "nope", &[]).outcome,
+            oa.invoke(r.key, "nope", &[], DispatchOpts::typed()).outcome,
             Err(OrbError::BadOperation(_))
         ));
         let bad_key = ObjectKey { host: HostId(0), oid: 999 };
         assert!(matches!(
-            oa.dispatch(bad_key, "add", &[Value::Long(1)]).outcome,
+            oa.invoke(bad_key, "add", &[Value::Long(1)], DispatchOpts::typed()).outcome,
             Err(OrbError::ObjectNotExist)
         ));
         let wrong_host = ObjectKey { host: HostId(5), oid: r.key.oid };
         assert!(matches!(
-            oa.dispatch(wrong_host, "add", &[Value::Long(1)]).outcome,
+            oa.invoke(wrong_host, "add", &[Value::Long(1)], DispatchOpts::typed()).outcome,
             Err(OrbError::ObjectNotExist)
         ));
     }
@@ -545,7 +592,7 @@ mod tests {
         assert!(oa.deactivate(r.key.oid).is_some());
         assert!(!oa.is_active(r.key.oid));
         assert!(matches!(
-            oa.dispatch(r.key, "add", &[Value::Long(1)]).outcome,
+            oa.invoke(r.key, "add", &[Value::Long(1)], DispatchOpts::typed()).outcome,
             Err(OrbError::ObjectNotExist)
         ));
         assert!(oa.deactivate(r.key.oid).is_none());
@@ -567,7 +614,7 @@ mod tests {
         let repo = Arc::new(compile(IDL).unwrap());
         let mut oa = ObjectAdapter::new(HostId(0), repo);
         let r = oa.activate(Box::new(Liar));
-        let res = oa.dispatch(r.key, "add", &[Value::Long(1)]);
+        let res = oa.invoke(r.key, "add", &[Value::Long(1)], DispatchOpts::typed());
         assert!(matches!(res.outcome, Err(OrbError::Internal(_))));
     }
 
@@ -593,8 +640,27 @@ mod tests {
         let (mut oa, r) = adapter();
         // `_reply` is not an IDL operation but raw dispatch reaches the
         // servant, which rejects it itself here.
-        let res = oa.dispatch_raw(r.key, "_reply", &[Value::Long(1)]);
+        let res = oa.invoke(r.key, "_reply", &[Value::Long(1)], DispatchOpts::raw());
         assert!(matches!(res.outcome, Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn invoke_buckets_stats_by_opts() {
+        let (mut oa, r) = adapter();
+        let _ = oa.invoke(r.key, "add", &[Value::Long(1)], DispatchOpts::typed());
+        let _ = oa.invoke(r.key, "_get_value", &[], DispatchOpts::raw());
+        let s = oa.dispatch_stats();
+        assert_eq!((s.typed, s.raw), (1, 1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn dispatch_shims_route_through_invoke() {
+        let (mut oa, r) = adapter();
+        assert!(oa.dispatch(r.key, "add", &[Value::Long(2)]).outcome.is_ok());
+        assert!(oa.dispatch_raw(r.key, "_get_value", &[]).outcome.is_ok());
+        let s = oa.dispatch_stats();
+        assert_eq!((s.typed, s.raw), (1, 1));
     }
 
     #[test]
@@ -621,7 +687,7 @@ mod tests {
         let mut oa = ObjectAdapter::new(HostId(0), repo);
         let peer = oa.activate(Box::new(CounterImpl { total: 0, pokes: vec![] }));
         let chainer = oa.activate(Box::new(Chainer { peer: peer.clone() }));
-        let res = oa.dispatch(chainer.key, "poke", &[Value::string("go")]);
+        let res = oa.invoke(chainer.key, "poke", &[Value::string("go")], DispatchOpts::typed());
         assert!(res.outcome.is_ok());
         assert_eq!(res.outbox.len(), 2);
         assert_eq!(res.outbox[0].kind, OutCallKind::OneWay);

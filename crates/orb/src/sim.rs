@@ -29,7 +29,10 @@ pub const HEADER_BYTES: u64 = 32;
 pub struct RequestId(pub u64);
 
 /// The ORB messages that travel inside [`lc_net::NetMsg`] payloads.
-#[derive(Debug)]
+///
+/// `Clone` because the fabric's fault plan may duplicate a message in
+/// flight; the servant side suppresses duplicates by request id.
+#[derive(Clone, Debug)]
 pub enum OrbWire {
     /// An operation request.
     Request {
@@ -123,6 +126,24 @@ impl SimOrb {
         oneway: bool,
     ) -> Result<RequestId, DropReason> {
         let id = self.fresh_id();
+        self.send_request_with_id(ctx, from, id, target, op, args, oneway)?;
+        Ok(id)
+    }
+
+    /// Send (or re-send) a request under an explicit id. Retries MUST
+    /// reuse the first attempt's id — that is what lets the servant side
+    /// recognise and suppress duplicates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_request_with_id(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        id: RequestId,
+        target: ObjectKey,
+        op: &str,
+        args: Vec<Value>,
+        oneway: bool,
+    ) -> Result<SimTime, DropReason> {
         let size = Self::request_size(op, &args);
         let wire = OrbWire::Request {
             id,
@@ -132,8 +153,7 @@ impl SimOrb {
             args,
         };
         ctx.metrics().incr("orb.requests");
-        self.net.send(ctx, from, target.host, size, wire)?;
-        Ok(id)
+        self.net.send(ctx, from, target.host, size, wire)
     }
 
     /// Send a reply from the servant's host back to the caller.
@@ -182,7 +202,7 @@ impl SimOrb {
 mod tests {
     use super::*;
     use crate::object::ObjectRef;
-    use crate::servant::{Invocation, ObjectAdapter, Servant};
+    use crate::servant::{DispatchOpts, Invocation, ObjectAdapter, Servant};
     use lc_des::{Actor, AnyMsg, AnyMsgExt, Sim};
     use lc_idl::compile;
     use lc_net::{HostCfg, NetMsg, Topology};
@@ -222,7 +242,7 @@ mod tests {
             let net_msg = msg.downcast_msg::<NetMsg>().expect("NetMsg");
             match net_msg.payload.downcast_msg::<OrbWire>().expect("OrbWire") {
                 OrbWire::Request { id, reply_to, target, op, args } => {
-                    let res = self.adapter.dispatch(target, &op, &args);
+                    let res = self.adapter.invoke(target, &op, &args, DispatchOpts::typed());
                     if let Some(back) = reply_to {
                         let _ =
                             self.orb.send_reply(ctx, self.host, back, id, res.outcome);
@@ -279,7 +299,7 @@ mod tests {
         let s = topo.add_site("lan");
         let h0 = topo.add_host(HostCfg::new(s));
         let h1 = topo.add_host(HostCfg::new(s));
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let orb = SimOrb::new(net.clone());
         let repo = Arc::new(compile(IDL).unwrap());
 
@@ -316,7 +336,7 @@ mod tests {
         let s = topo.add_site("lan");
         let h0 = topo.add_host(HostCfg::new(s));
         let h1 = topo.add_host(HostCfg::new(s));
-        let net = Net::new(topo);
+        let net = Net::builder(topo).build();
         let orb = SimOrb::new(net.clone());
         net.set_host_up(h1, false);
 
@@ -364,7 +384,7 @@ mod tests {
 
     #[test]
     fn fresh_ids_are_unique() {
-        let net = Net::new(Topology::lan(1));
+        let net = Net::builder(Topology::lan(1)).build();
         let orb = SimOrb::new(net);
         let a = orb.fresh_id();
         let b = orb.fresh_id();
