@@ -1,11 +1,18 @@
 #!/bin/sh
-# Repo CI gate: release build, full test suite, lint-clean clippy.
+# Repo CI gate: release build, full test suite, lint-clean clippy,
+# determinism/API-hygiene static analysis, fault-injection determinism.
 set -eu
 cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Determinism & API-hygiene gate: lc-lint must pass with zero
+# unsuppressed violations against the checked-in baseline (which may
+# only shrink -- a stale entry fails too). --stats keeps the unwrap
+# budget trajectory visible across PRs.
+cargo run --release -q -p lc-lint -- --workspace --baseline lint-baseline.txt --stats
 
 # Fault-injection determinism gate: the same seeds must reproduce the
 # same faults, retries and recoveries byte-for-byte (E10 prints only

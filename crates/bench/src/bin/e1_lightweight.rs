@@ -16,6 +16,7 @@ use lc_bench::{f2, print_table};
 use lc_idl::compile;
 use lc_orb::{Invocation, LocalOrb, ObjectRef, Orb, OrbError, Servant, SimOrbClient, Value};
 use std::sync::Arc;
+// lc-lint: allow(D1) -- E1 measures wall-clock dispatch cost; its columns are excluded from determinism diffs
 use std::time::Instant;
 
 const IDL: &str = r#"
@@ -51,6 +52,7 @@ impl Servant for BenchImpl {
 
 fn ops_per_sec(iters: u64, f: impl FnMut()) -> f64 {
     let mut f = f;
+    // lc-lint: allow(D1) -- wall-clock throughput measurement (E1 column)
     let t0 = Instant::now();
     for _ in 0..iters {
         f();
@@ -95,6 +97,7 @@ fn main() {
     let (via_orb, marshalled, echo) = bench_orb(&orb, &obj, ITERS);
 
     // concurrent callers
+    // lc-lint: allow(D1) -- wall-clock throughput measurement (E1 column)
     let t0 = Instant::now();
     let threads: Vec<_> = (0..4)
         .map(|_| {

@@ -8,6 +8,7 @@
 
 use lc_bench::{f2, human_bytes, print_table};
 use lc_pkg::{ComponentDescriptor, Package, Platform, SigningKey, TrustStore, Version};
+// lc-lint: allow(D1) -- E9 measures wall-clock pack/verify cost; its columns are excluded from determinism diffs
 use std::time::Instant;
 
 fn payload(kind: &str, size: usize) -> Vec<u8> {
@@ -55,11 +56,13 @@ fn main() {
             .with_idl("x.idl", "interface X { void f(); };")
             .with_binary(Platform::reference(), "x", &payload(kind, size))
             .with_binary(Platform::pda(), "x_pda", &payload(kind, size / 8));
+        // lc-lint: allow(D1) -- wall-clock packaging measurement (E9 column)
         let t0 = Instant::now();
         pkg.seal(&key);
         let bytes = pkg.to_bytes();
         let pack_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+        // lc-lint: allow(D1) -- wall-clock verification measurement (E9 column)
         let t1 = Instant::now();
         let back = Package::from_bytes(&bytes).unwrap();
         assert_eq!(back.verify(&trust), lc_pkg::sign::Verification::Trusted);

@@ -453,6 +453,7 @@ impl Node {
             ServiceKind::Container => container,
         };
         state.metrics.begin(kind, true);
+        // lc-lint: allow(D1) -- wall-clock handler-latency metric (F1 column); never feeds simulated behaviour
         let t0 = std::time::Instant::now();
         {
             let mut nctx = NodeCtx { state: &mut *state, sim: &mut *ctx };
@@ -475,6 +476,7 @@ impl Node {
             ServiceKind::Container => container,
         };
         state.metrics.begin(kind, false);
+        // lc-lint: allow(D1) -- wall-clock handler-latency metric (F1 column); never feeds simulated behaviour
         let t0 = std::time::Instant::now();
         {
             let mut nctx = NodeCtx { state: &mut *state, sim: &mut *ctx };

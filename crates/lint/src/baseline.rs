@@ -1,0 +1,100 @@
+//! The ratchet: a checked-in baseline that may only shrink.
+//!
+//! Each line grandfathers a fixed number of violations for one scope — a
+//! crate for the A2 panic budget, a file for every other rule:
+//!
+//! ```text
+//! A2 core 12
+//! D2 crates/orb/src/servant.rs 1
+//! ```
+//!
+//! Comparison is exact in both directions: *more* violations than the
+//! entry is a regression, and *fewer* is a stale entry that must be
+//! tightened (that is what makes the budget monotonically shrink instead
+//! of silently re-growing back up to an outdated cap).
+
+use std::collections::BTreeMap;
+
+/// Scope key of a baseline entry: `(rule, crate-or-file)`.
+pub type Key = (String, String);
+
+/// Parsed baseline: counts per scope.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Grandfathered violation counts.
+    pub entries: BTreeMap<Key, u64>,
+}
+
+impl Baseline {
+    /// Parse the baseline format; `#` starts a comment line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (rule, scope, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(s), Some(c)) => (r, s, c),
+                _ => return Err(format!("baseline line {}: expected `RULE SCOPE COUNT`", i + 1)),
+            };
+            if parts.next().is_some() {
+                return Err(format!("baseline line {}: trailing fields", i + 1));
+            }
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entry is dead weight; delete it",
+                    i + 1
+                ));
+            }
+            if entries.insert((rule.to_owned(), scope.to_owned()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry", i + 1));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Render current counts in the canonical (sorted, commented) form.
+    pub fn render(counts: &BTreeMap<Key, u64>) -> String {
+        let mut out = String::from(
+            "# lc-lint baseline: grandfathered violation counts (`RULE SCOPE COUNT`).\n\
+             # A2 scopes are crates (panic budget); other rules use file scopes.\n\
+             # Entries may only shrink; regenerate with `lc-lint --workspace --write-baseline`.\n",
+        );
+        for ((rule, scope), n) in counts {
+            if *n > 0 {
+                out.push_str(&format!("{rule} {scope} {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("A2".to_owned(), "core".to_owned()), 12u64);
+        counts.insert(("D2".to_owned(), "crates/orb/src/servant.rs".to_owned()), 1u64);
+        let text = Baseline::render(&counts);
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed.entries, counts);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("A2 core").is_err());
+        assert!(Baseline::parse("A2 core twelve").is_err());
+        assert!(Baseline::parse("A2 core 1 extra").is_err());
+        assert!(Baseline::parse("A2 core 0").is_err());
+        assert!(Baseline::parse("A2 core 1\nA2 core 2").is_err());
+        assert!(Baseline::parse("# comment\n\nA2 core 3\n").is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! CLI for `lc-lint`. Exit codes: 0 clean, 1 gate failure, 2 usage/IO.
+
+use lc_lint::{execute, RunOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lc-lint [--workspace] [--root DIR] [--baseline FILE] \
+                     [--write-baseline FILE] [--stats] [PATH...]\n\
+  --workspace            scan every .rs file under the root\n\
+  --root DIR             workspace root (default: current directory)\n\
+  --baseline FILE        ratchet against a checked-in baseline\n\
+  --write-baseline FILE  regenerate the baseline from the current tree\n\
+  --stats                print per-rule / per-crate tallies";
+
+fn main() -> ExitCode {
+    let mut opts = RunOpts { root: PathBuf::from("."), ..RunOpts::default() };
+    let mut stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--stats" => stats = true,
+            "--root" | "--baseline" | "--write-baseline" => {
+                let Some(v) = args.next() else {
+                    eprintln!("lc-lint: {a} needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match a.as_str() {
+                    "--root" => opts.root = PathBuf::from(v),
+                    "--baseline" => opts.baseline = Some(PathBuf::from(v)),
+                    _ => opts.write_baseline = Some(PathBuf::from(v)),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("lc-lint: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let exec = match execute(&opts) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("lc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &exec.diagnostics {
+        println!("{d}");
+    }
+    if let Some(p) = &opts.write_baseline {
+        println!("lc-lint: baseline written to {}", p.display());
+    }
+    if stats {
+        print!("{}", exec.stats.render());
+    }
+    if exec.clean {
+        println!("lc-lint: clean ({} files)", exec.stats.files);
+        ExitCode::SUCCESS
+    } else {
+        println!("lc-lint: {} gate failure(s)", exec.diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,549 @@
+//! The rule set: which invariants are checked where.
+//!
+//! Every rule encodes something the reproduction actually depends on
+//! (see DESIGN.md §8 for the rule ↔ invariant map):
+//!
+//! * **D1** — no wall-clock reads (`std::time::Instant` / `SystemTime`)
+//!   outside the allowlisted wall-clock metrics module. Virtual time is
+//!   `lc_des::SimTime`; a stray clock read silently breaks the E1–E10
+//!   byte-determinism diffs.
+//! * **D2** — no `HashMap`/`HashSet` in crates whose state reaches wire
+//!   messages or experiment output (`orb`, `core`, `net`, `baselines`,
+//!   `bench`): hash iteration order is randomized-per-process in spirit
+//!   and unordered in practice; use `BTreeMap`/`BTreeSet` or suppress
+//!   with a justification.
+//! * **D3** — no `thread::spawn` / `mpsc` channels inside DES-simulated
+//!   crates: real concurrency under the single-threaded event loop is a
+//!   determinism leak by construction.
+//! * **D4** — no RNG streams seeded outside the modules that own them
+//!   (`crates/des/src/rng.rs` and the kernel/fault/property-test modules
+//!   that derive documented sub-streams); plus a ban on ambient-entropy
+//!   types anywhere.
+//! * **A1** — no callers of the PR-2 deprecated shims `Net::new`,
+//!   `ObjectAdapter::dispatch` (3-arg) and `ObjectAdapter::dispatch_raw`.
+//! * **A2** — an `unwrap()`/`expect()` budget per library crate (tests
+//!   exempt), ratcheted by the checked-in baseline.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// All rule names, in reporting order.
+pub const RULES: [&str; 6] = ["D1", "D2", "D3", "D4", "A1", "A2"];
+
+/// Crates whose data structures feed marshalled messages or printed
+/// experiment tables (D2 scope).
+const ORDERED_OUTPUT_CRATES: [&str; 5] = ["orb", "core", "net", "baselines", "bench"];
+
+/// Crates executed under the discrete-event simulator (D3 scope).
+const DES_CRATES: [&str; 7] = ["des", "net", "orb", "core", "baselines", "cscw", "grid"];
+
+/// The one module allowed to touch the wall clock: the bench harness that
+/// produces the explicitly-wall-clock columns of E1/E9/F1.
+const WALLCLOCK_ALLOWLIST: [&str; 1] = ["crates/bench/src/micro.rs"];
+
+/// Modules that own seeded RNG streams (D4 scope): the generator itself,
+/// the DES kernel stream, the fault-plan stream and the property-test
+/// generator stream.
+const RNG_ALLOWLIST: [&str; 4] = [
+    "crates/des/src/rng.rs",
+    "crates/des/src/lib.rs",
+    "crates/net/src/fault.rs",
+    "crates/prop/src/lib.rs",
+];
+
+/// Ambient-entropy / foreign-RNG identifiers banned outright.
+const BANNED_RNG: [&str; 6] =
+    ["thread_rng", "from_entropy", "StdRng", "SmallRng", "RandomState", "DefaultHasher"];
+
+/// What kind of target a file belongs to (decides rule applicability).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// Library code (`src/` of a crate).
+    Lib,
+    /// Experiment binary (`src/bin/`).
+    Bin,
+    /// Test code (`tests/` dir or a `tests.rs` module file).
+    Test,
+    /// Wall-clock benchmark (`benches/`).
+    Bench,
+    /// Example (`examples/`).
+    Example,
+}
+
+/// Where a file sits in the workspace.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Crate directory name (`orb`, `core`, …) or `root` for the
+    /// workspace package.
+    pub krate: String,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &str) -> FileCtx {
+    let krate = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_owned();
+    let kind = if rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.ends_with("/tests.rs")
+    {
+        FileKind::Test
+    } else if rel.contains("/benches/") {
+        FileKind::Bench
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        FileKind::Example
+    } else if rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    FileCtx { rel: rel.to_owned(), krate, kind }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`D1` … `A2`, or `LINT` for malformed suppressions).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+    /// Covered by an in-source `allow(...)` annotation.
+    pub suppressed: bool,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// All rule hits, including suppressed ones.
+    pub violations: Vec<Violation>,
+    /// Hard errors (malformed suppressions); never suppressible.
+    pub errors: Vec<Violation>,
+    /// Number of code tokens seen (for `--stats`).
+    pub tokens: usize,
+}
+
+/// Run every applicable rule over one file.
+pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let in_test = test_regions(toks, ctx.kind);
+    let mut report = FileReport { tokens: toks.len(), ..FileReport::default() };
+
+    let d2_scope = ORDERED_OUTPUT_CRATES.contains(&ctx.krate.as_str());
+    let d3_scope = DES_CRATES.contains(&ctx.krate.as_str());
+    let d1_allowed = WALLCLOCK_ALLOWLIST.contains(&ctx.rel.as_str());
+    let d4_allowed = RNG_ALLOWLIST.contains(&ctx.rel.as_str());
+    // Lib/Bin code paths are what reach wire messages and experiment
+    // output; tests, benches and examples get D2–D4 leniency.
+    let libish = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
+
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let hit: Option<(&'static str, String)> = match name.as_str() {
+            "Instant" | "SystemTime" if !d1_allowed => Some((
+                "D1",
+                format!(
+                    "wall-clock type `{name}`: virtual time is lc_des::SimTime; wall-clock \
+                     metrics belong in {}",
+                    WALLCLOCK_ALLOWLIST[0]
+                ),
+            )),
+            "HashMap" | "HashSet" if d2_scope && libish && !in_test[i] => Some((
+                "D2",
+                format!(
+                    "`{name}` in ordered-output crate `{}`: iteration order can leak into \
+                     marshalled messages or experiment tables; use BTree{} or suppress with \
+                     a sorted-iteration justification",
+                    ctx.krate,
+                    &name[4..]
+                ),
+            )),
+            "spawn"
+                if d3_scope
+                    && libish
+                    && !in_test[i]
+                    && path_prefix_is(toks, i, "thread") =>
+            {
+                Some((
+                    "D3",
+                    "`thread::spawn` in a DES-simulated crate: concurrency must come from \
+                     simulation actors, not OS threads"
+                        .to_owned(),
+                ))
+            }
+            "mpsc" if d3_scope && libish && !in_test[i] => Some((
+                "D3",
+                "`mpsc` channel in a DES-simulated crate: message passing must go through \
+                 the simulated network fabric"
+                    .to_owned(),
+            )),
+            "seed_from_u64" if !d4_allowed && libish && !in_test[i] => Some((
+                "D4",
+                "RNG seeded outside the owning modules: derive a sub-stream in \
+                 crates/des/src/rng.rs' documented owners instead of constructing one ad hoc"
+                    .to_owned(),
+            )),
+            n if BANNED_RNG.contains(&n) && libish && !in_test[i] => Some((
+                "D4",
+                format!("`{name}`: ambient-entropy / foreign RNG types are banned everywhere"),
+            )),
+            "new" if called_on(toks, i, "Net") => Some((
+                "A1",
+                "deprecated shim `Net::new`: use `Net::builder(topo)…build()`".to_owned(),
+            )),
+            "dispatch_raw" if is_method_call(toks, i) => Some((
+                "A1",
+                "deprecated shim `ObjectAdapter::dispatch_raw`: use `invoke(key, op, args, \
+                 DispatchOpts::raw())`"
+                    .to_owned(),
+            )),
+            "dispatch" if is_method_call(toks, i) && call_arity_at_least(toks, i + 1, 3) => {
+                // `Servant::dispatch(&mut inv)` is 1-arg and legitimate;
+                // only the 3-arg adapter shim is deprecated.
+                Some((
+                    "A1",
+                    "deprecated shim `ObjectAdapter::dispatch`: use `invoke(key, op, args, \
+                     DispatchOpts::typed())`"
+                        .to_owned(),
+                ))
+            }
+            "unwrap" | "expect"
+                if ctx.kind == FileKind::Lib && !in_test[i] && is_method_call(toks, i) =>
+            {
+                Some((
+                    "A2",
+                    format!("`.{name}()` in library code counts against the crate's panic budget"),
+                ))
+            }
+            _ => None,
+        };
+        if let Some((rule, msg)) = hit {
+            report.violations.push(Violation {
+                file: ctx.rel.clone(),
+                line: t.line,
+                rule,
+                msg,
+                suppressed: false,
+            });
+        }
+    }
+
+    // Apply suppressions: an annotation on line L covers hits on L (trailing
+    // comment) and L+1 (comment-above style).
+    for v in &mut report.violations {
+        let covered = lexed.suppressions.iter().any(|s| {
+            (s.line == v.line || s.line + 1 == v.line) && s.rules.iter().any(|r| r == v.rule)
+        });
+        v.suppressed = covered;
+    }
+
+    for line in lexed.malformed {
+        report.errors.push(Violation {
+            file: ctx.rel.clone(),
+            line,
+            rule: "LINT",
+            msg: "malformed suppression: expected `lc-lint: allow(RULE, ...) -- reason`"
+                .to_owned(),
+            suppressed: false,
+        });
+    }
+    report
+}
+
+/// Is token `i` preceded by `prefix::` (e.g. `thread::spawn`)?
+fn path_prefix_is(toks: &[Token], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && toks[i - 1].tok == Tok::Punct(':')
+        && toks[i - 2].tok == Tok::Punct(':')
+        && matches!(&toks[i - 3].tok, Tok::Ident(p) if p == prefix)
+}
+
+/// Is token `i` a `Recv::name(`-style associated call on `recv`?
+fn called_on(toks: &[Token], i: usize, recv: &str) -> bool {
+    path_prefix_is(toks, i, recv) && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+}
+
+/// Is token `i` a `.name(` method call?
+fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i >= 1
+        && toks[i - 1].tok == Tok::Punct('.')
+        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+}
+
+/// Does the call whose `(` sits at `open` have at least `n` top-level
+/// arguments? Counts commas at depth 1, ignoring commas nested inside
+/// `()`/`[]`/`{}` and inside turbofish generics (`::<A, B>`), so
+/// `f(g::<A, B>(x))` stays one argument.
+fn call_arity_at_least(toks: &[Token], open: usize, n: usize) -> bool {
+    if toks.get(open).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return false;
+    }
+    let mut depth = 1u32;
+    let mut angle = 0u32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut j = open + 1;
+    while j < toks.len() && depth > 0 {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct('<')
+                if angle > 0
+                    || (j >= 2
+                        && toks[j - 1].tok == Tok::Punct(':')
+                        && toks[j - 2].tok == Tok::Punct(':')) =>
+            {
+                angle += 1
+            }
+            Tok::Punct('>') if angle > 0 => angle -= 1,
+            Tok::Punct(',') if depth == 1 && angle == 0 => commas += 1,
+            _ => any = true,
+        }
+        j += 1;
+    }
+    let args = if any || commas > 0 { commas + 1 } else { 0 };
+    args >= n
+}
+
+/// Per-token flag: inside a `#[cfg(test)] mod … { … }` region, or the
+/// whole file for test-kind targets.
+fn test_regions(toks: &[Token], kind: FileKind) -> Vec<bool> {
+    let mut flags = vec![kind == FileKind::Test; toks.len()];
+    if kind == FileKind::Test {
+        return flags;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(body_open) = cfg_test_mod_open(toks, i) {
+            // Mark everything to the matching close brace.
+            let mut depth = 0u32;
+            let mut j = body_open;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                flags[j] = true;
+                j += 1;
+            }
+            if j < toks.len() {
+                flags[j] = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// If tokens at `i` start `#[cfg(test)]`, possibly followed by further
+/// attributes, then `mod name {`, return the index of that `{`.
+fn cfg_test_mod_open(toks: &[Token], i: usize) -> Option<usize> {
+    let shape = [
+        Tok::Punct('#'),
+        Tok::Punct('['),
+        Tok::Ident("cfg".into()),
+        Tok::Punct('('),
+        Tok::Ident("test".into()),
+        Tok::Punct(')'),
+        Tok::Punct(']'),
+    ];
+    for (off, want) in shape.iter().enumerate() {
+        if toks.get(i + off).map(|t| &t.tok) != Some(want) {
+            return None;
+        }
+    }
+    let mut j = i + shape.len();
+    // Skip any further `#[...]` attributes between cfg(test) and mod.
+    while toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('#'))
+        && toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+    {
+        let mut depth = 0u32;
+        j += 1;
+        while let Some(t) = toks.get(j) {
+            match t.tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+    if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "mod") {
+        return None;
+    }
+    let mut k = j + 1;
+    while let Some(t) = toks.get(k) {
+        match &t.tok {
+            Tok::Punct('{') => return Some(k),
+            Tok::Punct(';') => return None, // out-of-line `mod tests;`
+            _ => k += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rel: &str) -> FileCtx {
+        classify(rel)
+    }
+
+    fn hits(src: &str, rel: &str) -> Vec<(&'static str, u32, bool)> {
+        check_file(src, &ctx(rel))
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.line, v.suppressed))
+            .collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(ctx("crates/orb/src/local.rs").krate, "orb");
+        assert!(matches!(ctx("crates/orb/src/local.rs").kind, FileKind::Lib));
+        assert!(matches!(ctx("crates/bench/src/bin/e1.rs").kind, FileKind::Bin));
+        assert!(matches!(ctx("crates/core/tests/world.rs").kind, FileKind::Test));
+        assert!(matches!(ctx("crates/cscw/src/tests.rs").kind, FileKind::Test));
+        assert!(matches!(ctx("crates/bench/benches/orb.rs").kind, FileKind::Bench));
+        assert!(matches!(ctx("examples/quickstart.rs").kind, FileKind::Example));
+        assert_eq!(ctx("tests/integration.rs").krate, "root");
+    }
+
+    #[test]
+    fn d1_fires_outside_allowlist_only() {
+        let src = "use std::time::Instant;";
+        assert_eq!(hits(src, "crates/des/src/lib.rs"), vec![("D1", 1, false)]);
+        assert!(hits(src, "crates/bench/src/micro.rs").is_empty());
+    }
+
+    #[test]
+    fn d2_scoped_to_ordered_output_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(hits(src, "crates/orb/src/x.rs"), vec![("D2", 1, false)]);
+        assert!(hits(src, "crates/idl/src/x.rs").is_empty());
+        assert!(hits(src, "crates/orb/tests/x.rs").is_empty());
+    }
+
+    #[test]
+    fn d2_ignores_comments_strings_and_generics() {
+        let src = "// HashMap here\nlet s = \"HashMap\";\nlet m: BTreeMap<String, Vec<u8>> = BTreeMap::new();";
+        assert!(hits(src, "crates/core/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn d3_thread_spawn_and_mpsc() {
+        let src = "std::thread::spawn(|| {});\nuse std::sync::mpsc;";
+        let h = hits(src, "crates/net/src/x.rs");
+        assert_eq!(h, vec![("D3", 1, false), ("D3", 2, false)]);
+        // `pool.spawn(task)` is not thread::spawn
+        assert!(hits("pool.spawn(task);", "crates/net/src/x.rs").is_empty());
+        // bench crate is not DES-simulated
+        assert!(hits(src, "crates/bench/src/bin/e1.rs").is_empty());
+    }
+
+    #[test]
+    fn d4_seeding_and_banned_types() {
+        let src = "let r = SimRng::seed_from_u64(7);";
+        assert_eq!(hits(src, "crates/core/src/x.rs"), vec![("D4", 1, false)]);
+        assert!(hits(src, "crates/net/src/fault.rs").is_empty());
+        assert_eq!(
+            hits("let h: RandomState = RandomState::new();", "crates/idl/src/x.rs").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn a1_shim_calls() {
+        assert_eq!(hits("let n = Net::new(topo);", "crates/core/src/x.rs"), vec![("A1", 1, false)]);
+        assert_eq!(
+            hits("oa.dispatch_raw(key, op, args);", "crates/core/src/x.rs"),
+            vec![("A1", 1, false)]
+        );
+        assert_eq!(
+            hits("oa.dispatch(key, \"add\", &[v]);", "crates/core/src/x.rs"),
+            vec![("A1", 1, false)]
+        );
+    }
+
+    #[test]
+    fn a1_leaves_servant_dispatch_alone() {
+        // 1-arg trait-method dispatch is legitimate…
+        assert!(hits("servant.dispatch(&mut inv);", "crates/orb/src/x.rs").is_empty());
+        // …even when the argument is a call with turbofish generics.
+        assert!(hits(
+            "servant.dispatch(make::<Invocation, Extra>(a, b));",
+            "crates/orb/src/x.rs"
+        )
+        .is_empty());
+        // Nested generics inside one argument stay one argument.
+        assert!(hits(
+            "servant.dispatch(wrap::<Vec<Vec<u8>>, B>(x));",
+            "crates/orb/src/x.rs"
+        )
+        .is_empty());
+        // Builder-style `.new(` is not `Net::new(`.
+        assert!(hits("let x = Foo::new(1, 2, 3);", "crates/core/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn a2_counts_lib_code_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); z.unwrap_or(0); }";
+        let h = hits(src, "crates/core/src/x.rs");
+        assert_eq!(h.len(), 2, "unwrap_or must not count: {h:?}");
+        assert!(hits(src, "crates/core/tests/x.rs").is_empty());
+        assert!(hits(src, "crates/bench/src/bin/e1.rs").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_a2_and_d2() {
+        let src = "use std::collections::BTreeMap;\n\
+                   #[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n\
+                   use std::collections::HashMap;\n\
+                   fn f() { x.unwrap(); }\n}\n";
+        assert!(hits(src, "crates/orb/src/x.rs").is_empty());
+        // …but D1 still applies inside test modules.
+        let src2 = "#[cfg(test)]\nmod tests {\n use std::time::Instant;\n}\n";
+        assert_eq!(hits(src2, "crates/orb/src/x.rs"), vec![("D1", 3, false)]);
+    }
+
+    #[test]
+    fn suppressions_cover_same_and_next_line() {
+        let trailing = "use std::time::Instant; // lc-lint: allow(D1) -- wall-clock metric\n";
+        assert_eq!(hits(trailing, "crates/des/src/lib.rs"), vec![("D1", 1, true)]);
+        let above = "// lc-lint: allow(D1) -- wall-clock metric\nuse std::time::Instant;\n";
+        assert_eq!(hits(above, "crates/des/src/lib.rs"), vec![("D1", 2, true)]);
+        let wrong_rule = "use std::time::Instant; // lc-lint: allow(D2) -- mismatched\n";
+        assert_eq!(hits(wrong_rule, "crates/des/src/lib.rs"), vec![("D1", 1, false)]);
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_hard_error() {
+        let r = check_file("// lc-lint: allow(D1)\n", &ctx("crates/des/src/lib.rs"));
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].rule, "LINT");
+    }
+}

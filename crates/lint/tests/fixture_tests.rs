@@ -1,0 +1,143 @@
+//! Fixture-file tests: each rule fires where expected, suppressions and
+//! the baseline ratchet behave, the `fixtures` dir is invisible to
+//! workspace scans, and — the point of the whole exercise — the real
+//! workspace is clean under the checked-in baseline.
+
+use lc_lint::{execute, RunOpts};
+use std::path::{Path, PathBuf};
+
+fn fixture_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn run(paths: &[&str], baseline: Option<&Path>, write: Option<&Path>) -> lc_lint::Execution {
+    let opts = RunOpts {
+        root: fixture_ws(),
+        paths: paths.iter().map(PathBuf::from).collect(),
+        workspace: paths.is_empty(),
+        baseline: baseline.map(Path::to_path_buf),
+        write_baseline: write.map(Path::to_path_buf),
+    };
+    execute(&opts).expect("fixture scan")
+}
+
+/// Diagnostics as `(file, line, rule)` triples for easy assertions.
+fn keys(e: &lc_lint::Execution) -> Vec<(String, u32, String)> {
+    e.diagnostics
+        .iter()
+        .filter_map(|d| {
+            let mut it = d.splitn(3, ':');
+            let file = it.next()?.to_owned();
+            let line = it.next()?.parse().ok()?;
+            let rule = it.next()?.trim().split(' ').next()?.to_owned();
+            Some((file, line, rule))
+        })
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_at_the_expected_site() {
+    let e = run(&[], None, None);
+    assert!(!e.clean);
+    let got = keys(&e);
+    let v = "crates/orb/src/violations.rs";
+    for want in [
+        (v, 3, "D2"),  // use HashMap
+        (v, 4, "D1"),  // use Instant
+        (v, 7, "D4"),  // ad-hoc seed_from_u64
+        (v, 11, "D1"), // Instant::now
+        (v, 12, "A1"), // Net::new
+        (v, 13, "A1"), // 3-arg dispatch shim
+        (v, 14, "A1"), // dispatch_raw shim
+        (v, 15, "D2"), // HashMap binding
+        (v, 16, "D3"), // thread::spawn
+        (v, 17, "D3"), // mpsc
+        (v, 18, "A2"), // unwrap in lib code
+        ("crates/idl/src/scope.rs", 6, "D4"), // RandomState (banned anywhere)
+        ("crates/idl/src/scope.rs", 8, "D4"),
+        ("crates/orb/src/malformed.rs", 2, "LINT"), // reasonless suppression
+    ] {
+        let k = (want.0.to_owned(), want.1, want.2.to_owned());
+        assert!(got.contains(&k), "missing {k:?} in {got:?}");
+    }
+    // Out-of-scope hazards stay silent: HashMap / thread::spawn in `idl`,
+    // unwrap inside #[cfg(test)].
+    assert!(
+        !got.iter().any(|(f, _, r)| f.contains("scope.rs") && (r == "D2" || r == "D3" || r == "A2")),
+        "idl fixture should only trip D4: {got:?}"
+    );
+}
+
+#[test]
+fn suppressions_silence_and_are_counted() {
+    let e = run(&["crates/orb/src/suppressed.rs"], None, None);
+    assert!(e.clean, "suppressed fixture should be clean: {:?}", e.diagnostics);
+    let s = &e.stats.per_rule;
+    for rule in ["D1", "D2", "A1", "A2"] {
+        let rs = s.get(rule).copied().unwrap_or_default();
+        assert_eq!((rs.fired, rs.suppressed), (1, 1), "rule {rule}");
+    }
+}
+
+#[test]
+fn baseline_grandfathers_then_ratchets() {
+    let paths = ["crates/orb/src/violations.rs", "crates/idl/src/scope.rs"];
+    let tmp = std::env::temp_dir().join("lc-lint-fixture-baseline.txt");
+
+    // 1. Regenerate: grandfather everything currently firing.
+    let e = run(&paths, None, Some(&tmp));
+    let rendered = e.baseline_out.clone().expect("baseline rendered");
+    assert!(rendered.contains("A2 orb 1"), "{rendered}");
+    assert!(rendered.contains("D4 crates/idl/src/scope.rs 2"), "{rendered}");
+
+    // 2. Judged against its own baseline, the tree is clean.
+    let e = run(&paths, Some(&tmp), None);
+    assert!(e.clean, "grandfathered scan should pass: {:?}", e.diagnostics);
+    assert!(e.stats.per_rule["A1"].baselined == 3 && e.stats.per_rule["A1"].new == 0);
+
+    // 3. A shrunk tree makes the grandfather entry stale — the ratchet
+    //    only moves down, so CI must demand the baseline be tightened.
+    let loosened = rendered.replace("A2 orb 1", "A2 orb 5");
+    std::fs::write(&tmp, loosened).expect("rewrite baseline");
+    let e = run(&paths, Some(&tmp), None);
+    assert!(!e.clean);
+    assert!(
+        e.diagnostics.iter().any(|d| d.contains("stale entry") && d.contains("A2 orb 5")),
+        "{:?}",
+        e.diagnostics
+    );
+
+    // 4. More violations than grandfathered is a regression with per-site
+    //    diagnostics.
+    let tightened = rendered.replace("A2 orb 1", "");
+    std::fs::write(&tmp, tightened).expect("rewrite baseline");
+    let e = run(&paths, Some(&tmp), None);
+    assert!(!e.clean);
+    assert!(
+        e.diagnostics.iter().any(|d| d.starts_with("crates/orb/src/violations.rs:18: A2")),
+        "{:?}",
+        e.diagnostics
+    );
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn real_workspace_is_clean_and_fixtures_are_skipped() {
+    // The fixture files above carry dozens of violations that are NOT in
+    // lint-baseline.txt, so this passing also proves `fixtures` dirs are
+    // excluded from workspace scans.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let opts = RunOpts {
+        root,
+        workspace: true,
+        baseline: Some(PathBuf::from("lint-baseline.txt")),
+        ..RunOpts::default()
+    };
+    let e = execute(&opts).expect("workspace scan");
+    assert!(e.clean, "workspace must lint clean: {:?}", e.diagnostics);
+    assert!(!e
+        .diagnostics
+        .iter()
+        .chain(std::iter::once(&String::new()))
+        .any(|d| d.contains("fixtures")));
+}

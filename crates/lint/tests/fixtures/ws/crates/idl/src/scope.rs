@@ -1,0 +1,18 @@
+//! Fixture: a crate outside the D2/D3 scopes. `HashMap` and `spawn` are
+//! fine here; ambient-entropy types are banned everywhere; test modules
+//! are exempt from the panic budget.
+use std::collections::HashMap;
+
+fn lookup(m: &HashMap<u32, u32>) -> RandomState {
+    let _bg = std::thread::spawn(|| {});
+    RandomState::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_allowed_in_tests() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,2 @@
+//! Fixture: a suppression missing its reason is itself a hard error.
+fn nothing() {} // lc-lint: allow(D1)

@@ -696,6 +696,7 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn new_shim_still_builds_a_fabric() {
+        // lc-lint: allow(A1) -- compat test exercising the deprecated shim itself
         let net = Net::new(Topology::lan(3));
         assert_eq!(net.host_count(), 3);
     }

@@ -20,9 +20,9 @@ use crate::servant::{DispatchOpts, ObjectAdapter, OutCall, OutCallKind, Outcome,
 use crate::value::Value;
 use lc_idl::Repository;
 use lc_net::HostId;
-use std::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Statistics kept by a [`LocalOrb`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -38,9 +38,10 @@ pub struct LocalOrbStats {
 struct Inner {
     adapter: ObjectAdapter,
     /// Event subscriptions: event repo id → (consumer, delivery op).
-    subs: HashMap<String, Vec<(ObjectRef, String)>>,
+    /// Ordered so fan-out visits subscribers deterministically.
+    subs: BTreeMap<String, Vec<(ObjectRef, String)>>,
     /// Event-source port bindings: (oid, port) → event repo id.
-    port_events: HashMap<(u64, String), String>,
+    port_events: BTreeMap<(u64, String), String>,
     stats: LocalOrbStats,
 }
 
@@ -61,8 +62,8 @@ impl LocalOrb {
         LocalOrb {
             inner: Arc::new(Mutex::new(Inner {
                 adapter: ObjectAdapter::new(HostId(0), repo.clone()),
-                subs: HashMap::new(),
-                port_events: HashMap::new(),
+                subs: BTreeMap::new(),
+                port_events: BTreeMap::new(),
                 stats: LocalOrbStats::default(),
             })),
             repo,
