@@ -22,4 +22,15 @@ cargo run --release -q -p lc-lint -- --workspace --baseline lint-baseline.txt --
 diff /tmp/e10_run1.txt /tmp/e10_run2.txt
 rm -f /tmp/e10_run1.txt /tmp/e10_run2.txt
 
+# Observability determinism gate: two e11 runs must agree byte-for-byte
+# on the report and on both trace exports (span ids come from per-node
+# counters, timestamps from virtual time -- no wall clock, no RNG in
+# the tracer).
+./target/release/e11_observability target/e11_run1 > /tmp/e11_run1.txt
+./target/release/e11_observability target/e11_run2 > /tmp/e11_run2.txt
+diff /tmp/e11_run1.txt /tmp/e11_run2.txt
+diff target/e11_run1.trace.jsonl target/e11_run2.trace.jsonl
+diff target/e11_run1.trace.json target/e11_run2.trace.json
+rm -f /tmp/e11_run1.txt /tmp/e11_run2.txt target/e11_run?.trace.*
+
 echo "ci: all green"

@@ -1,0 +1,26 @@
+//! E11 — observability: deterministic distributed tracing, metrics
+//! registry and flight recorder (see `lc_bench::e11` for the workload).
+//!
+//! Usage: `e11_observability [EXPORT_PREFIX]` — writes
+//! `<prefix>.trace.jsonl` and `<prefix>.trace.json` (chrome://tracing),
+//! default prefix `target/e11`. Stdout and both export files are
+//! byte-identical across runs; ci.sh runs the binary twice and diffs
+//! all three.
+
+use lc_bench::e11;
+
+fn main() {
+    let prefix = std::env::args().nth(1).unwrap_or_else(|| "target/e11".into());
+    let out = e11::run(11);
+    print!("{}", out.report);
+    let jsonl = format!("{prefix}.trace.jsonl");
+    let chrome = format!("{prefix}.trace.json");
+    if let Err(e) =
+        std::fs::write(&jsonl, &out.jsonl).and_then(|_| std::fs::write(&chrome, &out.chrome))
+    {
+        eprintln!("e11: failed to write exports: {e}");
+        std::process::exit(1);
+    }
+    let lines = out.jsonl.lines().count();
+    println!("\nexports: {lines} spans -> trace JSONL + chrome://tracing JSON");
+}

@@ -119,7 +119,7 @@ fn main() {
             m.mean_dispatch_ns()
         );
     }
-    let cmds: Vec<String> = metrics.cmd_counts().map(|(n, c)| format!("{n}={c}")).collect();
+    let cmds: Vec<String> = metrics.cmd_counts().into_iter().map(|(n, c)| format!("{n}={c}")).collect();
     println!("commands: {}", cmds.join(" "));
     println!(
         "continuations pending: {} (peak {})",

@@ -8,11 +8,13 @@
 
 use std::fmt::Write as _;
 
+pub mod e11;
 pub mod micro;
 
-/// Print a titled ASCII table with aligned columns.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+/// Render a titled ASCII table with aligned columns.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut doc = String::new();
+    let _ = writeln!(doc, "\n== {title} ==");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -25,15 +27,21 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     for (h, w) in headers.iter().zip(&widths) {
         let _ = write!(line, "{h:>w$}  ");
     }
-    println!("{line}");
-    println!("{}", "-".repeat(line.len().min(100)));
+    let _ = writeln!(doc, "{line}");
+    let _ = writeln!(doc, "{}", "-".repeat(line.len().min(100)));
     for row in rows {
         let mut out = String::new();
         for (cell, w) in row.iter().zip(&widths) {
             let _ = write!(out, "{cell:>w$}  ");
         }
-        println!("{out}");
+        let _ = writeln!(doc, "{out}");
     }
+    doc
+}
+
+/// Print a titled ASCII table with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 /// Format a float with 2 decimals.

@@ -139,7 +139,7 @@ impl AssemblyDescriptor {
                 .instances
                 .iter()
                 .find(|i| i.name == inst_name)
-                .expect("validated instance");
+                .ok_or_else(|| format!("connection references unknown instance '{inst_name}'"))?;
             descriptors
                 .get(&inst.component)
                 .ok_or_else(|| format!("no descriptor for component '{}'", inst.component))

@@ -48,7 +48,10 @@ impl Servant for CounterImpl {
     fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
         match inv.op {
             "inc" => {
-                self.count += inv.args[0].as_long().expect("typed") as i64;
+                let by = inv.args[0]
+                    .as_long()
+                    .ok_or_else(|| OrbError::BadParam("inc: long expected".into()))?;
+                self.count += by as i64;
                 Ok(())
             }
             "value" => {
@@ -124,7 +127,10 @@ impl Servant for GuiPartImpl {
     fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
         match inv.op {
             "render" => {
-                let what = inv.args[0].as_str().expect("typed").to_owned();
+                let what = inv.args[0]
+                    .as_str()
+                    .ok_or_else(|| OrbError::BadParam("render: string expected".into()))?
+                    .to_owned();
                 self.renders += 1;
                 if let Some(display) = &self.display {
                     inv.call_oneway(display.clone(), "draw", vec![Value::string(&what)]);

@@ -24,10 +24,9 @@ impl NodeState {
             .install(bytes, &platform, &self.trust, &self.behaviors, self.cfg.require_signature)
             .map_err(|e| e.to_string())?;
         // Merge the package's IDL (if any) into the node's view.
-        let installed = self
-            .repository
-            .get(&desc.name, desc.version)
-            .expect("just installed");
+        let Some(installed) = self.repository.get(&desc.name, desc.version) else {
+            return Err(format!("install of '{}' did not register", desc.name));
+        };
         if !installed.package.idl_sources.is_empty() {
             let mut merged = (*self.idl).clone();
             for (file, src) in &installed.package.idl_sources {

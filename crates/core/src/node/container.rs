@@ -147,12 +147,26 @@ impl NodeCtx<'_, '_> {
         args: Vec<Value>,
         cont: CallCont,
     ) {
+        // One span covers the whole logical call, across every attempt;
+        // it ends when the reply lands or the call fails permanently.
+        let tracer = self.state.tracer.clone();
+        let span = tracer.span(self.state.host.0, &format!("container.call {op}"), self.now());
+        if let Some(s) = span {
+            tracer.set_attr(s, "target", &target.host.0.to_string());
+        }
+        let prev = span.map(|s| tracer.set_current(Some(s)));
         match self.state.cfg.invoke.deadline {
             None => match self.orb_request(target, &op, args, false) {
                 Ok(rid) => {
-                    self.state.conts.calls.insert(rid, PendingCall { cont, retry: None });
+                    self.state.conts.calls.insert(rid, PendingCall { cont, retry: None, span });
                 }
-                Err(e) => self.fail_call(cont, OrbError::from(e)),
+                Err(e) => {
+                    if let Some(s) = span {
+                        tracer.set_attr(s, "error", "send");
+                        tracer.end(s, self.now());
+                    }
+                    self.fail_call(cont, OrbError::from(e));
+                }
             },
             Some(deadline) => {
                 let rid = self.state.orb.fresh_id();
@@ -160,11 +174,14 @@ impl NodeCtx<'_, '_> {
                 let retry = Some(RetryState { target, op, args, attempts: 1 });
                 self.state.conts.calls.insert_with_deadline(
                     rid,
-                    PendingCall { cont, retry },
+                    PendingCall { cont, retry, span },
                     self.now() + deadline,
                 );
                 self.timer_in(deadline, Tick::CallSweep);
             }
+        }
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
         }
     }
 
@@ -198,6 +215,11 @@ impl NodeCtx<'_, '_> {
                 pc.retry.as_ref().is_some_and(|r| r.attempts < 1 + policy.retries);
             if !can_retry {
                 self.sim.metrics().incr("orb.call_timeouts");
+                if let Some(s) = pc.span {
+                    let tracer = self.state.tracer.clone();
+                    tracer.set_attr(s, "error", "timeout");
+                    tracer.end(s, now);
+                }
                 self.fail_call(pc.cont, OrbError::Timeout);
                 continue;
             }
@@ -223,9 +245,28 @@ impl NodeCtx<'_, '_> {
         let Some(pc) = self.state.conts.calls.get_mut(&rid) else { return };
         let Some(retry) = pc.retry.as_mut() else { return };
         retry.attempts += 1;
+        let attempts = retry.attempts;
         let (target, op, args) = (retry.target, retry.op.clone(), retry.args.clone());
+        let original = pc.span;
         self.sim.metrics().incr("orb.retries");
+        // The re-send runs under a fresh span nested in the call, with
+        // an explicit *link* back to it marking the retry relationship.
+        let now = self.now();
+        let tracer = self.state.tracer.clone();
+        let rspan =
+            original.and_then(|o| tracer.child_of(self.state.host.0, "container.retry", o, now));
+        if let (Some(r), Some(o)) = (rspan, original) {
+            tracer.link(r, o.span);
+            tracer.set_attr(r, "attempt", &attempts.to_string());
+        }
+        let prev = rspan.map(|r| tracer.set_current(Some(r)));
         let _ = self.orb_request_with_id(rid, target, &op, args);
+        if let Some(r) = rspan {
+            tracer.end(r, now);
+        }
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
+        }
     }
 
     /// Send out-calls and publish events produced by a dispatch.
@@ -365,10 +406,12 @@ impl NodeCtx<'_, '_> {
                 // gone): count and drop.
                 self.sim.metrics().incr("orb.orphan_replies");
             }
-            Some(PendingCall { cont: CallCont::Sink(sink), .. }) => {
+            Some(PendingCall { cont: CallCont::Sink(sink), span, .. }) => {
+                self.end_call_span(span, result.is_err());
                 sink.borrow_mut().push((self.sim.now(), result));
             }
-            Some(PendingCall { cont: CallCont::ToInstance { oid, token }, .. }) => {
+            Some(PendingCall { cont: CallCont::ToInstance { oid, token }, span, .. }) => {
+                self.end_call_span(span, result.is_err());
                 let mut args = vec![Value::ULongLong(token), Value::Boolean(result.is_ok())];
                 if let Ok(out) = result {
                     args.push(out.ret);
@@ -382,6 +425,17 @@ impl NodeCtx<'_, '_> {
                 );
                 self.process_dispatch_effects(oid, res);
             }
+        }
+    }
+
+    /// End a logical-call span (if the call was traced) at reply time.
+    fn end_call_span(&mut self, span: Option<lc_trace::TraceContext>, errored: bool) {
+        if let Some(s) = span {
+            let tracer = self.state.tracer.clone();
+            if errored {
+                tracer.set_attr(s, "error", "reply");
+            }
+            tracer.end(s, self.sim.now());
         }
     }
 
@@ -439,7 +493,13 @@ impl NodeCtx<'_, '_> {
             _ => Value::Void,
         };
         let rid = self.state.conts.next_seq();
-        self.state.conts.migrations.insert(rid, PendingMigration { instance, sink });
+        let tracer = self.state.tracer.clone();
+        let span = tracer.span(self.state.host.0, "container.migrate", self.now());
+        if let Some(s) = span {
+            tracer.set_attr(s, "component", &info.component);
+            tracer.set_attr(s, "to", &to.0.to_string());
+        }
+        self.state.conts.migrations.insert(rid, PendingMigration { instance, sink, span });
         let msg = CtrlMsg::MigrateIn {
             rid,
             origin: self.state.host,
@@ -449,7 +509,11 @@ impl NodeCtx<'_, '_> {
             instance_name: info.name.clone(),
         };
         self.sim.metrics().incr("migrate.started");
+        let prev = span.map(|s| tracer.set_current(Some(s)));
         self.send_ctrl(to, msg);
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
+        }
     }
 }
 
@@ -539,6 +603,13 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
         }
         CtrlMsg::MigrateDone { rid, result } => {
             let Some(pm) = ctx.state.conts.migrations.remove(&rid) else { return };
+            if let Some(s) = pm.span {
+                let tracer = ctx.state.tracer.clone();
+                if result.is_err() {
+                    tracer.set_attr(s, "error", "migrate");
+                }
+                tracer.end(s, ctx.sim.now());
+            }
             match &result {
                 Ok(new_ref) => {
                     // Passivate and remove the old instance; forward

@@ -15,6 +15,7 @@ use lc_des::SimTime;
 use lc_net::HostId;
 use lc_orb::{ObjectKey, ObjectRef, OrbError, Outcome, RequestId, Value};
 use lc_pkg::Version;
+use lc_trace::TraceContext;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -94,10 +95,7 @@ impl<K: Ord + Clone, V> Continuations<K, V> {
             .map(|(k, _)| k.clone())
             .collect();
         due.into_iter()
-            .map(|k| {
-                let e = self.entries.remove(&k).expect("due key present");
-                (k, e.value)
-            })
+            .filter_map(|k| self.entries.remove(&k).map(|e| (k, e.value)))
             .collect()
     }
 
@@ -195,6 +193,9 @@ pub(crate) struct PendingQuery {
     /// Re-issues left for a query expiring with zero offers
     /// (`NodeConfig::query_retries`).
     pub retries_left: u32,
+    /// The query's trace span (root of the per-query trace tree when
+    /// the fabric's tracer is enabled; ended at finalization).
+    pub span: Option<TraceContext>,
 }
 
 /// What to do when a remote spawn completes.
@@ -227,6 +228,10 @@ pub(crate) enum CallCont {
 pub(crate) struct PendingCall {
     pub cont: CallCont,
     pub retry: Option<RetryState>,
+    /// The call's trace span (ended when the reply lands or the call
+    /// fails permanently). Retry spans *link* to this, they do not
+    /// replace it.
+    pub span: Option<TraceContext>,
 }
 
 /// Re-send state for a call under a deadline/retry policy.
@@ -260,6 +265,8 @@ pub(crate) enum FetchCont {
 pub(crate) struct PendingMigration {
     pub instance: InstanceId,
     pub sink: Option<MigrateSink>,
+    /// The migration's trace span (ended on `MigrateDone`).
+    pub span: Option<TraceContext>,
 }
 
 /// Assembly deployment in progress: connections fire once all spawns land.
@@ -306,7 +313,7 @@ mod tests {
         assert_eq!(t.next_seq(), 2);
         t.calls.insert(
             RequestId(7),
-            PendingCall { cont: CallCont::ToInstance { oid: 1, token: 9 }, retry: None },
+            PendingCall { cont: CallCont::ToInstance { oid: 1, token: 9 }, retry: None, span: None },
         );
         assert_eq!(t.depth(), 1);
         assert_eq!(t.peak_depth(), 1);

@@ -17,6 +17,7 @@ use crate::repository::ComponentRepository;
 use crate::resource::ResourceManager;
 use lc_des::{Ctx, SimTime};
 use lc_net::{DropReason, HostId, Net};
+use lc_trace::Tracer;
 use lc_orb::{ObjectAdapter, ObjectKey, ObjectRef, OrbError, Outcome, RequestId, SimOrb, Value};
 use lc_pkg::{Platform, TrustStore};
 use std::collections::BTreeMap;
@@ -65,6 +66,9 @@ pub struct NodeState {
     pub(crate) conts: ContTable,
     /// Per-service instrumentation.
     pub(crate) metrics: NodeMetrics,
+    /// Distributed-tracing handle, shared with the fabric (disabled
+    /// unless the fabric was built with one — all no-ops then).
+    pub(crate) tracer: Tracer,
     // container runtime state
     pub(crate) instance_meta: BTreeMap<InstanceId, InstanceRuntime>,
     pub(crate) oid_to_instance: BTreeMap<u64, InstanceId>,
@@ -86,13 +90,16 @@ impl NodeState {
         let duty_state = duties.iter().map(|_| DutyState::default()).collect();
         let report_targets = seed.hierarchy.report_targets(host);
         let host_cfg = seed.net.host_cfg(host);
+        let tracer = seed.net.tracer();
+        let mut adapter = ObjectAdapter::new(host, seed.idl.clone());
+        adapter.set_tracer(tracer.clone());
         NodeState {
             host,
             cfg,
             net: seed.net,
             orb: seed.orb,
-            idl: seed.idl.clone(),
-            adapter: ObjectAdapter::new(host, seed.idl),
+            idl: seed.idl,
+            adapter,
             repository: ComponentRepository::new(),
             resources: ResourceManager::from_host_cfg(&host_cfg),
             registry: ComponentRegistry::new(),
@@ -104,6 +111,7 @@ impl NodeState {
             report_targets,
             conts: ContTable::new(),
             metrics: NodeMetrics::default(),
+            tracer,
             instance_meta: BTreeMap::new(),
             oid_to_instance: BTreeMap::new(),
             subs: BTreeMap::new(),
@@ -125,6 +133,12 @@ impl NodeState {
     /// The per-service instrumentation collected by the router.
     pub fn node_metrics(&self) -> &NodeMetrics {
         &self.metrics
+    }
+
+    /// The tracing handle this node stamps spans through (disabled —
+    /// all no-ops — unless the fabric was built with a tracer).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current pending-work depth across the unified continuation table.

@@ -6,8 +6,19 @@
 //! container. Latency figures are **wall clock** (they never feed back
 //! into virtual time), so the simulation stays deterministic while the
 //! instrumentation reflects real CPU cost.
+//!
+//! The numbers themselves live in a [`MetricsRegistry`] (lc-trace) under
+//! a flat naming scheme — `{service}.msgs_in`, `{service}.dispatches`,
+//! `cmd.{Name}`, plus a `{service}.dispatch_wall_ns` histogram — and the
+//! legacy [`ServiceMetrics`] snapshot is rebuilt from registry reads, so
+//! node counters are enumerable alongside every other registry metric.
 
-use std::collections::BTreeMap;
+use lc_trace::MetricsRegistry;
+
+/// Wall-clock handler-latency bucket edges, in nanoseconds (250 ns up
+/// to ~1 ms by powers of four).
+pub const DISPATCH_WALL_NS_BUCKETS: [u64; 7] =
+    [250, 1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000];
 
 /// The four Figure-1 services plus the container runtime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,16 +55,6 @@ impl ServiceKind {
             ServiceKind::Container => "container",
         }
     }
-
-    fn index(self) -> usize {
-        match self {
-            ServiceKind::Acceptor => 0,
-            ServiceKind::Registry => 1,
-            ServiceKind::Resource => 2,
-            ServiceKind::Cohesion => 3,
-            ServiceKind::Container => 4,
-        }
-    }
 }
 
 /// Counters for one service.
@@ -83,53 +84,75 @@ impl ServiceMetrics {
 
 /// The node-level instrumentation the refactor threads through the
 /// service seam: per-service message/latency counters plus per-command
-/// counts. Continuation-table depth lives with the table itself
-/// ([`super::ContTable`]) and is joined in at reflection time.
+/// counts, all kept in a [`MetricsRegistry`]. Continuation-table depth
+/// lives with the table itself ([`super::Continuations`]) and is joined
+/// in at reflection time.
 #[derive(Clone, Debug, Default)]
 pub struct NodeMetrics {
-    per_service: [ServiceMetrics; 5],
-    cmds: BTreeMap<&'static str, u64>,
+    registry: MetricsRegistry,
     current: Option<ServiceKind>,
 }
 
 impl NodeMetrics {
-    /// Counters for one service.
-    pub fn service(&self, kind: ServiceKind) -> &ServiceMetrics {
-        &self.per_service[kind.index()]
+    /// Snapshot of one service's counters, rebuilt from the registry.
+    pub fn service(&self, kind: ServiceKind) -> ServiceMetrics {
+        let n = kind.name();
+        ServiceMetrics {
+            msgs_in: self.registry.counter(&format!("{n}.msgs_in")),
+            msgs_out: self.registry.counter(&format!("{n}.msgs_out")),
+            dispatches: self.registry.counter(&format!("{n}.dispatches")),
+            dispatch_ns: self.registry.counter(&format!("{n}.dispatch_ns")),
+        }
     }
 
-    /// `(command name, count)` for every [`super::NodeCmd`] seen.
-    pub fn cmd_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.cmds.iter().map(|(k, v)| (*k, *v))
+    /// The backing registry (counters, gauges, histograms), for
+    /// reflection dumps and the observability experiment.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// `(command name, count)` for every [`super::NodeCmd`] seen,
+    /// in name order.
+    pub fn cmd_counts(&self) -> Vec<(String, u64)> {
+        self.registry
+            .counters()
+            .filter_map(|(k, v)| k.strip_prefix("cmd.").map(|n| (n.to_owned(), v)))
+            .collect()
     }
 
     /// Total messages in across all services.
     pub fn total_msgs_in(&self) -> u64 {
-        self.per_service.iter().map(|s| s.msgs_in).sum()
+        ServiceKind::ALL.iter().map(|k| self.service(*k).msgs_in).sum()
     }
 
     /// Total messages out across all services.
     pub fn total_msgs_out(&self) -> u64 {
-        self.per_service.iter().map(|s| s.msgs_out).sum()
+        ServiceKind::ALL.iter().map(|k| self.service(*k).msgs_out).sum()
     }
 
-    pub(crate) fn note_cmd(&mut self, name: &'static str) {
-        *self.cmds.entry(name).or_insert(0) += 1;
+    pub(crate) fn note_cmd(&mut self, name: &str) {
+        self.registry.incr(&format!("cmd.{name}"));
     }
 
     /// Begin a handler activation: attribute subsequent sends to `kind`.
     pub(crate) fn begin(&mut self, kind: ServiceKind, counts_as_msg: bool) {
         self.current = Some(kind);
-        let s = &mut self.per_service[kind.index()];
-        s.dispatches += 1;
+        let n = kind.name();
+        self.registry.incr(&format!("{n}.dispatches"));
         if counts_as_msg {
-            s.msgs_in += 1;
+            self.registry.incr(&format!("{n}.msgs_in"));
         }
     }
 
     /// End a handler activation started with [`Self::begin`].
     pub(crate) fn finish(&mut self, kind: ServiceKind, elapsed_ns: u64) {
-        self.per_service[kind.index()].dispatch_ns += elapsed_ns;
+        let n = kind.name();
+        self.registry.add(&format!("{n}.dispatch_ns"), elapsed_ns);
+        self.registry.observe(
+            &format!("{n}.dispatch_wall_ns"),
+            &DISPATCH_WALL_NS_BUCKETS,
+            elapsed_ns,
+        );
         self.current = None;
     }
 
@@ -137,7 +160,7 @@ impl NodeMetrics {
     /// the container when sent from outside a handler, e.g. public API).
     pub(crate) fn msg_out(&mut self) {
         let kind = self.current.unwrap_or(ServiceKind::Container);
-        self.per_service[kind.index()].msgs_out += 1;
+        self.registry.incr(&format!("{}.msgs_out", kind.name()));
     }
 }
 
@@ -168,7 +191,16 @@ mod tests {
         m.note_cmd("Install");
         m.note_cmd("Install");
         m.note_cmd("Query");
-        let counts: Vec<_> = m.cmd_counts().collect();
-        assert_eq!(counts, vec![("Install", 2), ("Query", 1)]);
+        let counts = m.cmd_counts();
+        assert_eq!(counts, vec![("Install".to_owned(), 2), ("Query".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn registry_exposes_wall_histogram() {
+        let mut m = NodeMetrics::default();
+        m.begin(ServiceKind::Container, true);
+        m.finish(ServiceKind::Container, 500);
+        let h = m.registry().histogram("container.dispatch_wall_ns");
+        assert_eq!(h.map(|h| h.count()), Some(1));
     }
 }

@@ -55,6 +55,7 @@ use crate::registry::{ComponentQuery, InstanceId, Offer};
 use lc_des::{Actor, AnyMsg, AnyMsgExt, Ctx, SimTime};
 use lc_net::{HostId, Net, NetMsg};
 use lc_orb::{ObjectRef, OrbError, OrbWire, Outcome, SimOrb, Value};
+use lc_trace::TraceContext;
 use lc_pkg::{TrustStore, Version};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -442,8 +443,11 @@ impl Node {
         self.services().iter().map(|s| s.reflect(&self.state)).collect()
     }
 
-    /// Route a message to one service, timing the handler.
-    fn route(&mut self, ctx: &mut Ctx<'_>, kind: ServiceKind, msg: SvcMsg) {
+    /// Route a message to one service, timing the handler. When the
+    /// frame carried a [`TraceContext`], a handler span opens under it
+    /// and becomes the tracer's *current* context for the duration, so
+    /// everything the handler sends parents under this hop.
+    fn route(&mut self, ctx: &mut Ctx<'_>, kind: ServiceKind, msg: SvcMsg, parent: Option<TraceContext>) {
         let Node { state, acceptor, registry_svc, resource_svc, cohesion_svc, container } = self;
         let svc: &mut dyn NodeService = match kind {
             ServiceKind::Acceptor => acceptor,
@@ -453,6 +457,11 @@ impl Node {
             ServiceKind::Container => container,
         };
         state.metrics.begin(kind, true);
+        let tracer = state.tracer.clone();
+        let span = parent.and_then(|p| {
+            tracer.child_of(state.host.0, &format!("node.{}", kind.name()), p, ctx.now())
+        });
+        let prev = span.map(|s| tracer.set_current(Some(s)));
         // lc-lint: allow(D1) -- wall-clock handler-latency metric (F1 column); never feeds simulated behaviour
         let t0 = std::time::Instant::now();
         {
@@ -460,6 +469,12 @@ impl Node {
             svc.handle(&mut nctx, msg);
         }
         state.metrics.finish(kind, t0.elapsed().as_nanos() as u64);
+        if let Some(s) = span {
+            tracer.end(s, ctx.now());
+        }
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
+        }
     }
 
     /// Route a timer tick to one service, timing the handler. Ticks are
@@ -499,7 +514,7 @@ impl Actor for Node {
         let msg = match msg.downcast_msg::<NodeCmd>() {
             Ok(cmd) => {
                 self.state.metrics.note_cmd(cmd.name());
-                return self.route(ctx, cmd_service(&cmd), SvcMsg::Cmd(cmd));
+                return self.route(ctx, cmd_service(&cmd), SvcMsg::Cmd(cmd), None);
             }
             Err(m) => m,
         };
@@ -508,14 +523,15 @@ impl Actor for Node {
             Err(_) => return, // unknown message type: drop
         };
         let from = net_msg.from;
+        let trace = net_msg.trace;
         let payload = match net_msg.payload.downcast_msg::<CtrlMsg>() {
             Ok(ctrl) => {
-                return self.route(ctx, ctrl_service(&ctrl), SvcMsg::Ctrl { from, msg: ctrl });
+                return self.route(ctx, ctrl_service(&ctrl), SvcMsg::Ctrl { from, msg: ctrl }, trace);
             }
             Err(p) => p,
         };
         if let Ok(wire) = payload.downcast_msg::<OrbWire>() {
-            self.route(ctx, ServiceKind::Container, SvcMsg::Orb(wire));
+            self.route(ctx, ServiceKind::Container, SvcMsg::Orb(wire), trace);
         }
     }
 }

@@ -37,6 +37,17 @@ impl NodeCtx<'_, '_> {
         if let QueryPurpose::Collect { sink, .. } = &purpose {
             sink.borrow_mut().started = started;
         }
+        // Root (or continue) the per-query trace: everything the search
+        // fans out — MRM hops, member queries, offer replies — parents
+        // under this span until finalization ends it.
+        let tracer = self.state.tracer.clone();
+        let span = tracer.span(self.state.host.0, "registry.query", started);
+        if let Some(s) = span {
+            if let Some(name) = &query.name {
+                tracer.set_attr(s, "component", name);
+            }
+            tracer.set_attr(s, "seq", &seq.to_string());
+        }
         let timeout = self.state.cfg.query_timeout;
         self.state.conts.queries.insert_with_deadline(
             seq,
@@ -47,26 +58,31 @@ impl NodeCtx<'_, '_> {
                 first_offer_at: None,
                 query: query.clone(),
                 retries_left: self.state.cfg.query_retries,
+                span,
             },
             started + timeout,
         );
         self.sim.metrics().incr("query.started");
 
+        let prev = span.map(|s| tracer.set_current(Some(s)));
         // Answer locally first (own repository).
         let local = self.state.local_offers_for(&query);
+        let mut done = false;
         if !local.is_empty() {
             self.on_offers(qid, local);
-            if !self.state.conts.queries.contains_key(&seq) {
-                return; // first_wins completed instantly
-            }
+            done = !self.state.conts.queries.contains_key(&seq); // first_wins completed instantly
         }
-
-        // Send to our leaf-group MRM (first reachable replica). The hop
-        // is *ascending*: a miss at the group escalates to the parent
-        // ("request higher hierarchy level requests").
-        let targets = self.state.report_targets.clone();
-        self.send_query_to_first_reachable(&targets, qid, query, 0, false);
-        self.timer_in(timeout, Tick::QueryDeadline(seq));
+        if !done {
+            // Send to our leaf-group MRM (first reachable replica). The hop
+            // is *ascending*: a miss at the group escalates to the parent
+            // ("request higher hierarchy level requests").
+            let targets = self.state.report_targets.clone();
+            self.send_query_to_first_reachable(&targets, qid, query, 0, false);
+            self.timer_in(timeout, Tick::QueryDeadline(seq));
+        }
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
+        }
     }
 
     fn send_query_to_first_reachable(
@@ -201,12 +217,11 @@ impl NodeCtx<'_, '_> {
         debug_assert_eq!(qid.origin, self.state.host);
         let now = self.sim.now();
         let Some(pq) = self.state.conts.queries.get_mut(&qid.seq) else { return };
+        let mut first_offer_ms = None;
         if pq.first_offer_at.is_none() && !offers.is_empty() {
             pq.first_offer_at = Some(now);
-            let ms = (now - pq.started).as_secs_f64() * 1e3;
-            self.sim.metrics().record("query.first_offer_ms", ms);
+            first_offer_ms = Some((now - pq.started).as_secs_f64() * 1e3);
         }
-        let pq = self.state.conts.queries.get_mut(&qid.seq).expect("still pending");
         for offer in offers {
             let dup = pq.offers.iter().any(|o| {
                 o.node == offer.node && o.component == offer.component && o.version == offer.version
@@ -219,6 +234,9 @@ impl NodeCtx<'_, '_> {
             QueryPurpose::Collect { first_wins, .. } => *first_wins && !pq.offers.is_empty(),
             QueryPurpose::Resolve { .. } => !pq.offers.is_empty(),
         };
+        if let Some(ms) = first_offer_ms {
+            self.sim.metrics().record("query.first_offer_ms", ms);
+        }
         if finish_now {
             self.finish_query(qid.seq);
         } else if let Some(pq) = self.state.conts.queries.get_mut(&qid.seq) {
@@ -242,6 +260,16 @@ impl NodeCtx<'_, '_> {
     /// (graceful degradation under loss and partitions).
     fn finalize_query(&mut self, pq: PendingQuery, timed_out: bool) {
         let now = self.sim.now();
+        let tracer = self.state.tracer.clone();
+        let span = pq.span;
+        if let Some(s) = span {
+            tracer.set_attr(s, "offers", &pq.offers.len().to_string());
+            if timed_out {
+                tracer.set_attr(s, "timed_out", "true");
+            }
+        }
+        // Follow-up work (resolve actions) still parents under the query.
+        let prev = span.map(|s| tracer.set_current(Some(s)));
         self.sim
             .metrics()
             .record("query.duration_ms", (now - pq.started).as_secs_f64() * 1e3);
@@ -280,6 +308,12 @@ impl NodeCtx<'_, '_> {
                     }
                 }
             }
+        }
+        if let Some(s) = span {
+            tracer.end(s, now);
+        }
+        if let Some(prev) = prev {
+            tracer.set_current(prev);
         }
     }
 
@@ -402,11 +436,28 @@ impl NodeService for RegistrySvc {
                     pq.retries_left -= 1;
                     let timeout = ctx.state.cfg.query_timeout;
                     let query = pq.query.clone();
+                    let original = pq.span;
                     ctx.state.conts.queries.insert_with_deadline(seq, pq, now + timeout);
                     ctx.sim.metrics().incr("query.retries");
                     let qid = QueryId { origin: ctx.state.host, seq };
                     let targets = ctx.state.report_targets.clone();
+                    // The re-issue runs under a fresh span that *links*
+                    // to the query root (retry, not a parent edge).
+                    let tracer = ctx.state.tracer.clone();
+                    let retry = original.and_then(|o| {
+                        tracer.child_of(ctx.state.host.0, "registry.query.retry", o, now)
+                    });
+                    if let (Some(r), Some(o)) = (retry, original) {
+                        tracer.link(r, o.span);
+                    }
+                    let prev = retry.map(|r| tracer.set_current(Some(r)));
                     ctx.send_query_to_first_reachable(&targets, qid, query, 0, false);
+                    if let Some(r) = retry {
+                        tracer.end(r, now);
+                    }
+                    if let Some(prev) = prev {
+                        tracer.set_current(prev);
+                    }
                     ctx.timer_in(timeout, Tick::QueryDeadline(seq));
                     continue;
                 }

@@ -31,7 +31,7 @@ impl NodeState {
             .iter()
             .filter(|(_, m)| m.mobility == lc_pkg::Mobility::Mobile)
             .map(|(id, m)| (*id, m.qos.cpu_min))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cpu"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// MRM side: the least-utilised alive member that can absorb the load.

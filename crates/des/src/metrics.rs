@@ -83,7 +83,7 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
@@ -182,7 +182,7 @@ impl<V: Default> EntryRef<V> for BTreeMap<String, V> {
         if !self.contains_key(key) {
             self.insert(key.to_owned(), V::default());
         }
-        self.get_mut(key).expect("just inserted")
+        self.get_mut(key).unwrap_or_else(|| unreachable!("key ensured present above"))
     }
 }
 

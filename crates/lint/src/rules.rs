@@ -19,22 +19,29 @@
 //!   (`crates/des/src/rng.rs` and the kernel/fault/property-test modules
 //!   that derive documented sub-streams); plus a ban on ambient-entropy
 //!   types anywhere.
+//! * **D5** — `crates/trace` must be hermetic: no wall-clock types and
+//!   no ambient entropy anywhere in the crate, tests included. Traces
+//!   are a determinism *oracle* (two identical runs must export
+//!   byte-identical span files), so the tracing crate gets a stricter
+//!   rule than the D1/D4 defaults — no allowlist, no test exemption.
 //! * **A1** — no callers of the PR-2 deprecated shims `Net::new`,
-//!   `ObjectAdapter::dispatch` (3-arg) and `ObjectAdapter::dispatch_raw`.
+//!   `ObjectAdapter::dispatch` (3-arg) and `ObjectAdapter::dispatch_raw`
+//!   (the shims themselves were removed in the observability PR; the
+//!   rule keeps them from growing back).
 //! * **A2** — an `unwrap()`/`expect()` budget per library crate (tests
 //!   exempt), ratcheted by the checked-in baseline.
 
 use crate::lexer::{lex, Tok, Token};
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 6] = ["D1", "D2", "D3", "D4", "A1", "A2"];
+pub const RULES: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "A1", "A2"];
 
 /// Crates whose data structures feed marshalled messages or printed
 /// experiment tables (D2 scope).
-const ORDERED_OUTPUT_CRATES: [&str; 5] = ["orb", "core", "net", "baselines", "bench"];
+const ORDERED_OUTPUT_CRATES: [&str; 6] = ["orb", "core", "net", "baselines", "bench", "trace"];
 
 /// Crates executed under the discrete-event simulator (D3 scope).
-const DES_CRATES: [&str; 7] = ["des", "net", "orb", "core", "baselines", "cscw", "grid"];
+const DES_CRATES: [&str; 8] = ["des", "net", "orb", "core", "baselines", "cscw", "grid", "trace"];
 
 /// The one module allowed to touch the wall clock: the bench harness that
 /// produces the explicitly-wall-clock columns of E1/E9/F1.
@@ -142,6 +149,9 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
     let d3_scope = DES_CRATES.contains(&ctx.krate.as_str());
     let d1_allowed = WALLCLOCK_ALLOWLIST.contains(&ctx.rel.as_str());
     let d4_allowed = RNG_ALLOWLIST.contains(&ctx.rel.as_str());
+    // The tracing crate is held to the hermetic rule (D5): wall-clock
+    // and entropy are banned outright, in every target kind.
+    let d5_scope = ctx.krate == "trace";
     // Lib/Bin code paths are what reach wire messages and experiment
     // output; tests, benches and examples get D2–D4 leniency.
     let libish = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
@@ -149,6 +159,23 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
     for (i, t) in toks.iter().enumerate() {
         let Tok::Ident(name) = &t.tok else { continue };
         let hit: Option<(&'static str, String)> = match name.as_str() {
+            "Instant" | "SystemTime" if d5_scope => Some((
+                "D5",
+                format!(
+                    "wall-clock type `{name}` in crates/trace: traces carry virtual time \
+                     only — the span files double as a determinism oracle"
+                ),
+            )),
+            "seed_from_u64" if d5_scope => Some((
+                "D5",
+                "RNG seeding in crates/trace: span ids come from per-node counters, \
+                 never from randomness"
+                    .to_owned(),
+            )),
+            n if BANNED_RNG.contains(&n) && d5_scope => Some((
+                "D5",
+                format!("`{name}` in crates/trace: ambient entropy is banned in the tracer"),
+            )),
             "Instant" | "SystemTime" if !d1_allowed => Some((
                 "D1",
                 format!(
@@ -474,6 +501,25 @@ mod tests {
             hits("let h: RandomState = RandomState::new();", "crates/idl/src/x.rs").len(),
             2
         );
+    }
+
+    #[test]
+    fn d5_trace_crate_is_hermetic() {
+        // Wall clock: D5 (not D1), even inside tests of the trace crate.
+        let src = "use std::time::Instant;";
+        assert_eq!(hits(src, "crates/trace/src/tracer.rs"), vec![("D5", 1, false)]);
+        assert_eq!(hits(src, "crates/trace/tests/x.rs"), vec![("D5", 1, false)]);
+        // Entropy: D5 with no libish/test leniency.
+        assert_eq!(
+            hits("let r = SimRng::seed_from_u64(7);", "crates/trace/src/span.rs"),
+            vec![("D5", 1, false)]
+        );
+        assert_eq!(
+            hits("let h = RandomState::new();", "crates/trace/tests/x.rs"),
+            vec![("D5", 1, false)]
+        );
+        // Other crates keep the D1/D4 classification.
+        assert_eq!(hits(src, "crates/des/src/lib.rs"), vec![("D1", 1, false)]);
     }
 
     #[test]

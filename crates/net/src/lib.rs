@@ -33,6 +33,7 @@ pub use topology::{DeviceClass, HostCfg, HostId, LinkClass, SiteId, Topology};
 
 use fault::Verdict;
 use lc_des::{ActorId, AnyMsg, Ctx, Sim, SimTime};
+use lc_trace::{TraceContext, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -48,6 +49,10 @@ pub struct NetMsg {
     pub to: HostId,
     /// Size on the wire in bytes (headers included by the caller).
     pub size: u64,
+    /// Trace context stamped into the frame header by [`Net::send`]:
+    /// the message span receivers parent their handler spans under.
+    /// `None` when tracing is off or the send was outside any trace.
+    pub trace: Option<TraceContext>,
     /// The protocol payload.
     pub payload: AnyMsg,
 }
@@ -86,6 +91,9 @@ struct NetInner {
     fault: Option<FaultPlan>,
     /// Churn process armed by [`Net::install_drivers`].
     churn: Option<ChurnConfig>,
+    /// Span sink shared by everything on this fabric (disabled by
+    /// default: every tracing operation is then a no-op).
+    tracer: Tracer,
 }
 
 /// Fluent constructor for [`Net`]: topology, fault plan and churn config
@@ -101,6 +109,7 @@ pub struct NetBuilder {
     topo: Topology,
     fault: Option<FaultPlan>,
     churn: Option<ChurnConfig>,
+    tracer: Option<Tracer>,
 }
 
 /// Handle to the shared network fabric. Cheap to clone.
@@ -119,6 +128,15 @@ impl NetBuilder {
     /// Configure a churn process (armed by [`Net::install_drivers`]).
     pub fn churn(mut self, cfg: ChurnConfig) -> Self {
         self.churn = Some(cfg);
+        self
+    }
+
+    /// Attach a span sink: [`Net::send`] records message spans into it
+    /// and everything holding a [`Net`] handle reaches it via
+    /// [`Net::tracer`]. Without this call the fabric carries a disabled
+    /// tracer and no tracing state changes at all.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -145,6 +163,7 @@ impl NetBuilder {
                 hosts,
                 fault: self.fault,
                 churn: self.churn,
+                tracer: self.tracer.unwrap_or_default(),
             })),
         }
     }
@@ -153,13 +172,13 @@ impl NetBuilder {
 impl Net {
     /// Start building a fabric for `topo`.
     pub fn builder(topo: Topology) -> NetBuilder {
-        NetBuilder { topo, fault: None, churn: None }
+        NetBuilder { topo, fault: None, churn: None, tracer: None }
     }
 
-    /// Build a fault-free fabric for `topo`.
-    #[deprecated(note = "use `Net::builder(topo).build()`")]
-    pub fn new(topo: Topology) -> Self {
-        Self::builder(topo).build()
+    /// The fabric's span sink (a disabled tracer unless
+    /// [`NetBuilder::tracer`] attached one). Cheap to clone.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
     }
 
     /// Arm everything the fabric config scheduled on the simulation:
@@ -401,6 +420,18 @@ impl Net {
 
         ctx.metrics().incr("net.msgs");
         ctx.metrics().add("net.bytes", size);
+        // Message span: the hop is fully planned, so its interval
+        // [send, delivery] is known right now. Only sends that happen
+        // inside a traced operation get one — the span parents under
+        // the tracer's current context and its id rides in the frame.
+        let tracer = self.inner.borrow().tracer.clone();
+        let span = |end: SimTime| -> Option<TraceContext> {
+            let parent = tracer.current()?;
+            let sp = tracer.complete(from.0, "net.msg", Some(parent), now, end)?;
+            tracer.set_attr(sp, "to", &to.0.to_string());
+            tracer.set_attr(sp, "bytes", &size.to_string());
+            Some(sp)
+        };
         match planned {
             Planned::Lost { would_arrive, class, severed } => {
                 // The sender transmitted: traffic counts, delivery doesn't.
@@ -413,6 +444,9 @@ impl Net {
                 if severed {
                     ctx.metrics().incr("net.fault.severed");
                 }
+                if let Some(sp) = span(would_arrive) {
+                    tracer.set_attr(sp, "lost", if severed { "severed" } else { "dropped" });
+                }
                 Ok(would_arrive)
             }
             Planned::Deliver { target, deliver_at, class, delayed, dup_at } => {
@@ -424,18 +458,22 @@ impl Net {
                 if delayed {
                     ctx.metrics().incr("net.fault.delayed");
                 }
+                let sp = span(deliver_at);
                 if let Some(dup_at) = dup_at {
                     ctx.metrics().incr("net.fault.duplicated");
+                    if let Some(sp) = sp {
+                        tracer.set_attr(sp, "duplicated", "true");
+                    }
                     ctx.send_in(
                         dup_at.saturating_sub(now),
                         target,
-                        NetMsg { from, to, size, payload: Box::new(payload.clone()) },
+                        NetMsg { from, to, size, trace: sp, payload: Box::new(payload.clone()) },
                     );
                 }
                 ctx.send_in(
                     deliver_at.saturating_sub(now),
                     target,
-                    NetMsg { from, to, size, payload: Box::new(payload) },
+                    NetMsg { from, to, size, trace: sp, payload: Box::new(payload) },
                 );
                 Ok(deliver_at)
             }
@@ -694,11 +732,54 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn new_shim_still_builds_a_fabric() {
-        // lc-lint: allow(A1) -- compat test exercising the deprecated shim itself
-        let net = Net::new(Topology::lan(3));
-        assert_eq!(net.host_count(), 3);
+    fn traced_send_records_message_span_and_stamps_frame() {
+        let tracer = Tracer::new();
+        let net = Net::builder(Topology::lan(2)).tracer(tracer.clone()).build();
+
+        struct TracedSink {
+            got: Option<Option<TraceContext>>,
+        }
+        impl Actor for TracedSink {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMsg) {
+                let m = msg.downcast_msg::<NetMsg>().expect("NetMsg");
+                self.got = Some(m.trace);
+            }
+        }
+        struct TracedPusher {
+            net: Net,
+        }
+        impl Actor for TracedPusher {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+                let tr = self.net.tracer();
+                let root = tr.root(0, "op", ctx.now());
+                let prev = tr.set_current(root);
+                let _ = self.net.send(ctx, HostId(0), HostId(1), 100, ());
+                tr.set_current(prev);
+                if let Some(root) = root {
+                    tr.end(root, ctx.now());
+                }
+            }
+        }
+
+        let mut sim = Sim::new(1);
+        let sink = sim.spawn(TracedSink { got: None });
+        net.bind(HostId(1), sink);
+        let p = sim.spawn(TracedPusher { net: net.clone() });
+        net.bind(HostId(0), p);
+        sim.send_in(SimTime::ZERO, p, Go);
+        sim.run();
+
+        let got = sim.actor_as::<TracedSink>(sink).unwrap().got.unwrap();
+        let ctx = got.expect("frame carries the message-span context");
+        let spans = tracer.spans();
+        lc_trace::validate(&spans).unwrap();
+        let msg = spans.iter().find(|s| s.id == ctx.span).unwrap();
+        assert_eq!(msg.name, "net.msg");
+        assert!(msg.end > msg.start, "hop takes network time");
+        assert_eq!(msg.attr("to"), Some("1"));
+        // untraced sends stamp nothing and record nothing
+        let net2 = Net::builder(Topology::lan(2)).build();
+        assert!(!net2.tracer().is_enabled());
     }
 
     /// Sends `copies` messages, recording the `Ok` results.

@@ -131,7 +131,9 @@ struct ServerActor {
 
 impl Actor for ServerActor {
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
-        let m = msg.downcast_msg::<NetMsg>().expect("NetMsg");
+        let Ok(m) = msg.downcast_msg::<NetMsg>() else {
+            return; // not ours: the fabric only delivers frames
+        };
         if let Ok(OrbWire::Request { id, reply_to, target, op, args }) =
             m.payload.downcast_msg::<OrbWire>()
         {
@@ -169,7 +171,9 @@ impl Actor for ClientActor {
                 }
             }
             Err(other) => {
-                let m = other.downcast_msg::<NetMsg>().expect("NetMsg");
+                let Ok(m) = other.downcast_msg::<NetMsg>() else {
+                    return;
+                };
                 if let Ok(OrbWire::Reply { result, .. }) = m.payload.downcast_msg::<OrbWire>() {
                     *self.slot.borrow_mut() = Some(result);
                 }
@@ -254,9 +258,8 @@ impl Orb for SimOrbClient {
         self.sim
             .borrow()
             .actor_as::<ServerActor>(self.server)
-            .expect("server actor")
-            .adapter
-            .dispatch_stats()
+            .map(|a| a.adapter.dispatch_stats())
+            .unwrap_or_default()
     }
 }
 

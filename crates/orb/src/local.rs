@@ -22,7 +22,7 @@ use lc_idl::Repository;
 use lc_net::HostId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Statistics kept by a [`LocalOrb`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -75,14 +75,21 @@ impl LocalOrb {
         &self.repo
     }
 
+    /// Lock the shared state, recovering from poisoning: a caller that
+    /// panicked mid-dispatch leaves counters (not invariants) behind,
+    /// so later callers may proceed.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Activate a servant.
     pub fn activate(&self, servant: Box<dyn Servant>) -> ObjectRef {
-        self.inner.lock().unwrap().adapter.activate(servant)
+        self.locked().adapter.activate(servant)
     }
 
     /// Deactivate a servant.
     pub fn deactivate(&self, r: &ObjectRef) {
-        self.inner.lock().unwrap().adapter.deactivate(r.key.oid);
+        self.locked().adapter.deactivate(r.key.oid);
     }
 
     /// Bind an event-source port of `producer` to an event type; events
@@ -92,9 +99,7 @@ impl LocalOrb {
             self.repo.event(event_id).is_some(),
             "event type '{event_id}' not in IDL repository"
         );
-        self.inner
-            .lock()
-            .unwrap()
+        self.locked()
             .port_events
             .insert((producer.key.oid, port.to_owned()), event_id.to_owned());
     }
@@ -107,9 +112,7 @@ impl LocalOrb {
             self.repo.event(event_id).is_some(),
             "event type '{event_id}' not in IDL repository"
         );
-        self.inner
-            .lock()
-            .unwrap()
+        self.locked()
             .subs
             .entry(event_id.to_owned())
             .or_default()
@@ -121,7 +124,7 @@ impl LocalOrb {
         check_event(payload, event_id, &self.repo)
             .map_err(|e| OrbError::BadParam(e.to_string()))?;
         let subs = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             inner.stats.events += 1;
             inner.subs.get(event_id).cloned().unwrap_or_default()
         };
@@ -145,7 +148,7 @@ impl LocalOrb {
         args: &[Value],
     ) -> Result<Outcome, OrbError> {
         let (outcome, follow_ups, events) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             inner.stats.requests += 1;
             inner.stats.request_bytes += encoded_len(args);
             let res = inner.adapter.invoke(target.key, op, args, DispatchOpts::typed());
@@ -179,7 +182,7 @@ impl LocalOrb {
         args: &[Value],
     ) -> Result<Outcome, OrbError> {
         let (outcome, follow_ups, events) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             inner.stats.requests += 1;
             let res = inner.adapter.invoke(target.key, op, args, DispatchOpts::raw());
             let events = self.resolve_events(&mut inner, target.key.oid, res.events);
@@ -239,17 +242,17 @@ impl LocalOrb {
 
     /// A snapshot of the statistics.
     pub fn stats(&self) -> LocalOrbStats {
-        self.inner.lock().unwrap().stats
+        self.locked().stats
     }
 
     /// A snapshot of the underlying adapter's dispatch counters.
     pub fn dispatch_stats(&self) -> crate::servant::DispatchStats {
-        self.inner.lock().unwrap().adapter.dispatch_stats()
+        self.locked().adapter.dispatch_stats()
     }
 
     /// Number of active servants.
     pub fn active_count(&self) -> usize {
-        self.inner.lock().unwrap().adapter.active_count()
+        self.locked().adapter.active_count()
     }
 }
 

@@ -16,6 +16,7 @@ use crate::value::{check_value, Value};
 use lc_idl::ast::ParamMode;
 use lc_idl::Repository;
 use lc_net::HostId;
+use lc_trace::{MetricsRegistry, Tracer};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -196,9 +197,11 @@ pub struct DispatchResult {
     pub cpu_cost: lc_des::SimTime,
 }
 
-/// Running counters over an adapter's dispatch activity, for the node's
-/// per-service instrumentation and the E1 overhead report. Wall-clock
-/// time only — it never feeds back into simulated behaviour.
+/// Snapshot of an adapter's dispatch counters, for the node's
+/// per-service instrumentation and the E1 overhead report. The numbers
+/// live in the adapter's [`MetricsRegistry`] under `dispatch.*`; this
+/// struct is rebuilt from registry reads on demand. Wall-clock time
+/// never feeds back into simulated behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DispatchStats {
     /// Type-checked IDL dispatches.
@@ -228,6 +231,11 @@ impl DispatchStats {
     }
 }
 
+/// Wall-clock dispatch-latency bucket edges (ns): 250ns … ~1ms by
+/// powers of 4, fixed so two runs bucket identically.
+const DISPATCH_NS_BUCKETS: [u64; 7] =
+    [250, 1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000];
+
 /// The per-host servant table.
 pub struct ObjectAdapter {
     host: HostId,
@@ -235,7 +243,8 @@ pub struct ObjectAdapter {
     next_oid: u64,
     servants: BTreeMap<u64, Box<dyn Servant>>,
     clock: lc_des::SimTime,
-    stats: DispatchStats,
+    registry: MetricsRegistry,
+    tracer: Tracer,
 }
 
 impl ObjectAdapter {
@@ -247,18 +256,38 @@ impl ObjectAdapter {
             next_oid: 1,
             servants: BTreeMap::new(),
             clock: lc_des::SimTime::ZERO,
-            stats: DispatchStats::default(),
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
-    /// Dispatch counters since creation (or the last reset).
+    /// Attach the fabric's tracer: [`Self::invoke`] then records a span
+    /// per dispatch under the tracer's current context.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Dispatch counters since creation (or the last reset), rebuilt
+    /// from the `dispatch.*` entries of the metrics registry.
     pub fn dispatch_stats(&self) -> DispatchStats {
-        self.stats
+        DispatchStats {
+            typed: self.registry.counter("dispatch.typed"),
+            raw: self.registry.counter("dispatch.raw"),
+            errors: self.registry.counter("dispatch.errors"),
+            total_ns: self.registry.counter("dispatch.total_ns"),
+        }
+    }
+
+    /// The adapter's metrics registry (counters under `dispatch.*`, a
+    /// fixed-bucket wall-clock latency histogram under
+    /// `dispatch.wall_ns`).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Zero the dispatch counters (e.g. between benchmark phases).
     pub fn reset_dispatch_stats(&mut self) {
-        self.stats = DispatchStats::default();
+        self.registry.clear();
     }
 
     /// Set the virtual time exposed to servants during dispatch.
@@ -350,22 +379,31 @@ impl ObjectAdapter {
         } else {
             self.dispatch_raw_inner(key, op, args)
         };
-        if opts.type_check {
-            self.stats.typed += 1;
-        } else {
-            self.stats.raw += 1;
+        self.registry.incr(if opts.type_check { "dispatch.typed" } else { "dispatch.raw" });
+        if res.outcome.is_err() {
+            self.registry.incr("dispatch.errors");
         }
-        self.stats.errors += res.outcome.is_err() as u64;
-        self.stats.total_ns += t0.elapsed().as_nanos() as u64;
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.registry.add("dispatch.total_ns", elapsed);
+        self.registry.observe("dispatch.wall_ns", &DISPATCH_NS_BUCKETS, elapsed);
+        // Dispatch span: virtual interval [clock, clock + declared CPU
+        // cost], under whatever operation is being traced right now.
+        if let Some(parent) = self.tracer.current() {
+            let sp = self.tracer.complete(
+                self.host.0,
+                &format!("orb.invoke {op}"),
+                Some(parent),
+                self.clock,
+                self.clock + res.cpu_cost,
+            );
+            if let Some(sp) = sp {
+                self.tracer.set_attr(sp, "kind", if opts.type_check { "typed" } else { "raw" });
+                if res.outcome.is_err() {
+                    self.tracer.set_attr(sp, "error", "true");
+                }
+            }
+        }
         res
-    }
-
-    /// Full type-checked dispatch: verify the operation exists on the
-    /// servant's interface, check argument types, run the servant, check
-    /// result types.
-    #[deprecated(note = "use `ObjectAdapter::invoke` with `DispatchOpts::typed()`")]
-    pub fn dispatch(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
-        self.invoke(key, op, args, DispatchOpts::typed())
     }
 
     fn dispatch_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
@@ -459,11 +497,6 @@ impl ObjectAdapter {
     /// Unchecked dispatch, used by the runtime itself for internal
     /// operations that are not part of any IDL interface: event delivery
     /// (`_push_*` on consumer ports) and reply routing (`_reply`).
-    #[deprecated(note = "use `ObjectAdapter::invoke` with `DispatchOpts::raw()`")]
-    pub fn dispatch_raw(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
-        self.invoke(key, op, args, DispatchOpts::raw())
-    }
-
     fn dispatch_raw_inner(&mut self, key: ObjectKey, op: &str, args: &[Value]) -> DispatchResult {
         if key.host != self.host {
             return DispatchResult {
@@ -655,15 +688,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn dispatch_shims_route_through_invoke() {
+    fn stats_ride_the_metrics_registry() {
         let (mut oa, r) = adapter();
-        // lc-lint: allow(A1) -- compat test exercising the deprecated shim itself
-        assert!(oa.dispatch(r.key, "add", &[Value::Long(2)]).outcome.is_ok());
-        // lc-lint: allow(A1) -- compat test exercising the deprecated shim itself
-        assert!(oa.dispatch_raw(r.key, "_get_value", &[]).outcome.is_ok());
-        let s = oa.dispatch_stats();
-        assert_eq!((s.typed, s.raw), (1, 1));
+        let _ = oa.invoke(r.key, "add", &[Value::Long(2)], DispatchOpts::typed());
+        let _ = oa.invoke(r.key, "nope", &[], DispatchOpts::typed());
+        let reg = oa.metrics_registry();
+        assert_eq!(reg.counter("dispatch.typed"), 2);
+        assert_eq!(reg.counter("dispatch.errors"), 1);
+        assert_eq!(reg.histogram("dispatch.wall_ns").map(|h| h.count()), Some(2));
+        assert_eq!(oa.dispatch_stats().typed, 2);
+        oa.reset_dispatch_stats();
+        assert_eq!(oa.dispatch_stats(), DispatchStats::default());
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! # lc-trace — deterministic distributed tracing for the simulated network
+//!
+//! The paper's reflection architecture (§2.4) makes every node
+//! self-describing through aggregate counters; this crate adds the
+//! *causal* dimension: Dapper-style spans that follow one registry
+//! query or component migration across the fabric, the ORB adapter and
+//! the four node services, stamped with **virtual time** and allocated
+//! from **per-node counters** — no RNG, no wall clock (lint rule D5
+//! enforces this), so traces are byte-reproducible and usable as a
+//! correctness oracle, not just a debugging aid.
+//!
+//! | module | provides |
+//! |---|---|
+//! | [`span`] | [`TraceContext`], [`Span`], [`validate`] (tree well-formedness) |
+//! | [`tracer`] | [`Tracer`] (allocation, current-context register, end-propagation), flight recorder |
+//! | [`metrics`] | [`MetricsRegistry`] (counters/gauges/fixed-bucket histograms) |
+//! | [`export`] | sorted JSONL, chrome://tracing JSON, critical path |
+//!
+//! ## Propagation model
+//!
+//! * `Net::send` records a **message span** for every hop (the DES
+//!   knows the delivery time at send time, so the span is complete
+//!   immediately) and stamps the [`TraceContext`] into the frame.
+//! * The node router opens a **handler span** under the incoming
+//!   context and installs it as the tracer's *current context* while
+//!   the service handler runs; everything the handler sends parents
+//!   under it. A disabled tracer records nothing and the context slot
+//!   stays `None` — traced-off runs are byte-identical.
+//! * Retries start fresh spans that **link** to the attempt they retry
+//!   (links, not parent edges, so late retries cannot break interval
+//!   nesting).
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod tracer;
+
+pub use export::{critical_path, to_chrome, to_jsonl, CritSegment};
+pub use metrics::{BucketHistogram, MetricsRegistry};
+pub use span::{validate, Span, SpanId, TraceContext, TraceId};
+pub use tracer::{SpanEvent, Tracer, FLIGHT_RECORDER_CAP};

@@ -1,0 +1,245 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms with deterministic boundaries.
+//!
+//! This supersedes the ad-hoc counter structs that grew inside the node
+//! (`NodeMetrics`) and the object adapter (`DispatchStats`): both now
+//! keep their numbers here and rebuild their public snapshot types from
+//! registry reads, so every node-local quantity is enumerable under one
+//! naming scheme (`registry.msgs_in`, `dispatch.typed`, …) — the
+//! self-describing-node story of the paper's reflection architecture
+//! extended to instrumentation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram with fixed, explicit bucket boundaries.
+///
+/// `bounds` are upper bucket edges (inclusive); one implicit overflow
+/// bucket catches everything above the last edge. Boundaries are fixed
+/// at construction, so two runs that observe the same samples produce
+/// identical bucket vectors — there is no dynamic rebucketing to leak
+/// iteration order or allocation history into output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BucketHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl BucketHistogram {
+    /// A histogram over explicit upper edges (must be strictly
+    /// increasing; an empty list gives a single overflow bucket).
+    pub fn new(bounds: &[u64]) -> BucketHistogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        BucketHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Geometric edges `start, start*factor, …` (`count` edges) — the
+    /// standard latency shape (e.g. 1µs … by powers of 4).
+    pub fn exponential(start: u64, factor: u64, count: usize) -> BucketHistogram {
+        debug_assert!(start > 0 && factor > 1);
+        let mut bounds = Vec::with_capacity(count);
+        let mut edge = start;
+        for _ in 0..count {
+            bounds.push(edge);
+            edge = edge.saturating_mul(factor);
+        }
+        BucketHistogram::new(&bounds)
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_edge, count)` per bucket; the last entry uses
+    /// `u64::MAX` as its edge (overflow bucket).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Render as `≤edge:count` pairs, skipping empty buckets.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (edge, n) in self.buckets() {
+            if n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if edge == u64::MAX {
+                let _ = write!(out, ">rest:{n}");
+            } else {
+                let _ = write!(out, "≤{edge}:{n}");
+            }
+        }
+        out
+    }
+}
+
+/// Named counters, gauges and fixed-bucket histograms.
+///
+/// All maps are `BTreeMap`s, so iteration (and therefore any rendered
+/// report) is deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, BucketHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `key` by 1.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increment counter `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+        } else {
+            self.counters.insert(key.to_owned(), n);
+        }
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Set gauge `key`.
+    pub fn set_gauge(&mut self, key: &str, v: i64) {
+        self.gauges.insert(key.to_owned(), v);
+    }
+
+    /// Current gauge value (0 if never set).
+    pub fn gauge(&self, key: &str) -> i64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Record a sample into histogram `key`, creating it with `bounds`
+    /// on first use (later calls keep the original bounds).
+    pub fn observe(&mut self, key: &str, bounds: &[u64], v: u64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe(v);
+            return;
+        }
+        let mut h = BucketHistogram::new(bounds);
+        h.observe(v);
+        self.histograms.insert(key.to_owned(), h);
+    }
+
+    /// Borrow a histogram, if anything was observed under `key`.
+    pub fn histogram(&self, key: &str) -> Option<&BucketHistogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &BucketHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Reset everything.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.incr("a");
+        r.add("a", 4);
+        r.set_gauge("depth", 7);
+        r.set_gauge("depth", 3);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("depth"), 3);
+        assert_eq!(r.counters().collect::<Vec<_>>(), vec![("a", 5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_fixed() {
+        let mut h = BucketHistogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 100, 5000] {
+            h.observe(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(10, 2), (100, 3), (1000, 0), (u64::MAX, 1)]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 99 + 100 + 5000);
+        assert_eq!(h.render(), "≤10:2 ≤100:3 >rest:1");
+    }
+
+    #[test]
+    fn exponential_edges() {
+        let h = BucketHistogram::exponential(1_000, 4, 5);
+        let edges: Vec<u64> = h.buckets().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![1_000, 4_000, 16_000, 64_000, 256_000, u64::MAX]);
+    }
+
+    #[test]
+    fn registry_histograms_keep_first_bounds() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", &[10, 20], 15);
+        r.observe("lat", &[999], 5);
+        let h = r.histogram("lat").unwrap();
+        assert_eq!(h.buckets().map(|(e, _)| e).collect::<Vec<_>>(), vec![10, 20, u64::MAX]);
+        assert_eq!(h.count(), 2);
+    }
+}

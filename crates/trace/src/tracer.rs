@@ -1,0 +1,461 @@
+//! The tracer: span allocation, the current-context register, the
+//! end-propagation discipline and the per-node flight recorders.
+//!
+//! ## Why end-propagation
+//!
+//! DES handlers run at a single instant of virtual time: a handler span
+//! opens and closes at the same `now`, while the message spans it emits
+//! end at their (future) delivery times. Recorded naively, children
+//! would escape their parents' intervals. The tracer therefore keeps
+//! every span's `end` at the maximum of its own end and its children's:
+//! when a span closes (or a pre-closed message span is recorded), the
+//! new end is pushed **up** the parent chain through already-closed
+//! ancestors, stopping at the first still-open one (its eventual close
+//! takes the maximum again). The invariant checked by
+//! [`crate::span::validate`] — child intervals nest in parents — holds
+//! by construction.
+
+use crate::span::{Span, SpanId, TraceContext, TraceId};
+use lc_des::SimTime;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default flight-recorder capacity (span events kept per node).
+pub const FLIGHT_RECORDER_CAP: usize = 64;
+
+/// One flight-recorder entry: a span start or end, as it happened.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// `true` for span start, `false` for span end.
+    pub start: bool,
+    /// The span.
+    pub span: SpanId,
+    /// The span's trace.
+    pub trace: TraceId,
+    /// The span's name.
+    pub name: String,
+}
+
+impl SpanEvent {
+    /// Render one post-mortem line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>12} ns  {}  {} {} [{}]",
+            self.at.as_nanos(),
+            if self.start { "start" } else { "end  " },
+            self.span,
+            self.name,
+            self.trace
+        )
+    }
+}
+
+/// Bounded ring of the most recent span events on one node. Survives the
+/// node actor (it lives in the tracer), so it is exactly the post-mortem
+/// record available after an injected crash.
+#[derive(Debug)]
+struct FlightRecorder {
+    cap: usize,
+    /// Events dropped because the ring was full.
+    dropped: u64,
+    buf: VecDeque<SpanEvent>,
+}
+
+impl FlightRecorder {
+    fn push(&mut self, ev: SpanEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    /// Per-node span sequence counters (deterministic id source).
+    next_seq: BTreeMap<u32, u64>,
+    /// Every span, open or closed, by id.
+    spans: BTreeMap<SpanId, Span>,
+    /// The context new spans and outgoing messages parent under.
+    current: Option<TraceContext>,
+    /// Per-node flight recorders.
+    recorders: BTreeMap<u32, FlightRecorder>,
+    recorder_cap: usize,
+}
+
+/// The deterministic tracer. Cheap to clone (shared interior); a
+/// disabled tracer turns every operation into a no-op so the traced-off
+/// configuration is byte-identical to a build without tracing.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    fn with_enabled(enabled: bool) -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(Inner {
+                enabled,
+                next_seq: BTreeMap::new(),
+                spans: BTreeMap::new(),
+                current: None,
+                recorders: BTreeMap::new(),
+                recorder_cap: FLIGHT_RECORDER_CAP,
+            })),
+        }
+    }
+
+    /// An enabled tracer.
+    pub fn new() -> Tracer {
+        Tracer::with_enabled(true)
+    }
+
+    /// A disabled tracer: every call is a no-op returning `None`.
+    pub fn disabled() -> Tracer {
+        Tracer::with_enabled(false)
+    }
+
+    /// Is span collection on?
+    pub fn is_enabled(&self) -> bool {
+        self.locked().enabled
+    }
+
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        // A panicking holder cannot corrupt the span maps (all updates
+        // are single-call), so recover rather than poison-propagate.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The context spans and messages currently parent under.
+    pub fn current(&self) -> Option<TraceContext> {
+        self.locked().current
+    }
+
+    /// Install `ctx` as the current context, returning the previous one
+    /// so callers can restore it (handler enter/exit discipline).
+    pub fn set_current(&self, ctx: Option<TraceContext>) -> Option<TraceContext> {
+        let mut inner = self.locked();
+        std::mem::replace(&mut inner.current, ctx)
+    }
+
+    /// Start a span on `node`: a child of the current context if one is
+    /// installed, a new trace root otherwise. Returns `None` (and records
+    /// nothing) when disabled.
+    pub fn span(&self, node: u32, name: &str, now: SimTime) -> Option<TraceContext> {
+        let parent = self.current();
+        match parent {
+            Some(p) => self.child_of(node, name, p, now),
+            None => self.root(node, name, now),
+        }
+    }
+
+    /// Start a new trace root on `node`.
+    pub fn root(&self, node: u32, name: &str, now: SimTime) -> Option<TraceContext> {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return None;
+        }
+        let id = inner.alloc(node);
+        let ctx = TraceContext { trace: TraceId(id.0), span: id };
+        inner.open_span(ctx, None, node, name, now);
+        Some(ctx)
+    }
+
+    /// Start a span as an explicit child of `parent` (receiver side:
+    /// the parent context arrived in a message header).
+    pub fn child_of(
+        &self,
+        node: u32,
+        name: &str,
+        parent: TraceContext,
+        now: SimTime,
+    ) -> Option<TraceContext> {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return None;
+        }
+        let id = inner.alloc(node);
+        let ctx = TraceContext { trace: parent.trace, span: id };
+        inner.open_span(ctx, Some(parent.span), node, name, now);
+        Some(ctx)
+    }
+
+    /// Record a span whose full interval is already known (message
+    /// spans: `Net::send` knows the delivery time when it plans the
+    /// hop). The span is closed immediately and its end is propagated
+    /// up the parent chain.
+    pub fn complete(
+        &self,
+        node: u32,
+        name: &str,
+        parent: Option<TraceContext>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<TraceContext> {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return None;
+        }
+        let id = inner.alloc(node);
+        let (trace, parent_span) = match parent {
+            Some(p) => (p.trace, Some(p.span)),
+            None => (TraceId(id.0), None),
+        };
+        let ctx = TraceContext { trace, span: id };
+        inner.open_span(ctx, parent_span, node, name, start);
+        inner.close_span(id, end);
+        Some(ctx)
+    }
+
+    /// Close a span; its recorded end becomes the max of `now` and its
+    /// children's ends, then propagates upward (see module docs).
+    pub fn end(&self, ctx: TraceContext, now: SimTime) {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return;
+        }
+        inner.close_span(ctx.span, now);
+    }
+
+    /// Append an attribute to an open or closed span.
+    pub fn set_attr(&self, ctx: TraceContext, key: &str, value: &str) {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return;
+        }
+        if let Some(s) = inner.spans.get_mut(&ctx.span) {
+            s.attrs.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// Record a non-parent causal link (retry → original attempt).
+    pub fn link(&self, ctx: TraceContext, to: SpanId) {
+        let mut inner = self.locked();
+        if !inner.enabled {
+            return;
+        }
+        if let Some(s) = inner.spans.get_mut(&ctx.span) {
+            s.links.push(to);
+        }
+    }
+
+    /// Snapshot of every recorded span, ordered by `(trace, start, id)`.
+    pub fn spans(&self) -> Vec<Span> {
+        let inner = self.locked();
+        let mut all: Vec<Span> = inner.spans.values().cloned().collect();
+        all.sort_by(|a, b| {
+            (a.trace, a.start, a.id).cmp(&(b.trace, b.start, b.id))
+        });
+        all
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.locked().spans.len()
+    }
+
+    /// The most recent span events on `node`, oldest first, plus how
+    /// many older events the bounded ring dropped.
+    pub fn flight_record(&self, node: u32) -> (Vec<SpanEvent>, u64) {
+        let inner = self.locked();
+        match inner.recorders.get(&node) {
+            Some(r) => (r.buf.iter().cloned().collect(), r.dropped),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    /// Drop all recorded spans and flight records (counters are kept in
+    /// [`crate::MetricsRegistry`], not here).
+    pub fn clear(&self) {
+        let mut inner = self.locked();
+        inner.spans.clear();
+        inner.recorders.clear();
+        inner.current = None;
+    }
+}
+
+impl Inner {
+    fn alloc(&mut self, node: u32) -> SpanId {
+        let seq = self.next_seq.entry(node).or_insert(0);
+        *seq += 1;
+        SpanId::compose(node, *seq)
+    }
+
+    fn record_event(&mut self, node: u32, ev: SpanEvent) {
+        let cap = self.recorder_cap;
+        self.recorders
+            .entry(node)
+            .or_insert_with(|| FlightRecorder { cap, dropped: 0, buf: VecDeque::new() })
+            .push(ev);
+    }
+
+    fn open_span(
+        &mut self,
+        ctx: TraceContext,
+        parent: Option<SpanId>,
+        node: u32,
+        name: &str,
+        start: SimTime,
+    ) {
+        self.record_event(
+            node,
+            SpanEvent {
+                at: start,
+                start: true,
+                span: ctx.span,
+                trace: ctx.trace,
+                name: name.to_owned(),
+            },
+        );
+        self.spans.insert(
+            ctx.span,
+            Span {
+                trace: ctx.trace,
+                id: ctx.span,
+                parent,
+                name: name.to_owned(),
+                node,
+                start,
+                end: start,
+                open: true,
+                attrs: Vec::new(),
+                links: Vec::new(),
+            },
+        );
+    }
+
+    fn close_span(&mut self, id: SpanId, now: SimTime) {
+        let Some(s) = self.spans.get_mut(&id) else { return };
+        let end = if now > s.end { now } else { s.end };
+        s.end = end;
+        s.open = false;
+        let (node, trace, name, parent) = (s.node, s.trace, s.name.clone(), s.parent);
+        self.record_event(
+            node,
+            SpanEvent { at: now, start: false, span: id, trace, name },
+        );
+        self.propagate_end(parent, end);
+    }
+
+    /// Push `end` up the parent chain: closed ancestors stretch to cover
+    /// it; the first open ancestor absorbs it implicitly (its close takes
+    /// the max over children again), so the walk stops there.
+    fn propagate_end(&mut self, mut parent: Option<SpanId>, end: SimTime) {
+        while let Some(pid) = parent {
+            let Some(p) = self.spans.get_mut(&pid) else { return };
+            if p.end >= end {
+                return;
+            }
+            p.end = end;
+            if p.open {
+                return;
+            }
+            parent = p.parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::validate;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = Tracer::disabled();
+        assert!(tr.root(0, "r", t(0)).is_none());
+        assert!(tr.span(1, "s", t(5)).is_none());
+        assert_eq!(tr.span_count(), 0);
+        assert_eq!(tr.flight_record(0).0.len(), 0);
+    }
+
+    #[test]
+    fn ids_are_deterministic_per_node() {
+        let tr = Tracer::new();
+        let a = tr.root(3, "a", t(0)).map(|c| c.span);
+        let b = tr.root(3, "b", t(1)).map(|c| c.span);
+        assert_eq!(a, Some(SpanId::compose(3, 1)));
+        assert_eq!(b, Some(SpanId::compose(3, 2)));
+        let tr2 = Tracer::new();
+        assert_eq!(tr2.root(3, "a", t(0)).map(|c| c.span), a);
+    }
+
+    #[test]
+    fn end_propagation_keeps_children_nested() {
+        let tr = Tracer::new();
+        let root = tr.root(0, "query", t(100)).unwrap();
+        // message span ends later than the handler that sent it
+        let msg = tr.complete(0, "net.msg", Some(root), t(100), t(900));
+        tr.end(root, t(150)); // handler closes "before" the message lands
+        let msg = msg.unwrap();
+        let handler = tr.child_of(1, "node.registry", msg, t(900));
+        tr.end(handler.unwrap(), t(900));
+        let spans = tr.spans();
+        validate(&spans).unwrap();
+        // the root stretched to cover the message delivery
+        let root_span = spans.iter().find(|s| s.id == root.span).unwrap();
+        assert_eq!(root_span.end, t(900));
+    }
+
+    #[test]
+    fn current_context_swap_restores() {
+        let tr = Tracer::new();
+        let a = tr.root(0, "a", t(0));
+        let prev = tr.set_current(a);
+        assert_eq!(prev, None);
+        let child = tr.span(1, "b", t(1));
+        assert_eq!(
+            tr.spans().iter().find(|s| Some(s.id) == child.map(|c| c.span)).and_then(|s| s.parent),
+            a.map(|c| c.span)
+        );
+        tr.set_current(prev);
+        assert_eq!(tr.current(), None);
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded() {
+        let tr = Tracer::new();
+        for i in 0..100u64 {
+            let c = tr.root(0, "s", t(i));
+            if let Some(c) = c {
+                tr.end(c, t(i));
+            }
+        }
+        let (events, dropped) = tr.flight_record(0);
+        assert_eq!(events.len(), FLIGHT_RECORDER_CAP);
+        assert_eq!(dropped, 200 - FLIGHT_RECORDER_CAP as u64);
+        // oldest first, and the ring kept the most recent events
+        assert!(events[0].at <= events[events.len() - 1].at);
+        assert_eq!(events[events.len() - 1].at, t(99));
+    }
+
+    #[test]
+    fn links_and_attrs_are_recorded() {
+        let tr = Tracer::new();
+        let a = tr.root(0, "call", t(0)).unwrap();
+        let retry = tr.child_of(0, "retry", a, t(10)).unwrap();
+        tr.link(retry, a.span);
+        tr.set_attr(retry, "attempt", "2");
+        tr.end(retry, t(20));
+        tr.end(a, t(30));
+        let spans = tr.spans();
+        let r = spans.iter().find(|s| s.id == retry.span).unwrap();
+        assert_eq!(r.links, vec![a.span]);
+        assert_eq!(r.attr("attempt"), Some("2"));
+        validate(&spans).unwrap();
+    }
+}
