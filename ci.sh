@@ -33,4 +33,15 @@ diff target/e11_run1.trace.jsonl target/e11_run2.trace.jsonl
 diff target/e11_run1.trace.json target/e11_run2.trace.json
 rm -f /tmp/e11_run1.txt /tmp/e11_run2.txt target/e11_run?.trace.*
 
+# Cache/coalescing determinism gate: two e12 runs must agree
+# byte-for-byte on the report and the JSON summary, and the summary
+# must match the committed BENCH_e12.json (the claimed msgs/query
+# reduction is a checked artefact, not prose).
+./target/release/e12_cache_perf target/e12_run1.json > /tmp/e12_run1.txt
+./target/release/e12_cache_perf target/e12_run2.json > /tmp/e12_run2.txt
+diff /tmp/e12_run1.txt /tmp/e12_run2.txt
+diff target/e12_run1.json target/e12_run2.json
+diff target/e12_run1.json BENCH_e12.json
+rm -f /tmp/e12_run1.txt /tmp/e12_run2.txt target/e12_run?.json
+
 echo "ci: all green"

@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 pub mod e11;
+pub mod e12;
 pub mod micro;
 
 /// Render a titled ASCII table with aligned columns.

@@ -43,9 +43,10 @@ pub use behavior::BehaviorRegistry;
 pub use cohesion::{CohesionConfig, Hierarchy};
 pub use deploy::{NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
 pub use node::{
-    AssemblySink, Continuations, InvokePolicy, InvokeSink, LoadBalanceConfig, MigrateSink, Node,
-    NodeCmd, NodeConfig, NodeCtx, NodeMetrics, NodeSeed, NodeService, NodeState, QueryResult,
-    QuerySink, ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick,
+    AssemblySink, CacheConfig, CacheStats, Continuations, InvokePolicy, InvokeSink,
+    LoadBalanceConfig, MigrateSink, Node, NodeCmd, NodeConfig, NodeCtx, NodeMetrics, NodeSeed,
+    NodeService, NodeState, QueryResult, QuerySink, ServiceKind, ServiceMetrics, ServiceReflect,
+    SpawnSink, SvcMsg, Tick,
 };
 pub use proto::{CtrlMsg, GroupSummary, QueryId};
 pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, Offer};

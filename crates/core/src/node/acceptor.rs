@@ -16,8 +16,9 @@ use super::NodeCmd;
 
 impl NodeState {
     /// Install a package from bytes; merges the package IDL into the
-    /// node's repository so new port types become dispatchable.
-    pub fn install_bytes(&mut self, bytes: &[u8]) -> Result<(), String> {
+    /// node's repository so new port types become dispatchable. Returns
+    /// the installed component's name.
+    pub fn install_bytes(&mut self, bytes: &[u8]) -> Result<String, String> {
         let platform = self.platform();
         let desc = self
             .repository
@@ -37,7 +38,7 @@ impl NodeState {
             self.idl = Arc::new(merged);
             self.adapter.set_repo(self.idl.clone());
         }
-        Ok(())
+        Ok(desc.name)
     }
 }
 
@@ -49,6 +50,11 @@ impl NodeCtx<'_, '_> {
         self.sim
             .metrics()
             .incr(if r.is_ok() { "acceptor.installed" } else { "acceptor.rejected" });
+        if let Ok(name) = r {
+            // Register event: peers may hold cached query results that
+            // are now incomplete for this component.
+            self.note_registry_change(&name);
+        }
     }
 }
 
@@ -90,11 +96,14 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
         CtrlMsg::PackageBytes { name, bytes, .. } => {
             let install = ctx.state.install_bytes(&bytes);
             ctx.sim.metrics().incr("fetch.received");
+            if install.is_ok() {
+                ctx.note_registry_change(&name);
+            }
             let conts = ctx.state.conts.fetches.remove(&name).unwrap_or_default();
             for cont in conts {
                 match (&install, cont) {
                     (
-                        Ok(()),
+                        Ok(_),
                         FetchCont::SpawnAndConnect { component, min_version, instance, port, sink },
                     ) => match ctx.state.spawn_local(&component, min_version, None) {
                         Ok(provider) => {
@@ -110,7 +119,7 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
                         }
                     },
                     (
-                        Ok(()),
+                        Ok(_),
                         FetchCont::FinishMigration {
                             rid,
                             origin,

@@ -464,6 +464,10 @@ impl NodeCtx<'_, '_> {
             }
             Err(e) => Err(e),
         };
+        if result.is_ok() {
+            // Register event: the instance now runs here.
+            self.note_registry_change(component);
+        }
         self.send_ctrl(origin, CtrlMsg::MigrateDone { rid, result });
     }
 
@@ -523,6 +527,9 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
     match msg {
         CtrlMsg::Spawn { rid, origin, component, min_version, instance_name } => {
             let result = ctx.state.spawn_local(&component, min_version, instance_name);
+            if result.is_ok() {
+                ctx.note_registry_change(&component);
+            }
             ctx.send_ctrl(origin, CtrlMsg::SpawnDone { rid, result });
         }
         CtrlMsg::SpawnDone { rid, result } => match ctx.state.conts.spawns.remove(&rid) {
@@ -616,8 +623,12 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
                     // late requests.
                     if let Some(info) = ctx.state.registry.instance(pm.instance) {
                         let old_oid = info.objref.key.oid;
+                        let component = info.component.clone();
                         ctx.state.destroy_instance(pm.instance);
                         ctx.state.forwards.insert(old_oid, new_ref.clone());
+                        // Deregister event: offers naming this node for
+                        // the component are now wrong.
+                        ctx.note_registry_change(&component);
                     }
                     ctx.sim.metrics().incr("migrate.completed");
                 }
@@ -637,12 +648,19 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
 pub(crate) fn handle_cmd(ctx: &mut NodeCtx<'_, '_>, cmd: NodeCmd) {
     match cmd {
         NodeCmd::SpawnLocal { component, min_version, instance_name, sink } => {
-            *sink.borrow_mut() = Some(ctx.state.spawn_local(&component, min_version, instance_name));
+            let r = ctx.state.spawn_local(&component, min_version, instance_name);
+            if r.is_ok() {
+                ctx.note_registry_change(&component);
+            }
+            *sink.borrow_mut() = Some(r);
         }
         NodeCmd::SpawnOn { node, component, min_version, instance_name, sink } => {
             if node == ctx.state.host {
-                *sink.borrow_mut() =
-                    Some(ctx.state.spawn_local(&component, min_version, instance_name));
+                let r = ctx.state.spawn_local(&component, min_version, instance_name);
+                if r.is_ok() {
+                    ctx.note_registry_change(&component);
+                }
+                *sink.borrow_mut() = Some(r);
             } else {
                 let rid = ctx.state.conts.next_seq();
                 ctx.state.conts.spawns.insert(rid, SpawnCont::Sink(sink));

@@ -99,6 +99,14 @@ impl<K: Ord + Clone, V> Continuations<K, V> {
             .collect()
     }
 
+    /// Iterate over live entries in key order, values mutable. Used by
+    /// sweeps that must adjust an entry *without* expiring it (e.g.
+    /// expiring individual coalesced followers inside a still-pending
+    /// query).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries.iter_mut().map(|(k, e)| (k, &mut e.value))
+    }
+
     /// Number of pending continuations.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -196,6 +204,23 @@ pub(crate) struct PendingQuery {
     /// The query's trace span (root of the per-query trace tree when
     /// the fabric's tracer is enabled; ended at finalization).
     pub span: Option<TraceContext>,
+    /// Queries coalesced onto this one (singleflight followers): each
+    /// is served the leader's offer set at finalization, but keeps its
+    /// *own* deadline so a leader kept alive by a retry cannot extend
+    /// the queries merged onto it.
+    pub followers: Vec<QueryFollower>,
+    /// The cache key this query fills on success (`None` when neither
+    /// caching nor coalescing is configured).
+    pub cache_key: Option<String>,
+}
+
+/// A query merged onto an identical in-flight one (singleflight): its
+/// own completion continuation and deadline, resolved when the leader
+/// finalizes or when its deadline passes — whichever comes first.
+pub(crate) struct QueryFollower {
+    pub purpose: QueryPurpose,
+    pub started: SimTime,
+    pub deadline: SimTime,
 }
 
 /// What to do when a remote spawn completes.

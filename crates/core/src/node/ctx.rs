@@ -15,6 +15,7 @@ use crate::proto::CtrlMsg;
 use crate::registry::{ComponentRegistry, InstanceId};
 use crate::repository::ComponentRepository;
 use crate::resource::ResourceManager;
+use lc_cache::{CacheStats, Coalescer, QueryCache};
 use lc_des::{Ctx, SimTime};
 use lc_net::{DropReason, HostId, Net};
 use lc_trace::Tracer;
@@ -79,12 +80,22 @@ pub struct NodeState {
     /// CPU FIFO: when the processor frees up (owned by the Resource
     /// Manager's accounting, see `resource_svc::occupy_cpu`).
     pub(crate) cpu_free_at: SimTime,
+    /// Registry query-result cache (generation-stamped, virtual-time
+    /// TTL); `None` unless [`NodeConfig::cache`] enables result caching.
+    pub(crate) query_cache: Option<QueryCache<String, Vec<crate::registry::Offer>>>,
+    /// Singleflight bookkeeping for identical in-flight queries.
+    pub(crate) coalescer: Coalescer<String>,
 }
 
 impl NodeState {
     /// Build the shared state from a seed (no packages installed yet).
     pub(crate) fn new(seed: NodeSeed) -> Self {
         let cfg = seed.config;
+        let query_cache = cfg
+            .cache
+            .as_ref()
+            .filter(|c| c.cache_results)
+            .map(|c| QueryCache::new(c.ttl));
         let host = seed.host;
         let duties = seed.hierarchy.duties_of(host);
         let duty_state = duties.iter().map(|_| DutyState::default()).collect();
@@ -117,6 +128,8 @@ impl NodeState {
             subs: BTreeMap::new(),
             forwards: BTreeMap::new(),
             cpu_free_at: SimTime::ZERO,
+            query_cache,
+            coalescer: Coalescer::new(),
         }
     }
 
@@ -139,6 +152,22 @@ impl NodeState {
     /// all no-ops — unless the fabric was built with a tracer).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Registry query-cache counters, when result caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.query_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The cache's invalidation generation (coherence epoch), when
+    /// result caching is enabled. Monotone per node.
+    pub fn cache_generation(&self) -> Option<u64> {
+        self.query_cache.as_ref().map(|c| c.generation())
+    }
+
+    /// Queries merged onto an in-flight identical query so far.
+    pub fn coalesced_queries(&self) -> u64 {
+        self.coalescer.coalesced()
     }
 
     /// Current pending-work depth across the unified continuation table.
@@ -192,6 +221,44 @@ impl NodeCtx<'_, '_> {
             self.sim.metrics().incr("query.msgs");
         }
         let _ = self.net_send(to, size, msg);
+    }
+
+    /// Drop cached query results that could name `component` (the entry's
+    /// query names it, is a no-name interface query, or any cached offer
+    /// resolves to it). Bumps the coherence generation even when nothing
+    /// matched.
+    pub(crate) fn invalidate_cached(&mut self, component: &str) {
+        let Some(cache) = self.state.query_cache.as_mut() else { return };
+        let name_key = format!("name:{component}|");
+        let dropped = cache.invalidate_matching(|key, offers| {
+            key.starts_with(&name_key)
+                || key.starts_with("name:*|")
+                || offers.iter().any(|o| o.component == component)
+        });
+        self.sim.metrics().incr("cache.invalidations");
+        self.sim.metrics().add("cache.invalidated_entries", dropped as u64);
+        self.state.metrics.note("cache.invalidations");
+    }
+
+    /// A register/deregister/migrate event changed this node's component
+    /// inventory: drop matching local cache entries and broadcast a
+    /// best-effort `CacheInvalidate` to every peer. No-op (and no
+    /// traffic) unless caching is configured, so cache-disabled runs
+    /// stay byte-identical.
+    pub(crate) fn note_registry_change(&mut self, component: &str) {
+        if self.state.cfg.cache.is_none() {
+            return;
+        }
+        self.invalidate_cached(component);
+        let from = self.state.host;
+        let msg = CtrlMsg::CacheInvalidate { from, component: component.to_owned() };
+        let size = msg.wire_size();
+        for to in self.state.net.host_ids() {
+            if to != from && self.state.net.reachable(from, to) {
+                let _ = self.net_send(to, size, msg.clone());
+            }
+        }
+        self.sim.metrics().incr("cache.invalidate_bcasts");
     }
 
     /// Raw network send from this host, counted as a per-service

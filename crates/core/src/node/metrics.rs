@@ -134,6 +134,16 @@ impl NodeMetrics {
         self.registry.incr(&format!("cmd.{name}"));
     }
 
+    /// Count one node-level event under `name` (e.g. `cache.hits`).
+    pub(crate) fn note(&mut self, name: &str) {
+        self.registry.incr(name);
+    }
+
+    /// Observe one node-level histogram sample (e.g. cache staleness).
+    pub(crate) fn note_observe(&mut self, name: &str, buckets: &[u64], value: u64) {
+        self.registry.observe(name, buckets, value);
+    }
+
     /// Begin a handler activation: attribute subsequent sends to `kind`.
     pub(crate) fn begin(&mut self, kind: ServiceKind, counts_as_msg: bool) {
         self.current = Some(kind);

@@ -65,6 +65,8 @@ use std::sync::Arc;
 
 use service::{cmd_service, ctrl_service, tick_service, TickMsg};
 
+pub use lc_cache::CacheStats;
+
 /// Automatic load-balancing policy (§2.4.3: "component instance
 /// migration and replication to achieve load balancing").
 #[derive(Clone, Debug)]
@@ -133,6 +135,48 @@ impl InvokePolicy {
     }
 }
 
+/// Registry query-result caching, request coalescing and control-frame
+/// batching (§2.4.2: component metadata is mostly immutable, so
+/// "caching can be performed safely"). Off by default — a node without
+/// a [`CacheConfig`] behaves byte-identically to the pre-cache runtime.
+///
+/// The TTL is expressed in *virtual* time, so cached runs stay
+/// deterministic: freshness depends only on simulation state, never on
+/// the wall clock.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// How long a cached offer set stays fresh (virtual time). Also the
+    /// staleness backstop when an invalidation broadcast is lost.
+    pub ttl: SimTime,
+    /// Serve repeated queries from the per-node result cache.
+    pub cache_results: bool,
+    /// Merge identical in-flight queries onto one network search
+    /// (singleflight): followers share the leader's offer set.
+    pub coalesce: bool,
+    /// Batch this node's outgoing traffic per handler activation into
+    /// per-destination frames (lc-net frame batching), amortizing
+    /// header cost across coalesced bursts.
+    pub batching: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            ttl: SimTime::from_secs(2),
+            cache_results: true,
+            coalesce: true,
+            batching: false,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The full optimization stack: cache + coalescing + batching.
+    pub fn full() -> Self {
+        CacheConfig { batching: true, ..CacheConfig::default() }
+    }
+}
+
 /// Node-level configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -151,6 +195,8 @@ pub struct NodeConfig {
     /// re-issued before being finalized empty (graceful degradation
     /// under loss; 0 = finalize on first timeout).
     pub query_retries: u32,
+    /// Registry query cache / coalescing / batching (off by default).
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for NodeConfig {
@@ -162,6 +208,7 @@ impl Default for NodeConfig {
             load_balance: None,
             invoke: InvokePolicy::default(),
             query_retries: 0,
+            cache: None,
         }
     }
 }
@@ -501,8 +548,8 @@ impl Node {
     }
 }
 
-impl Actor for Node {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+impl Node {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
         // Expose virtual time to servants dispatched during this event.
         self.state.adapter.set_clock(ctx.now());
         // Driver commands and timers arrive directly; network traffic
@@ -532,6 +579,22 @@ impl Actor for Node {
         };
         if let Ok(wire) = payload.downcast_msg::<OrbWire>() {
             self.route(ctx, ServiceKind::Container, SvcMsg::Orb(wire), trace);
+        }
+    }
+}
+
+impl Actor for Node {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        // With frame batching enabled, every send this event makes is
+        // queued and shipped as one frame per destination when the
+        // handler returns — coalesced bursts amortize header cost.
+        let batching = self.state.cfg.cache.as_ref().is_some_and(|c| c.batching);
+        if batching {
+            self.state.net.batch_begin(self.state.host);
+        }
+        self.dispatch(ctx, msg);
+        if batching {
+            self.state.net.batch_flush(ctx, self.state.host);
         }
     }
 }

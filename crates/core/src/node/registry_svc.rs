@@ -10,11 +10,31 @@ use crate::registry::{ComponentQuery, InstanceId, Offer};
 use lc_net::HostId;
 use lc_pkg::Version;
 
-use super::continuations::{FetchCont, PendingQuery, QueryPurpose, SpawnCont};
+use super::continuations::{FetchCont, PendingQuery, QueryFollower, QueryPurpose, SpawnCont};
 use super::ctx::{NodeCtx, NodeState};
 use super::metrics::ServiceKind;
 use super::service::{item, NodeService, ServiceReflect, SvcMsg, Tick};
 use super::{NodeCmd, SpawnSink};
+
+/// Cache-staleness histogram bucket edges, in microseconds of virtual
+/// time (1 ms up to 5 s).
+const CACHE_AGE_US_BUCKETS: [u64; 6] =
+    [1_000, 10_000, 50_000, 250_000, 1_000_000, 5_000_000];
+
+/// Deterministic cache/coalescing key for a query. The `name:` prefix is
+/// parseable so invalidation can match by component name; `*` marks a
+/// wildcard (interface queries match any component and are invalidated
+/// by every coherence event).
+pub(crate) fn cache_key(q: &ComponentQuery) -> String {
+    format!(
+        "name:{}|provides:{}|minv:{}|cost:{}|mobile:{}",
+        q.name.as_deref().unwrap_or("*"),
+        q.provides.as_deref().unwrap_or("*"),
+        q.min_version.map_or_else(|| "*".to_owned(), |v| v.to_string()),
+        q.max_cost.map_or_else(|| "*".to_owned(), |c| c.to_string()),
+        q.require_mobile,
+    )
+}
 
 impl NodeState {
     /// Offers this node's own registry/repository can make for a query.
@@ -31,12 +51,82 @@ impl NodeState {
 
 impl NodeCtx<'_, '_> {
     pub(crate) fn start_query(&mut self, query: ComponentQuery, purpose: QueryPurpose) {
-        let seq = self.state.conts.next_seq();
-        let qid = QueryId { origin: self.state.host, seq };
         let started = self.sim.now();
         if let QueryPurpose::Collect { sink, .. } = &purpose {
             sink.borrow_mut().started = started;
         }
+        let timeout = self.state.cfg.query_timeout;
+        let coalesce = self.state.cfg.cache.as_ref().is_some_and(|c| c.coalesce);
+        let key = (coalesce || self.state.query_cache.is_some()).then(|| cache_key(&query));
+
+        // Cache hit: serve synchronously from the local result cache —
+        // no network search, no pending continuation.
+        if let (Some(k), Some(cache)) = (key.as_ref(), self.state.query_cache.as_mut()) {
+            if let Some((offers, age)) = cache.get(k, started) {
+                let offers = offers.clone();
+                self.sim.metrics().incr("query.started");
+                self.sim.metrics().incr("cache.hits");
+                self.state.metrics.note("cache.hits");
+                let age_us = (age.as_secs_f64() * 1e6) as u64;
+                self.state.metrics.note_observe("cache.age_us", &CACHE_AGE_US_BUCKETS, age_us);
+                let tracer = self.state.tracer.clone();
+                if let Some(sp) = tracer.complete(
+                    self.state.host.0,
+                    "registry.cache",
+                    tracer.current(),
+                    started,
+                    started,
+                ) {
+                    tracer.set_attr(sp, "hit", "true");
+                    tracer.set_attr(sp, "age_us", &age_us.to_string());
+                }
+                let f = QueryFollower { purpose, started, deadline: started };
+                self.resolve_follower(f, offers, &query, false, Some(age));
+                return;
+            }
+            self.sim.metrics().incr("cache.misses");
+            self.state.metrics.note("cache.misses");
+        }
+
+        // Coalesce: an identical query is already in flight — ride it as
+        // a follower instead of spawning a second network search.
+        if coalesce {
+            if let Some(k) = key.as_deref() {
+                if let Some(leader) = self.state.coalescer.leader_of(&k.to_owned()) {
+                    if self.state.conts.queries.contains_key(&leader) {
+                        self.sim.metrics().incr("query.started");
+                        self.sim.metrics().incr("cache.coalesced");
+                        self.state.metrics.note("cache.coalesced");
+                        self.state.coalescer.note_coalesced();
+                        let tracer = self.state.tracer.clone();
+                        if let Some(sp) = tracer.complete(
+                            self.state.host.0,
+                            "registry.cache",
+                            tracer.current(),
+                            started,
+                            started,
+                        ) {
+                            tracer.set_attr(sp, "coalesced", "true");
+                            tracer.set_attr(sp, "leader_seq", &leader.to_string());
+                        }
+                        let deadline = started + timeout;
+                        if let Some(pq) = self.state.conts.queries.get_mut(&leader) {
+                            pq.followers.push(QueryFollower { purpose, started, deadline });
+                        }
+                        // The follower's own deadline needs a sweep tick
+                        // even if the leader never expires.
+                        self.timer_in(timeout, Tick::QueryDeadline(leader));
+                        return;
+                    }
+                    // Stale coalescer entry (leader already finalized
+                    // outside the normal path): clear and lead afresh.
+                    self.state.coalescer.finish(&k.to_owned());
+                }
+            }
+        }
+
+        let seq = self.state.conts.next_seq();
+        let qid = QueryId { origin: self.state.host, seq };
         // Root (or continue) the per-query trace: everything the search
         // fans out — MRM hops, member queries, offer replies — parents
         // under this span until finalization ends it.
@@ -48,7 +138,6 @@ impl NodeCtx<'_, '_> {
             }
             tracer.set_attr(s, "seq", &seq.to_string());
         }
-        let timeout = self.state.cfg.query_timeout;
         self.state.conts.queries.insert_with_deadline(
             seq,
             PendingQuery {
@@ -59,9 +148,16 @@ impl NodeCtx<'_, '_> {
                 query: query.clone(),
                 retries_left: self.state.cfg.query_retries,
                 span,
+                followers: Vec::new(),
+                cache_key: key.clone(),
             },
             started + timeout,
         );
+        if coalesce {
+            if let Some(k) = key {
+                self.state.coalescer.lead(k, seq);
+            }
+        }
         self.sim.metrics().incr("query.started");
 
         let prev = span.map(|s| tracer.set_current(Some(s)));
@@ -258,8 +354,21 @@ impl NodeCtx<'_, '_> {
     /// before the search completed: the offer set is then *partial* —
     /// served with a staleness tag instead of hanging the caller
     /// (graceful degradation under loss and partitions).
-    fn finalize_query(&mut self, pq: PendingQuery, timed_out: bool) {
+    fn finalize_query(&mut self, mut pq: PendingQuery, timed_out: bool) {
         let now = self.sim.now();
+        // Singleflight resolution: close the coalescing window and fill
+        // the cache before the leader's sink consumes the offer vector.
+        // Timed-out (partial) results are never cached.
+        if let Some(k) = pq.cache_key.take() {
+            self.state.coalescer.finish(&k);
+            if !timed_out && !pq.offers.is_empty() {
+                if let Some(cache) = self.state.query_cache.as_mut() {
+                    cache.insert(k, pq.offers.clone(), now);
+                }
+            }
+        }
+        let followers = std::mem::take(&mut pq.followers);
+        let fan = (!followers.is_empty()).then(|| (pq.offers.clone(), pq.query.clone()));
         let tracer = self.state.tracer.clone();
         let span = pq.span;
         if let Some(s) = span {
@@ -309,11 +418,69 @@ impl NodeCtx<'_, '_> {
                 }
             }
         }
+        // Followers see the same offer set, in join order, still inside
+        // the leader's span context.
+        if let Some((offers, query)) = fan {
+            for f in followers {
+                self.resolve_follower(f, offers.clone(), &query, timed_out, None);
+            }
+        }
         if let Some(s) = span {
             tracer.end(s, now);
         }
         if let Some(prev) = prev {
             tracer.set_current(prev);
+        }
+    }
+
+    /// Complete one coalesced (or cache-served) query with an offer set
+    /// obtained elsewhere: the leader's result at finalization, the
+    /// current partial set at the follower's own deadline, or a fresh
+    /// cache entry (`cached_age` then carries the entry's age, surfaced
+    /// as the result's staleness).
+    pub(crate) fn resolve_follower(
+        &mut self,
+        f: QueryFollower,
+        offers: Vec<Offer>,
+        query: &ComponentQuery,
+        timed_out: bool,
+        cached_age: Option<lc_des::SimTime>,
+    ) {
+        let now = self.sim.now();
+        self.sim
+            .metrics()
+            .record("query.duration_ms", (now - f.started).as_secs_f64() * 1e3);
+        if offers.is_empty() {
+            self.sim.metrics().incr("query.misses");
+        } else {
+            self.sim.metrics().incr("query.hits");
+        }
+        let partial = timed_out && !offers.is_empty();
+        if partial {
+            self.sim.metrics().incr("query.partial");
+        }
+        match f.purpose {
+            QueryPurpose::Collect { sink, .. } => {
+                let mut s = sink.borrow_mut();
+                s.first_offer_at = (!offers.is_empty()).then_some(now);
+                s.offers = offers;
+                s.done = true;
+                s.done_at = Some(now);
+                s.partial = partial;
+                s.staleness = cached_age;
+            }
+            QueryPurpose::Resolve { instance, port, policy, sink } => {
+                match choose(&offers, &policy) {
+                    None => {
+                        if let Some(s) = sink {
+                            *s.borrow_mut() = Some(Err(format!("no offers for port '{port}'")));
+                        }
+                    }
+                    Some((_, action)) => {
+                        self.apply_resolve_action(instance, port, action, sink, query)
+                    }
+                }
+            }
         }
     }
 
@@ -382,6 +549,9 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
             }
         }
         CtrlMsg::Offers { qid, offers } => ctx.on_offers(qid, offers),
+        // Coherence broadcast: a peer's inventory changed — drop any
+        // cached results that could name the component.
+        CtrlMsg::CacheInvalidate { component, .. } => ctx.invalidate_cached(&component),
         // Best-effort completion signal.
         CtrlMsg::QueryDone { qid } if ctx.state.conts.queries.contains_key(&qid.seq) => {
             ctx.finish_query(qid.seq);
@@ -427,6 +597,28 @@ impl NodeService for RegistrySvc {
             // deadline timers fire in chronological order, and a query
             // resumed early is no longer in the table).
             let now = ctx.sim.now();
+            // Followers carry their *own* deadlines: a query coalesced
+            // onto a long-lived leader must not wait past its caller's
+            // timeout. Drain expired followers from live entries first —
+            // each gets the leader's current partial offer set.
+            let mut expired_followers = Vec::new();
+            for (_, pq) in ctx.state.conts.queries.iter_mut() {
+                if pq.followers.iter().any(|f| f.deadline <= now) {
+                    let mut i = 0;
+                    while i < pq.followers.len() {
+                        if pq.followers[i].deadline <= now {
+                            let f = pq.followers.remove(i);
+                            expired_followers.push((f, pq.offers.clone(), pq.query.clone()));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            for (f, offers, query) in expired_followers {
+                ctx.sim.metrics().incr("query.timeouts");
+                ctx.resolve_follower(f, offers, &query, true, None);
+            }
             let expired = ctx.state.conts.queries.take_expired(now);
             for (seq, mut pq) in expired {
                 // A query expiring with *zero* offers may be re-issued:

@@ -109,9 +109,10 @@ pub(crate) fn cmd_service(cmd: &NodeCmd) -> ServiceKind {
 pub(crate) fn ctrl_service(msg: &CtrlMsg) -> ServiceKind {
     match msg {
         CtrlMsg::Report { .. } | CtrlMsg::Summary { .. } => ServiceKind::Cohesion,
-        CtrlMsg::Query { .. } | CtrlMsg::Offers { .. } | CtrlMsg::QueryDone { .. } => {
-            ServiceKind::Registry
-        }
+        CtrlMsg::Query { .. }
+        | CtrlMsg::Offers { .. }
+        | CtrlMsg::QueryDone { .. }
+        | CtrlMsg::CacheInvalidate { .. } => ServiceKind::Registry,
         CtrlMsg::Fetch { .. }
         | CtrlMsg::PackageBytes { .. }
         | CtrlMsg::FetchFailed { .. }

@@ -188,6 +188,17 @@ pub enum CtrlMsg {
         target: Option<lc_net::HostId>,
     },
 
+    // ---- registry cache coherence ---------------------------------------
+    /// A node's component inventory changed (install, spawn, migration):
+    /// peers drop cached query results that could name it. Best-effort —
+    /// the cache TTL is the staleness backstop when this is lost.
+    CacheInvalidate {
+        /// The node whose inventory changed.
+        from: lc_net::HostId,
+        /// The component affected.
+        component: String,
+    },
+
     // ---- migration (§2.2) ----------------------------------------------
     /// Carry a passivated instance to a new node.
     MigrateIn {
@@ -256,6 +267,7 @@ impl CtrlMsg {
             },
             CtrlMsg::OffloadQuery { .. } => 16,
             CtrlMsg::OffloadTarget { .. } => 8,
+            CtrlMsg::CacheInvalidate { component, .. } => component.len() as u64 + 8,
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests for the registry query cache under churn and faults:
+//! staleness is bounded — a resolved query never names a component whose
+//! only host was deregistered (crashed) more than `ttl + query_timeout`
+//! of virtual time earlier — and each node's invalidation generation
+//! (its coherence epoch) only ever moves forward.
+
+use lc_core::node::{NodeCmd, NodeConfig, QueryResult};
+use lc_core::testkit::{build_world_on, fast_cohesion};
+use lc_core::{BehaviorRegistry, CacheConfig, ComponentQuery, SpawnSink};
+use lc_des::SimTime;
+use lc_net::{FaultPlan, HostId, LinkFaults, Net, Topology};
+use lc_prop::check;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const OWNER: HostId = HostId(3);
+const N: usize = 6;
+
+#[test]
+fn staleness_bounded_and_generations_monotone_under_churn_and_faults() {
+    check("cache_staleness_bound", |g| {
+        let seed = g.next_u64();
+        let ttl = SimTime::from_millis(g.gen_range(200..800u64));
+        let timeout = SimTime::from_millis(g.gen_range(300..700u64));
+        let drop_p = g.gen_f64() * 0.1;
+        let jitter_ms = g.gen_range(0..30u64);
+        let period = SimTime::from_millis(g.gen_range(50..150u64));
+
+        let plan = FaultPlan::seeded(seed).default_link(
+            LinkFaults::none().drop_p(drop_p).jitter(SimTime::from_millis(jitter_ms)),
+        );
+        let behaviors = BehaviorRegistry::new();
+        lc_core::demo::register_demo_behaviors(&behaviors);
+        let mut w = build_world_on(
+            Net::builder(Topology::lan(N)).fault_plan(plan).build(),
+            seed ^ 0xcac4e,
+            NodeConfig {
+                cohesion: fast_cohesion(),
+                query_timeout: timeout,
+                query_retries: 1,
+                require_signature: false,
+                cache: Some(CacheConfig { ttl, ..CacheConfig::default() }),
+                ..Default::default()
+            },
+            behaviors,
+            lc_core::demo::demo_trust(),
+            Arc::new(lc_core::demo::demo_idl()),
+            |h| if h == OWNER { vec![lc_core::demo::counter_package()] } else { Vec::new() },
+        );
+        w.sim.run_until(SimTime::from_secs(1));
+
+        // Per-node high-water mark of the invalidation generation.
+        let mut gens = vec![0u64; N];
+        let check_gens = |w: &lc_core::testkit::World, gens: &mut Vec<u64>| {
+            for h in 0..N as u32 {
+                let Some(gen) = w.node(HostId(h)).and_then(|n| n.cache_generation())
+                else {
+                    continue; // crashed (killed actors are unreadable)
+                };
+                assert!(
+                    gen >= gens[h as usize],
+                    "node {h}: generation moved backwards ({} -> {gen})",
+                    gens[h as usize]
+                );
+                gens[h as usize] = gen;
+            }
+        };
+
+        let mut sinks: Vec<Rc<RefCell<QueryResult>>> = Vec::new();
+        let query = |w: &mut lc_core::testkit::World, i: u32| {
+            let origin = HostId([1u32, 2, 4, 5][(i % 4) as usize]);
+            let sink: Rc<RefCell<QueryResult>> = Rc::default();
+            w.cmd(
+                origin,
+                NodeCmd::Query {
+                    query: ComponentQuery::by_name("Counter", lc_pkg::Version::new(1, 0)),
+                    sink: sink.clone(),
+                    first_wins: true,
+                },
+            );
+            sink
+        };
+
+        // Phase A: cache-warming queries interleaved with spawns on the
+        // owner — each spawn broadcasts an invalidation, bumping peer
+        // generations.
+        for i in 0..8u32 {
+            sinks.push(query(&mut w, i));
+            if i % 3 == 2 {
+                let sink: SpawnSink = Rc::default();
+                w.cmd(
+                    OWNER,
+                    NodeCmd::SpawnLocal {
+                        component: "Counter".into(),
+                        min_version: lc_pkg::Version::new(1, 0),
+                        instance_name: None,
+                        sink,
+                    },
+                );
+            }
+            let next = w.sim.now() + period;
+            w.sim.run_until(next);
+            check_gens(&w, &mut gens);
+        }
+
+        // Deregistration: the only owner crashes. No goodbye broadcast —
+        // the TTL is the coherence backstop from here on.
+        let crashed_at = w.sim.now();
+        w.crash(OWNER);
+
+        // Phase B: keep querying well past the staleness horizon.
+        for i in 0..14u32 {
+            sinks.push(query(&mut w, i));
+            let next = w.sim.now() + period;
+            w.sim.run_until(next);
+            check_gens(&w, &mut gens);
+        }
+        let drain = w.sim.now() + SimTime::from_secs(3);
+        w.sim.run_until(drain);
+
+        // Staleness bound: any resolution still naming the dead owner
+        // happened within ttl (cache horizon) + timeout (a search that
+        // was already in flight) of the crash.
+        let bound = crashed_at + ttl + timeout;
+        for (i, s) in sinks.iter().enumerate() {
+            let r = s.borrow();
+            assert!(r.done, "query {i} never resolved");
+            if r.offers.iter().any(|o| o.node == OWNER) {
+                let done_at = r.done_at.expect("done implies done_at");
+                assert!(
+                    done_at <= bound,
+                    "query {i} resolved at {done_at:?} naming the owner crashed at \
+                     {crashed_at:?} (bound {bound:?}, ttl {ttl:?}, timeout {timeout:?})"
+                );
+            }
+        }
+    });
+}

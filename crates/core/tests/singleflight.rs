@@ -1,0 +1,167 @@
+//! Singleflight coalescing of identical in-flight registry queries:
+//! one network round-trip serves every same-tick caller, followers keep
+//! their *own* deadlines (the leader's retry horizon must not drag them
+//! past their caller's timeout), and the raw [`lc_cache::Singleflight`]
+//! helper fans a leader's error out to every follower unchanged.
+
+use lc_cache::{Flight, Singleflight};
+use lc_core::node::{NodeCmd, NodeConfig, QueryResult};
+use lc_core::testkit::{build_world, fast_cohesion, World};
+use lc_core::{BehaviorRegistry, CacheConfig, ComponentQuery};
+use lc_des::SimTime;
+use lc_net::{HostId, Topology};
+use lc_orb::{OrbError, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn config(cache: Option<CacheConfig>) -> NodeConfig {
+    NodeConfig {
+        cohesion: fast_cohesion(),
+        query_timeout: SimTime::from_millis(400),
+        require_signature: false,
+        cache,
+        ..Default::default()
+    }
+}
+
+fn world(cache: Option<CacheConfig>, seed: u64) -> World {
+    let behaviors = BehaviorRegistry::new();
+    lc_core::demo::register_demo_behaviors(&behaviors);
+    build_world(
+        Topology::lan(8),
+        seed,
+        config(cache),
+        behaviors,
+        lc_core::demo::demo_trust(),
+        Arc::new(lc_core::demo::demo_idl()),
+        |h| if h == HostId(7) { vec![lc_core::demo::counter_package()] } else { Vec::new() },
+    )
+}
+
+fn query(name: &str) -> ComponentQuery {
+    ComponentQuery::by_name(name, lc_pkg::Version::new(1, 0))
+}
+
+fn issue(w: &mut World, origin: HostId, name: &str) -> Rc<RefCell<QueryResult>> {
+    let sink: Rc<RefCell<QueryResult>> = Rc::default();
+    w.cmd(
+        origin,
+        NodeCmd::Query { query: query(name), sink: sink.clone(), first_wins: true },
+    );
+    sink
+}
+
+/// N identical same-tick queries cost exactly one network search: the
+/// `query.msgs` delta equals a lone query's, the coalesced counter
+/// accounts for the other N-1, and every caller's continuation resolves
+/// with the leader's offer set.
+#[test]
+fn burst_of_identical_queries_is_one_round_trip() {
+    const N: usize = 5;
+    // Reference: one query, no coalescing possible.
+    let mut solo = world(Some(CacheConfig::default()), 9);
+    solo.sim.run_until(SimTime::from_secs(1));
+    let before = solo.sim.metrics_ref().counter("query.msgs");
+    let s = issue(&mut solo, HostId(1), "Counter");
+    solo.sim.run_until(SimTime::from_secs(3));
+    let solo_msgs = solo.sim.metrics_ref().counter("query.msgs") - before;
+    assert!(s.borrow().done && !s.borrow().offers.is_empty());
+
+    // Same seed, same world, N same-tick queries.
+    let mut w = world(Some(CacheConfig::default()), 9);
+    w.sim.run_until(SimTime::from_secs(1));
+    let before = w.sim.metrics_ref().counter("query.msgs");
+    let sinks: Vec<_> = (0..N).map(|_| issue(&mut w, HostId(1), "Counter")).collect();
+    w.sim.run_until(SimTime::from_secs(3));
+    let burst_msgs = w.sim.metrics_ref().counter("query.msgs") - before;
+
+    assert_eq!(burst_msgs, solo_msgs, "coalesced burst must cost one search");
+    assert_eq!(w.sim.metrics_ref().counter("cache.coalesced"), (N - 1) as u64);
+    let leader = sinks[0].borrow();
+    assert!(leader.done && !leader.offers.is_empty());
+    for (i, s) in sinks.iter().enumerate().skip(1) {
+        let r = s.borrow();
+        assert!(r.done, "follower {i} not resolved");
+        assert_eq!(r.offers.len(), leader.offers.len(), "follower {i} offer set differs");
+    }
+    let node = w.node(HostId(1)).expect("origin alive");
+    assert_eq!(node.coalesced_queries(), (N - 1) as u64);
+}
+
+/// A follower that joins a leader keeps its *own* deadline. Under total
+/// silent loss the leader hears nothing — no offers, no `QueryDone` —
+/// and spends its retry budget extending its horizon; the follower must
+/// still time out at `joined + timeout`, drained from the *live* leader
+/// entry at exactly the boundary tick, not when the leader finally
+/// gives up.
+#[test]
+fn follower_times_out_on_its_own_deadline_at_the_boundary_tick() {
+    let behaviors = BehaviorRegistry::new();
+    lc_core::demo::register_demo_behaviors(&behaviors);
+    let plan = lc_net::FaultPlan::seeded(11)
+        .default_link(lc_net::LinkFaults::none().drop_p(1.0));
+    let mut w = lc_core::testkit::build_world_on(
+        lc_net::Net::builder(Topology::lan(8)).fault_plan(plan).build(),
+        11,
+        NodeConfig { query_retries: 2, ..config(Some(CacheConfig::default())) },
+        behaviors,
+        lc_core::demo::demo_trust(),
+        Arc::new(lc_core::demo::demo_idl()),
+        |_| Vec::new(), // nothing installed: every query misses
+    );
+    w.sim.run_until(SimTime::from_secs(1));
+
+    // Leader at t0, follower joins one tick later.
+    let leader = issue(&mut w, HostId(5), "Ghost");
+    w.sim.run_until(w.sim.now() + SimTime::from_millis(1));
+    let follower = issue(&mut w, HostId(5), "Ghost");
+    let joined = w.sim.now();
+
+    w.sim.run_until(joined + SimTime::from_secs(4));
+    assert_eq!(w.sim.metrics_ref().counter("cache.coalesced"), 1);
+    let timeout = SimTime::from_millis(400);
+    let f = follower.borrow();
+    assert!(f.done, "follower resolved");
+    assert!(f.offers.is_empty());
+    assert_eq!(
+        f.done_at,
+        Some(joined + timeout),
+        "follower must expire at its own deadline, exactly at the boundary tick"
+    );
+    // The leader's retries (2) extend it well past the follower.
+    let l = leader.borrow();
+    assert!(l.done && l.offers.is_empty());
+    assert!(
+        l.done_at.expect("leader resolved") > joined + timeout,
+        "leader horizon extends past the follower deadline"
+    );
+}
+
+/// The raw singleflight primitive: a leader completing with an error
+/// hands *the same* [`OrbError`] to every follower callback.
+#[test]
+fn leader_error_fans_out_to_all_followers_unchanged() {
+    let mut sf: Singleflight<String, Result<Value, OrbError>> = Singleflight::new();
+    assert!(matches!(sf.join("k".into(), |_| {}), Flight::Leader));
+
+    let seen: Rc<RefCell<Vec<Result<Value, OrbError>>>> = Rc::default();
+    for _ in 0..3 {
+        let seen = seen.clone();
+        let flight = sf.join("k".into(), move |r| seen.borrow_mut().push(r.clone()));
+        assert!(matches!(flight, Flight::Follower));
+    }
+    assert_eq!(sf.inflight(), 1);
+
+    // Leader's own callback fires too: 1 + 3 followers.
+    let resolved = sf.complete(&"k".to_owned(), &Err(OrbError::Timeout));
+    assert_eq!(resolved, 4);
+    assert_eq!(sf.inflight(), 0);
+    assert_eq!(&*seen.borrow(), &vec![
+        Err(OrbError::Timeout),
+        Err(OrbError::Timeout),
+        Err(OrbError::Timeout)
+    ]);
+    // A fresh join after completion starts a new flight.
+    assert!(matches!(sf.join("k".into(), |_| {}), Flight::Leader));
+}

@@ -38,10 +38,12 @@ pub const RULES: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "A1", "A2"];
 
 /// Crates whose data structures feed marshalled messages or printed
 /// experiment tables (D2 scope).
-const ORDERED_OUTPUT_CRATES: [&str; 6] = ["orb", "core", "net", "baselines", "bench", "trace"];
+const ORDERED_OUTPUT_CRATES: [&str; 7] =
+    ["orb", "core", "net", "baselines", "bench", "trace", "cache"];
 
 /// Crates executed under the discrete-event simulator (D3 scope).
-const DES_CRATES: [&str; 8] = ["des", "net", "orb", "core", "baselines", "cscw", "grid", "trace"];
+const DES_CRATES: [&str; 9] =
+    ["des", "net", "orb", "core", "baselines", "cscw", "grid", "trace", "cache"];
 
 /// The one module allowed to touch the wall clock: the bench harness that
 /// produces the explicitly-wall-clock columns of E1/E9/F1.
