@@ -44,4 +44,23 @@ diff target/e12_run1.json target/e12_run2.json
 diff target/e12_run1.json BENCH_e12.json
 rm -f /tmp/e12_run1.txt /tmp/e12_run2.txt target/e12_run?.json
 
+# Scale-sweep gates (E13). Small-config double run: everything except
+# the wall-marked throughput lines/keys must be byte-identical.
+./target/release/e13_scale_sweep --max-nodes 10000 target/e13_run1.json \
+  | sed -E 's/[0-9.]+(M|k)?\/s wall/<wall>/' > /tmp/e13_run1.txt
+./target/release/e13_scale_sweep --max-nodes 10000 target/e13_run2.json \
+  | sed -E 's/[0-9.]+(M|k)?\/s wall/<wall>/' > /tmp/e13_run2.txt
+diff /tmp/e13_run1.txt /tmp/e13_run2.txt
+grep -v wall_ target/e13_run1.json > target/e13_run1.stable
+grep -v wall_ target/e13_run2.json > target/e13_run2.stable
+diff target/e13_run1.stable target/e13_run2.stable
+# Full sweep (the 10^6-node point must complete) with the memory gate:
+# the largest hier point may not exceed 160 bytes of state per node.
+# Simulated columns must match the committed BENCH_e13.json artefact.
+./target/release/e13_scale_sweep --gate-bytes-per-node 160 target/e13_full.json > /dev/null
+grep -v wall_ target/e13_full.json > target/e13_full.stable
+grep -v wall_ BENCH_e13.json > target/e13_committed.stable
+diff target/e13_full.stable target/e13_committed.stable
+rm -f /tmp/e13_run1.txt /tmp/e13_run2.txt target/e13_run?.json target/e13_*.stable target/e13_full.json
+
 echo "ci: all green"

@@ -222,6 +222,7 @@ fn render_json(variants: &[VariantResult], reduction: f64, equivalent: bool) -> 
     let _ = writeln!(j, "  \"msgs_per_query_reduction\": {},", f2(reduction));
     let _ = writeln!(j, "  \"nodes\": {N},");
     let _ = writeln!(j, "  \"queries\": {},", variants[0].queries);
+    let _ = writeln!(j, "  \"schema_version\": 1,");
     let _ = writeln!(j, "  \"variants\": [");
     for (i, v) in variants.iter().enumerate() {
         let comma = if i + 1 < variants.len() { "," } else { "" };

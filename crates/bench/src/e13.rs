@@ -1,0 +1,240 @@
+//! E13 — the scale sweep: one campus model, 10³ → 10⁶ nodes.
+//!
+//! §2.3's case for hierarchical MRM federation is asymptotic: soft
+//! state and summary push keep query cost at O(depth) while a central
+//! registry degrades with campus size and strong consistency pays for
+//! every membership change. E1–E12 demonstrate the mechanisms at 8–64
+//! nodes; E13 runs the arithmetic campus model
+//! ([`lc_core::scale`]) across four decades of scale and three
+//! registry designs:
+//!
+//! * `hier`   — the paper's hierarchy (fanout 8, 2 MRM replicas);
+//! * `flat`   — one central registry, query fan-out to every owner;
+//! * `strong` — strongly-consistent coordinator (3-message queries,
+//!   2·N view-change broadcast per membership change).
+//!
+//! Each point reports messages per query, messages per churn event,
+//! nodes materialized (the lazy-SoA footprint), and bytes per node
+//! (campus columns + event-calendar arena). Every column except the
+//! `wall`-marked throughput ones derives from virtual time and
+//! counters, so two runs render byte-identical reports; ci.sh diffs a
+//! double run (wall lines filtered) and the committed `BENCH_e13.json`
+//! (`wall_` keys filtered).
+
+use crate::{f2, format_table, human_bytes};
+use lc_core::scale::{run_scale, ScaleConfig, ScaleReport, Variant};
+use std::fmt::Write as _;
+
+/// JSON schema version (bump when keys change; ci.sh pins the diff).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Campus sizes swept (nodes).
+pub const SIZES: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Registry designs compared at every size.
+pub const VARIANTS: [Variant; 3] = [Variant::Hier, Variant::Flat, Variant::Strong];
+
+/// One sweep point plus its (caller-measured) wall-clock cost. The
+/// library never reads a clock — the binary times each point and passes
+/// the seconds in; tests pass `0.0`.
+pub struct SweepPoint {
+    /// Deterministic simulation results.
+    pub report: ScaleReport,
+    /// Wall-clock seconds the point took (0 = untimed).
+    pub wall_s: f64,
+}
+
+/// Run a single sweep point (pure simulation, deterministic).
+pub fn run_point(n: u32, variant: Variant, seed: u64) -> ScaleReport {
+    run_scale(ScaleConfig::new(n, variant), seed)
+}
+
+/// The sweep grid, capped at `max_nodes` (the ci.sh smoke run caps at
+/// 10⁴; the committed artefact is the full 10⁶ sweep).
+pub fn grid(max_nodes: u32) -> Vec<(u32, Variant)> {
+    let mut g = Vec::new();
+    for &n in SIZES.iter().filter(|&&n| n <= max_nodes) {
+        for &v in &VARIANTS {
+            g.push((n, v));
+        }
+    }
+    g
+}
+
+/// Both artefacts of one E13 run.
+pub struct E13Output {
+    /// Human-readable report (wall columns marked `wall`).
+    pub report: String,
+    /// Machine-readable summary; volatile values only on `wall_` keys.
+    pub json: String,
+}
+
+/// Render the machine-readable summary: one JSON object, keys sorted,
+/// floats at fixed precision. Deterministic except `wall_` keys.
+fn render_json(points: &[SweepPoint], seed: u64) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"e13_scale_sweep\",");
+    let max_n = points.iter().map(|p| p.report.n).max().unwrap_or(0);
+    let _ = writeln!(j, "  \"max_nodes\": {max_n},");
+    let _ = writeln!(j, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.report;
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"bytes_per_node\": {},", f2(r.bytes_per_node));
+        let _ = writeln!(j, "      \"campus_bytes\": {},", r.campus_bytes);
+        let _ = writeln!(j, "      \"churn_msgs_per_event\": {},", f2(r.churn_msgs_per_event));
+        let _ = writeln!(j, "      \"depth\": {},", r.depth);
+        let _ = writeln!(j, "      \"escalations\": {},", r.escalations);
+        let _ = writeln!(j, "      \"events\": {},", r.events);
+        let _ = writeln!(j, "      \"groups\": {},", r.groups);
+        let _ = writeln!(j, "      \"latency_p50_ns\": {},", r.latency_p50_ns);
+        let _ = writeln!(j, "      \"latency_p99_ns\": {},", r.latency_p99_ns);
+        let _ = writeln!(j, "      \"msgs_per_query\": {},", f2(r.msgs_per_query));
+        let _ = writeln!(j, "      \"n\": {},", r.n);
+        let _ = writeln!(j, "      \"nodes_materialized\": {},", r.nodes_materialized);
+        let _ = writeln!(j, "      \"queries_completed\": {},", r.queries_completed);
+        let _ = writeln!(j, "      \"queue_bytes\": {},", r.queue_bytes);
+        let _ = writeln!(j, "      \"variant\": \"{}\",", r.variant);
+        let eps = if p.wall_s > 0.0 { r.events as f64 / p.wall_s } else { 0.0 };
+        let _ = writeln!(j, "      \"wall_events_per_sec\": {},", f2(eps));
+        let _ = writeln!(j, "      \"wall_ms\": {}", f2(p.wall_s * 1e3));
+        let _ = writeln!(j, "    }}{comma}");
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(j, "  \"seed\": {seed}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Render both artefacts from completed sweep points.
+pub fn render(points: &[SweepPoint], seed: u64) -> E13Output {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let r = &p.report;
+            vec![
+                r.n.to_string(),
+                r.variant.to_string(),
+                r.depth.to_string(),
+                f2(r.msgs_per_query),
+                f2(r.churn_msgs_per_event),
+                r.escalations.to_string(),
+                r.nodes_materialized.to_string(),
+                human_bytes(r.campus_bytes as u64),
+                human_bytes(r.queue_bytes as u64),
+                f2(r.bytes_per_node),
+                // wall column: volatile, filtered by the CI diff.
+                if p.wall_s > 0.0 {
+                    format!("{} wall", human_events_per_sec(r.events as f64 / p.wall_s))
+                } else {
+                    "- wall".to_string()
+                },
+            ]
+        })
+        .collect();
+    let mut report = String::new();
+    let _ = writeln!(report, "E13: scale sweep, hier vs flat vs strong (seed {seed})");
+    let _ = writeln!(
+        report,
+        "fanout 8, 2 MRM replicas, 2 rounds, 32 queries + 2 membership changes per point"
+    );
+    report.push_str(&format_table(
+        "campus scale sweep",
+        &[
+            "nodes",
+            "variant",
+            "depth",
+            "msgs/query",
+            "msgs/churn",
+            "escalations",
+            "materialized",
+            "campus mem",
+            "queue mem",
+            "B/node",
+            "events/s",
+        ],
+        &rows,
+    ));
+
+    // Headline: the asymptotic claim, stated from the largest size that
+    // has all three variants.
+    if let Some(n) = points.iter().map(|p| p.report.n).max() {
+        let at = |v: &str| {
+            points.iter().find(|p| p.report.n == n && p.report.variant == v).map(|p| &p.report)
+        };
+        if let (Some(h), Some(f), Some(s)) = (at("hier"), at("flat"), at("strong")) {
+            let _ = writeln!(
+                report,
+                "\nat {n} nodes: hier {} msgs/query vs flat {} ({}x); \
+                 strong churn {} msgs/event vs hier {} ({}x)",
+                f2(h.msgs_per_query),
+                f2(f.msgs_per_query),
+                f2(f.msgs_per_query / h.msgs_per_query.max(f64::MIN_POSITIVE)),
+                f2(s.churn_msgs_per_event),
+                f2(h.churn_msgs_per_event),
+                f2(s.churn_msgs_per_event / h.churn_msgs_per_event.max(f64::MIN_POSITIVE)),
+            );
+            let _ = writeln!(
+                report,
+                "hier state: {} materialized of {n} nodes, {} bytes/node",
+                h.nodes_materialized,
+                f2(h.bytes_per_node),
+            );
+        }
+    }
+    E13Output { report, json: render_json(points, seed) }
+}
+
+/// Human-readable events/sec (volatile — only used on wall columns).
+fn human_events_per_sec(eps: f64) -> String {
+    if eps >= 1e6 {
+        format!("{}M/s", f2(eps / 1e6))
+    } else if eps >= 1e3 {
+        format!("{}k/s", f2(eps / 1e3))
+    } else {
+        format!("{}/s", f2(eps))
+    }
+}
+
+/// Run the whole (capped) sweep untimed — the deterministic core the
+/// tests and the double-run CI gate exercise.
+pub fn run_untimed(seed: u64, max_nodes: u32) -> E13Output {
+    let points: Vec<SweepPoint> = grid(max_nodes)
+        .into_iter()
+        .map(|(n, v)| SweepPoint { report: run_point(n, v, seed), wall_s: 0.0 })
+        .collect();
+    render(&points, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_small_sweep_is_deterministic() {
+        let a = run_untimed(13, 10_000);
+        let b = run_untimed(13, 10_000);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.json, b.json);
+        assert!(a.json.contains("\"schema_version\": 1"));
+        // 2 sizes x 3 variants.
+        assert_eq!(a.json.matches("\"variant\"").count(), 6);
+    }
+
+    #[test]
+    fn hier_cost_stays_flat_while_flat_grows() {
+        let h1 = run_point(1_000, Variant::Hier, 13);
+        let h2 = run_point(10_000, Variant::Hier, 13);
+        let f1 = run_point(1_000, Variant::Flat, 13);
+        let f2_ = run_point(10_000, Variant::Flat, 13);
+        // 10x the campus: hier msgs/query barely moves (one extra level
+        // at most), flat grows with the owner population.
+        assert!(h2.msgs_per_query < h1.msgs_per_query * 2.0);
+        assert!(f2_.msgs_per_query > f1.msgs_per_query * 5.0);
+        // The lazy SoA keeps footprint near-constant per node.
+        assert!(h2.bytes_per_node < 160.0, "bytes/node {}", h2.bytes_per_node);
+    }
+}

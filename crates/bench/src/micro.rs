@@ -53,7 +53,7 @@ pub fn measure(mut f: impl FnMut()) -> Measurement {
     Measurement {
         median_ns: per_iter[per_iter.len() / 2],
         min_ns: per_iter[0],
-        max_ns: *per_iter.last().unwrap(),
+        max_ns: per_iter[per_iter.len() - 1],
         iters,
     }
 }

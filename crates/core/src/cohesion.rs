@@ -144,10 +144,10 @@ impl Hierarchy {
 
     /// The leaf group a host belongs to.
     pub fn leaf_group_of(&self, host: HostId) -> &Group {
-        self.levels[0]
-            .iter()
-            .find(|g| g.members.contains(&host))
-            .expect("host not in hierarchy")
+        match self.levels[0].iter().find(|g| g.members.contains(&host)) {
+            Some(g) => g,
+            None => panic!("host {host:?} not in hierarchy"),
+        }
     }
 
     /// The MRM replicas a plain node reports to.

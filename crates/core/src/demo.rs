@@ -32,7 +32,10 @@ pub const DEMO_IDL: &str = r#"
 
 /// Compile the demo IDL.
 pub fn demo_idl() -> lc_idl::Repository {
-    lc_idl::compile(DEMO_IDL).expect("demo IDL compiles")
+    match lc_idl::compile(DEMO_IDL) {
+        Ok(repo) => repo,
+        Err(e) => panic!("demo IDL must compile: {e:?}"),
+    }
 }
 
 /// A stateful counter with full migration support.

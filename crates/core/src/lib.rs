@@ -37,6 +37,7 @@ pub mod reflect;
 pub mod registry;
 pub mod repository;
 pub mod resource;
+pub mod scale;
 
 pub use assembly::{AssemblyConnection, AssemblyDescriptor, AssemblyInstance, ConnectionKind};
 pub use behavior::BehaviorRegistry;
@@ -52,6 +53,10 @@ pub use proto::{CtrlMsg, GroupSummary, QueryId};
 pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, Offer};
 pub use repository::{ComponentRepository, InstallError};
 pub use resource::{ResourceManager, ResourceReport};
+pub use scale::{
+    run_scale, CampusSoa, HierShape, NodeIdx, QueryOutcome, ScaleCampus, ScaleConfig, ScaleReport,
+    Variant,
+};
 
 /// Convenience test-kit for building simulated CORBA-LC networks; used by
 /// unit tests, integration tests, examples and every experiment binary.

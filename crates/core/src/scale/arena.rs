@@ -1,0 +1,136 @@
+//! Typed index-addressed storage: the allocation pattern of the scale
+//! path. One `Vec<T>` holds every instance; handles are `u32` rows, so
+//! cross-references cost 4 bytes instead of a pointer and the whole
+//! arena drops in one free.
+
+use std::marker::PhantomData;
+
+/// Handle into an [`Arena<T>`] — a typed `u32` row number.
+pub struct Idx<T> {
+    raw: u32,
+    _t: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would bound them on `T`.
+impl<T> Clone for Idx<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Idx<T> {}
+impl<T> PartialEq for Idx<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for Idx<T> {}
+impl<T> std::fmt::Debug for Idx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "idx#{}", self.raw)
+    }
+}
+
+impl<T> Idx<T> {
+    /// The raw row number.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// Rebuild a handle from a raw row previously obtained via
+    /// [`Idx::raw`] on the same arena. Crate-private: only the SoA
+    /// columns store raw rows.
+    #[inline]
+    pub(crate) fn from_raw(raw: u32) -> Idx<T> {
+        Idx { raw, _t: PhantomData }
+    }
+}
+
+/// Growable typed arena. Rows are never removed (the scale model's
+/// lifetimes are whole-run), so handles stay valid forever and memory
+/// accounting is `len × size_of::<T>()`.
+#[derive(Clone, Debug)]
+pub struct Arena<T> {
+    rows: Vec<T>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Arena<T> {
+        Arena { rows: Vec::new() }
+    }
+
+    /// Append a row, returning its handle.
+    pub fn alloc(&mut self, value: T) -> Idx<T> {
+        assert!(self.rows.len() < u32::MAX as usize, "arena exceeds u32 rows");
+        let raw = self.rows.len() as u32;
+        self.rows.push(value);
+        Idx { raw, _t: PhantomData }
+    }
+
+    /// Borrow a row.
+    #[inline]
+    pub fn get(&self, idx: Idx<T>) -> &T {
+        &self.rows[idx.raw as usize]
+    }
+
+    /// Mutably borrow a row.
+    #[inline]
+    pub fn get_mut(&mut self, idx: Idx<T>) -> &mut T {
+        &mut self.rows[idx.raw as usize]
+    }
+
+    /// Number of rows allocated.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Any rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Bytes held by live rows (len-based, so two runs that allocate
+    /// the same rows report the same number).
+    pub fn bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<T>()
+    }
+
+    /// Iterate rows in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut a: Arena<(u32, u32)> = Arena::new();
+        let x = a.alloc((1, 2));
+        let y = a.alloc((3, 4));
+        assert_ne!(x, y);
+        assert_eq!(*a.get(x), (1, 2));
+        a.get_mut(y).1 = 40;
+        assert_eq!(*a.get(y), (3, 40));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.bytes(), 2 * std::mem::size_of::<(u32, u32)>());
+        assert_eq!(x.raw(), 0);
+    }
+
+    #[test]
+    fn handles_are_4_bytes() {
+        assert_eq!(std::mem::size_of::<Idx<[u64; 16]>>(), 4);
+        // And optional handles stay 8 (no niche, but still far below a
+        // 16-byte fat pointer).
+        assert!(std::mem::size_of::<Option<Idx<u8>>>() <= 8);
+    }
+}

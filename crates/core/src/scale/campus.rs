@@ -1,0 +1,797 @@
+//! The whole campus as one DES actor on the packed event lane.
+//!
+//! At 10⁵–10⁶ nodes, one actor per node is exactly the layout the scale
+//! refactor removes. [`ScaleCampus`] is a *single* [`Actor`] holding
+//! every node's state in [`CampusSoa`] columns; protocol events reach
+//! it through [`Actor::handle_packed`] as bare `u64`s — kind, node (or
+//! group) index and a small aux field bit-packed, no allocation per
+//! event.
+//!
+//! Three registry variants run over the same storage, mirroring the
+//! experiments E2/E4/E12 use at small scale:
+//!
+//! * **hier** — the paper's hierarchical MRM registry. Reports flow to
+//!   leaf-group replicas; per-level summaries (staggered inside the
+//!   report period so the whole tree converges in one round) push
+//!   component presence upward; queries ascend on miss and descend
+//!   into matching subtrees exactly as
+//!   [`registry_svc`](crate::node::Node) routes them, over the
+//!   [`HierShape`] tree proven identical to
+//!   [`Hierarchy::build`](crate::cohesion::Hierarchy).
+//! * **flat** — one central registry on node 0
+//!   ([`lc_baselines`-style]): every query fans out to *all* matching
+//!   owners, so messages per query grow linearly with campus size.
+//! * **strong** — a strongly-consistent coordinator: queries are 3
+//!   messages (the coordinator knows the exact owner set), but every
+//!   membership change pays a 2·N view-change broadcast.
+//!
+//! Group soft state is per *seat*, not per node: a `u64` member mask
+//! plus one presence mask per component — constant bytes per group,
+//! ≈ n/(fanout−1) groups.
+
+use super::shape::HierShape;
+use super::soa::{CampusSoa, FLAG_OWNER_C0, FLAG_OWNER_C1};
+use super::NodeIdx;
+use lc_des::{Actor, AnyMsg, Ctx, Sim, SimTime};
+use lc_trace::{CounterId, DenseCounters, ReservoirHistogram, ShardedCounter};
+
+/// Components the sweep queries for; node `i` owns component `c` iff
+/// `i % 256 == OWNER_RESIDUE[c]` (≈ one owner per 128 nodes overall).
+pub const COMPONENTS: [&str; 2] = ["sensor.telemetry", "media.decoder"];
+const OWNER_RESIDUE: [u32; 2] = [7, 19];
+
+/// One network hop of the campus fabric.
+const HOP: SimTime = SimTime::from_micros(50);
+
+// Packed-event kinds (bits 56..64 of the u64).
+const K_REPORT: u8 = 1;
+const K_SUMMARY: u8 = 2;
+const K_QUERY_START: u8 = 3;
+const K_QUERY_UP: u8 = 4;
+const K_QUERY_DOWN: u8 = 5;
+const K_QUERY_MEMBER: u8 = 6;
+const K_OFFER: u8 = 7;
+const K_QUERY_DONE: u8 = 8;
+const K_CHURN: u8 = 9;
+const K_VIEW: u8 = 10;
+
+#[inline]
+fn pack(kind: u8, idx: u32, aux: u32) -> u64 {
+    debug_assert!(aux < (1 << 24));
+    (u64::from(kind) << 56) | (u64::from(idx) << 24) | u64::from(aux)
+}
+
+#[inline]
+fn unpack(data: u64) -> (u8, u32, u32) {
+    ((data >> 56) as u8, ((data >> 24) & 0xFFFF_FFFF) as u32, (data & 0xFF_FFFF) as u32)
+}
+
+#[inline]
+fn query_aux(qid: u32, level: usize) -> u32 {
+    debug_assert!(qid < (1 << 16) && level < (1 << 8));
+    qid | ((level as u32) << 16)
+}
+
+#[inline]
+fn split_query_aux(aux: u32) -> (u32, usize) {
+    (aux & 0xFFFF, (aux >> 16) as usize)
+}
+
+/// Which registry protocol the campus runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Hierarchical MRM registry (the paper's design).
+    Hier,
+    /// Central registry, query fan-out to every owner.
+    Flat,
+    /// Strongly-consistent coordinator with view-change broadcasts.
+    Strong,
+}
+
+impl Variant {
+    /// Stable lowercase name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Hier => "hier",
+            Variant::Flat => "flat",
+            Variant::Strong => "strong",
+        }
+    }
+}
+
+/// Parameters of one campus run.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Number of nodes.
+    pub n: u32,
+    /// Registry protocol.
+    pub variant: Variant,
+    /// Hierarchy fanout (≤ 64: group masks are `u64`s).
+    pub fanout: u32,
+    /// MRM replicas per group.
+    pub replicas: u32,
+    /// Report / summary period.
+    pub report_period: SimTime,
+    /// Rounds to run (first round is warm-up, queries fire in the last).
+    pub rounds: u32,
+    /// Queries issued in the last round.
+    pub queries: u32,
+    /// Membership-change (leave) events in the last round.
+    pub churn: u32,
+    /// Materialize every node up front (the lazy-test baseline).
+    pub eager: bool,
+}
+
+impl ScaleConfig {
+    /// The standard sweep configuration for `n` nodes.
+    pub fn new(n: u32, variant: Variant) -> ScaleConfig {
+        ScaleConfig {
+            n,
+            variant,
+            fanout: 8,
+            replicas: 2,
+            report_period: SimTime::from_secs(2),
+            rounds: 2,
+            queries: 32,
+            churn: 2,
+            eager: false,
+        }
+    }
+}
+
+/// Per-seat soft state: which member slots have reported, and which may
+/// hold each component. Fixed 24 bytes per group at any campus size.
+#[derive(Clone, Copy, Debug, Default)]
+struct GroupState {
+    member_mask: u64,
+    has: [u64; COMPONENTS.len()],
+}
+
+/// In-flight query bookkeeping (at most `cfg.queries` of these).
+#[derive(Clone, Debug)]
+struct QueryState {
+    origin: u32,
+    comp: usize,
+    msgs: u32,
+    escalations: u32,
+    offers: u32,
+    issued_at: SimTime,
+    first_offer_at: Option<SimTime>,
+}
+
+/// Deterministic per-query result — what the lazy/eager equivalence
+/// test compares.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueryOutcome {
+    /// Messages this query cost (query, forwards, offers, done).
+    pub msgs: u32,
+    /// Levels ascended before a match.
+    pub escalations: u32,
+    /// Offers that reached the origin.
+    pub offers: u32,
+    /// Virtual ns from issue to first offer (0 = unresolved).
+    pub first_offer_ns: u64,
+}
+
+/// Registered counter ids (dense — the hot path never hashes a name).
+struct Cids {
+    report_msgs: CounterId,
+    summary_msgs: CounterId,
+    query_msgs: CounterId,
+    churn_msgs: CounterId,
+    queries_completed: CounterId,
+    escalations: CounterId,
+}
+
+/// The campus actor. See the module docs for the event model.
+pub struct ScaleCampus {
+    cfg: ScaleConfig,
+    shape: HierShape,
+    soa: CampusSoa,
+    /// All group seats, leaf level first (`level_base[l]` offsets).
+    groups: Vec<GroupState>,
+    level_base: Vec<usize>,
+    /// Owner node lists per component (flat/strong central's view).
+    owners: [Vec<u32>; COMPONENTS.len()],
+    queries: Vec<QueryState>,
+    counters: DenseCounters,
+    ids: Cids,
+    /// Per-destination traffic, folded into 64 shards.
+    traffic: ShardedCounter,
+    /// First-offer latency (virtual ns), bounded reservoir.
+    latency: ReservoirHistogram,
+    /// Reports stop rescheduling at this time.
+    t_end: SimTime,
+}
+
+impl ScaleCampus {
+    /// Build the campus state (no events scheduled yet).
+    pub fn build(cfg: ScaleConfig) -> ScaleCampus {
+        assert!(cfg.fanout >= 2 && cfg.fanout <= 64, "fanout must fit a u64 mask");
+        assert!(cfg.queries <= 1 << 16, "query ids are 16-bit");
+        let shape = HierShape::build(u64::from(cfg.n), u64::from(cfg.fanout), u64::from(cfg.replicas));
+        let mut soa = CampusSoa::build(cfg.n, owner_flags);
+        if cfg.eager {
+            soa.materialize_all();
+        }
+        let (groups, level_base) = match cfg.variant {
+            Variant::Hier => {
+                let mut base = Vec::with_capacity(shape.depth());
+                let mut total = 0usize;
+                for level in 0..shape.depth() {
+                    base.push(total);
+                    total += shape.group_count(level) as usize;
+                }
+                (vec![GroupState::default(); total], base)
+            }
+            // Central variants keep one seat (the coordinator's table).
+            Variant::Flat | Variant::Strong => (vec![GroupState::default()], vec![0]),
+        };
+        let owners = [owner_list(cfg.n, 0), owner_list(cfg.n, 1)];
+        let mut counters = DenseCounters::new();
+        let ids = Cids {
+            report_msgs: counters.register("scale.report_msgs"),
+            summary_msgs: counters.register("scale.summary_msgs"),
+            query_msgs: counters.register("scale.query_msgs"),
+            churn_msgs: counters.register("scale.churn_msgs"),
+            queries_completed: counters.register("scale.queries_completed"),
+            escalations: counters.register("scale.escalations"),
+        };
+        let t_end = cfg.report_period * u64::from(cfg.rounds);
+        ScaleCampus {
+            queries: Vec::with_capacity(cfg.queries as usize),
+            shape,
+            soa,
+            groups,
+            level_base,
+            owners,
+            counters,
+            ids,
+            traffic: ShardedCounter::new(),
+            latency: ReservoirHistogram::new(512),
+            t_end,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn gs(&mut self, level: usize, g: u64) -> &mut GroupState {
+        &mut self.groups[self.level_base[level] + g as usize]
+    }
+
+    fn on_report(&mut self, ctx: &mut Ctx<'_>, node: u32) {
+        match self.cfg.variant {
+            Variant::Hier => {
+                let g = self.shape.leaf_group_of(u64::from(node));
+                let slot = u64::from(node) % self.shape.fanout();
+                let flags = self.soa.flags(NodeIdx(node));
+                let st = self.gs(0, g);
+                st.member_mask |= 1 << slot;
+                for (c, residue_flag) in [FLAG_OWNER_C0, FLAG_OWNER_C1].iter().enumerate() {
+                    if flags & residue_flag != 0 {
+                        st.has[c] |= 1 << slot;
+                    }
+                }
+                let replicas = self.shape.mrms(0, g).count() as u64;
+                self.counters.add(self.ids.report_msgs, replicas);
+                for m in self.shape.mrms(0, g).collect::<Vec<_>>() {
+                    self.traffic.add(m as usize, 1);
+                }
+            }
+            Variant::Flat | Variant::Strong => {
+                // Reports/heartbeats all land on the central node.
+                self.counters.add(self.ids.report_msgs, 1);
+                self.traffic.add(0, 1);
+            }
+        }
+        let me = ctx.me();
+        if ctx.now() + self.cfg.report_period < self.t_end {
+            ctx.send_packed(self.cfg.report_period, me, pack(K_REPORT, node, 0));
+        }
+    }
+
+    fn on_summary(&mut self, ctx: &mut Ctx<'_>, g: u32, level: usize) {
+        if self.cfg.variant == Variant::Hier {
+            if let Some((pl, pg)) = self.shape.parent(level, u64::from(g)) {
+                let own = *self.gs(level, u64::from(g));
+                let slot = self.shape.slot_in_parent(u64::from(g));
+                let parent = self.gs(pl, pg);
+                parent.member_mask |= 1 << slot;
+                for c in 0..COMPONENTS.len() {
+                    if own.has[c] != 0 {
+                        parent.has[c] |= 1 << slot;
+                    } else {
+                        parent.has[c] &= !(1 << slot);
+                    }
+                }
+                let parent_replicas = self.shape.mrms(pl, pg).count() as u64;
+                self.counters.add(self.ids.summary_msgs, parent_replicas);
+                self.traffic.add(self.shape.primary(pl, pg) as usize, 1);
+            }
+            let me = ctx.me();
+            if ctx.now() + self.cfg.report_period < self.t_end {
+                ctx.send_packed(self.cfg.report_period, me, pack(K_SUMMARY, g, level as u32));
+            }
+        }
+    }
+
+    fn on_query_start(&mut self, ctx: &mut Ctx<'_>, origin: u32, qid: u32) {
+        debug_assert_eq!(qid as usize, self.queries.len());
+        let comp = qid as usize % COMPONENTS.len();
+        self.queries.push(QueryState {
+            origin,
+            comp,
+            msgs: 0,
+            escalations: 0,
+            offers: 0,
+            issued_at: ctx.now(),
+            first_offer_at: None,
+        });
+        self.soa.materialize(NodeIdx(origin)).queries_issued += 1;
+        let me = ctx.me();
+        match self.cfg.variant {
+            Variant::Hier => {
+                let g = self.shape.leaf_group_of(u64::from(origin)) as u32;
+                self.count_query_msg(qid, self.shape.primary(0, u64::from(g)) as usize);
+                ctx.send_packed(HOP, me, pack(K_QUERY_UP, g, query_aux(qid, 0)));
+            }
+            Variant::Flat | Variant::Strong => {
+                self.count_query_msg(qid, 0);
+                ctx.send_packed(HOP, me, pack(K_QUERY_UP, 0, query_aux(qid, 0)));
+            }
+        }
+    }
+
+    fn count_query_msg(&mut self, qid: u32, dest: usize) {
+        self.queries[qid as usize].msgs += 1;
+        self.counters.incr(self.ids.query_msgs);
+        self.traffic.add(dest, 1);
+    }
+
+    /// Query routing at an MRM seat — `descending=false` is the ascend
+    /// path (escalate on miss), `true` the descend path (dead-end on
+    /// miss), mirroring `registry_svc::mrm_route_query`.
+    fn route_query(&mut self, ctx: &mut Ctx<'_>, g: u32, qid: u32, level: usize, descending: bool) {
+        let me = ctx.me();
+        let comp = self.queries[qid as usize].comp;
+        match self.cfg.variant {
+            Variant::Hier => {
+                let cand = self.gs(level, u64::from(g)).has[comp];
+                if cand != 0 {
+                    for j in 0..self.shape.fanout() {
+                        if cand & (1 << j) == 0 {
+                            continue;
+                        }
+                        if level == 0 {
+                            let member = self.shape.member(0, u64::from(g), j) as u32;
+                            self.count_query_msg(qid, member as usize);
+                            ctx.send_packed(HOP, me, pack(K_QUERY_MEMBER, member, qid));
+                        } else {
+                            let child = (u64::from(g) * self.shape.fanout() + j) as u32;
+                            let child_primary = self.shape.primary(level - 1, u64::from(child));
+                            self.count_query_msg(qid, child_primary as usize);
+                            ctx.send_packed(
+                                HOP,
+                                me,
+                                pack(K_QUERY_DOWN, child, query_aux(qid, level - 1)),
+                            );
+                        }
+                    }
+                } else if !descending {
+                    if let Some((pl, pg)) = self.shape.parent(level, u64::from(g)) {
+                        self.queries[qid as usize].escalations += 1;
+                        self.counters.incr(self.ids.escalations);
+                        self.count_query_msg(qid, self.shape.primary(pl, pg) as usize);
+                        ctx.send_packed(HOP, me, pack(K_QUERY_UP, pg as u32, query_aux(qid, pl)));
+                    } else {
+                        self.send_query_done(ctx, qid);
+                    }
+                } else {
+                    self.send_query_done(ctx, qid);
+                }
+            }
+            Variant::Flat => {
+                // The central registry forwards to every owner it knows.
+                let owners: Vec<u32> = self.owners[comp].clone();
+                if owners.is_empty() {
+                    self.send_query_done(ctx, qid);
+                } else {
+                    for member in owners {
+                        self.count_query_msg(qid, member as usize);
+                        ctx.send_packed(HOP, me, pack(K_QUERY_MEMBER, member, qid));
+                    }
+                }
+            }
+            Variant::Strong => {
+                // Exact view: route to the single best owner.
+                match self.owners[comp].first().copied() {
+                    Some(member) => {
+                        self.count_query_msg(qid, member as usize);
+                        ctx.send_packed(HOP, me, pack(K_QUERY_MEMBER, member, qid));
+                    }
+                    None => self.send_query_done(ctx, qid),
+                }
+            }
+        }
+    }
+
+    fn send_query_done(&mut self, ctx: &mut Ctx<'_>, qid: u32) {
+        let origin = self.queries[qid as usize].origin;
+        self.count_query_msg(qid, origin as usize);
+        let me = ctx.me();
+        ctx.send_packed(HOP, me, pack(K_QUERY_DONE, origin, qid));
+    }
+
+    fn on_query_member(&mut self, ctx: &mut Ctx<'_>, member: u32, qid: u32) {
+        // The owner materializes (it now holds registry service state)
+        // and answers the origin with an offer.
+        self.soa.materialize(NodeIdx(member)).offers_served += 1;
+        let origin = self.queries[qid as usize].origin;
+        self.count_query_msg(qid, origin as usize);
+        let me = ctx.me();
+        ctx.send_packed(HOP, me, pack(K_OFFER, origin, qid));
+    }
+
+    fn on_offer(&mut self, ctx: &mut Ctx<'_>, origin: u32, qid: u32) {
+        self.soa.materialize(NodeIdx(origin)).offers_received += 1;
+        let now = ctx.now();
+        let q = &mut self.queries[qid as usize];
+        q.offers += 1;
+        if q.first_offer_at.is_none() {
+            q.first_offer_at = Some(now);
+            let lat = now.saturating_sub(q.issued_at).as_nanos();
+            self.counters.incr(self.ids.queries_completed);
+            self.latency.observe(lat);
+        }
+    }
+
+    fn on_churn(&mut self, ctx: &mut Ctx<'_>, node: u32) {
+        match self.cfg.variant {
+            Variant::Hier => {
+                // Leave: deregister with the leaf replicas; soft state
+                // above corrects itself on the next summary push.
+                let g = self.shape.leaf_group_of(u64::from(node));
+                let slot = u64::from(node) % self.shape.fanout();
+                let st = self.gs(0, g);
+                st.member_mask &= !(1 << slot);
+                for c in 0..COMPONENTS.len() {
+                    st.has[c] &= !(1 << slot);
+                }
+                let replicas = self.shape.mrms(0, g).count() as u64;
+                self.counters.add(self.ids.churn_msgs, replicas);
+            }
+            Variant::Flat => {
+                // One deregister message to the central registry.
+                self.counters.add(self.ids.churn_msgs, 1);
+            }
+            Variant::Strong => {
+                // Strong consistency: the coordinator must install a
+                // new view on every member and collect acks — 2·N
+                // messages, delivered as one view event per node.
+                self.counters.add(self.ids.churn_msgs, 1);
+                let me = ctx.me();
+                for v in 0..self.cfg.n {
+                    ctx.send_packed(HOP, me, pack(K_VIEW, v, 0));
+                }
+            }
+        }
+    }
+
+    fn on_view(&mut self, node: u32) {
+        // View install + ack back to the coordinator.
+        self.counters.add(self.ids.churn_msgs, 2);
+        self.traffic.add(node as usize, 1);
+        self.traffic.add(0, 1);
+    }
+
+    /// Per-query outcomes, in query order (the lazy/eager oracle).
+    pub fn outcomes(&self) -> Vec<QueryOutcome> {
+        self.queries
+            .iter()
+            .map(|q| QueryOutcome {
+                msgs: q.msgs,
+                escalations: q.escalations,
+                offers: q.offers,
+                first_offer_ns: q
+                    .first_offer_at
+                    .map(|t| t.saturating_sub(q.issued_at).as_nanos())
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// The SoA storage (inspection).
+    pub fn soa(&self) -> &CampusSoa {
+        &self.soa
+    }
+
+    /// Named counter totals, in registration order.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().collect()
+    }
+
+    /// Bytes of campus state (len-based: columns, rows, seats, lists).
+    pub fn campus_bytes(&self) -> usize {
+        self.soa.bytes()
+            + self.groups.len() * std::mem::size_of::<GroupState>()
+            + self.owners.iter().map(|o| o.len() * std::mem::size_of::<u32>()).sum::<usize>()
+            + self.queries.len() * std::mem::size_of::<QueryState>()
+    }
+}
+
+fn owner_flags(i: u32) -> u8 {
+    let mut f = 0;
+    if i % 256 == OWNER_RESIDUE[0] {
+        f |= FLAG_OWNER_C0;
+    }
+    if i % 256 == OWNER_RESIDUE[1] {
+        f |= FLAG_OWNER_C1;
+    }
+    f
+}
+
+fn owner_list(n: u32, comp: usize) -> Vec<u32> {
+    (0..n).filter(|i| i % 256 == OWNER_RESIDUE[comp]).collect()
+}
+
+impl Actor for ScaleCampus {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: AnyMsg) {
+        debug_assert!(false, "scale campus only speaks the packed lane");
+    }
+
+    fn handle_packed(&mut self, ctx: &mut Ctx<'_>, data: u64) {
+        let (kind, idx, aux) = unpack(data);
+        match kind {
+            K_REPORT => self.on_report(ctx, idx),
+            K_SUMMARY => self.on_summary(ctx, idx, aux as usize),
+            K_QUERY_START => self.on_query_start(ctx, idx, aux),
+            K_QUERY_UP => {
+                let (qid, level) = split_query_aux(aux);
+                self.route_query(ctx, idx, qid, level, false);
+            }
+            K_QUERY_DOWN => {
+                let (qid, level) = split_query_aux(aux);
+                self.route_query(ctx, idx, qid, level, true);
+            }
+            K_QUERY_MEMBER => self.on_query_member(ctx, idx, aux),
+            K_OFFER => self.on_offer(ctx, idx, aux),
+            K_QUERY_DONE => { /* unresolved query returns to origin */ }
+            K_CHURN => self.on_churn(ctx, idx),
+            K_VIEW => self.on_view(idx),
+            _ => debug_assert!(false, "unknown packed kind {kind}"),
+        }
+    }
+}
+
+/// Deterministic results of one campus run.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// Node count.
+    pub n: u32,
+    /// Variant name (`hier`/`flat`/`strong`).
+    pub variant: &'static str,
+    /// Hierarchy depth (1 for flat/strong).
+    pub depth: usize,
+    /// Group seats held.
+    pub groups: usize,
+    /// Kernel events fired.
+    pub events: u64,
+    /// Report/heartbeat messages.
+    pub report_msgs: u64,
+    /// Summary push messages.
+    pub summary_msgs: u64,
+    /// Query-path messages (queries, forwards, offers, dead-ends).
+    pub query_msgs: u64,
+    /// Queries issued / completed with ≥ 1 offer.
+    pub queries: u32,
+    /// Queries resolved.
+    pub queries_completed: u64,
+    /// Mean messages per query.
+    pub msgs_per_query: f64,
+    /// Membership-change events and their total message cost.
+    pub churn_events: u32,
+    /// Messages spent on membership changes.
+    pub churn_msgs: u64,
+    /// Mean messages per membership change.
+    pub churn_msgs_per_event: f64,
+    /// Escalations across all queries.
+    pub escalations: u64,
+    /// Nodes whose service state was materialized.
+    pub nodes_materialized: usize,
+    /// Distinct site names interned.
+    pub distinct_sites: usize,
+    /// Campus state bytes (len-based).
+    pub campus_bytes: usize,
+    /// Event-calendar arena bytes (capacity high-water).
+    pub queue_bytes: usize,
+    /// `(campus_bytes + queue_bytes) / n`.
+    pub bytes_per_node: f64,
+    /// Busiest traffic shard (load concentration).
+    pub traffic_max_shard: u64,
+    /// Total message deliveries tallied.
+    pub traffic_total: u64,
+    /// Median first-offer latency (virtual ns).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile first-offer latency (virtual ns).
+    pub latency_p99_ns: u64,
+    /// Per-query outcomes (the lazy/eager oracle).
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+/// Run one campus to completion and collect the report.
+///
+/// Schedule: every node reports each round (staggered over the first
+/// half of the period); summaries propagate level-by-level inside the
+/// round; queries and churn fire in the last round, after convergence.
+pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
+    let period = cfg.report_period;
+    let rounds = u64::from(cfg.rounds);
+    assert!(cfg.rounds >= 2, "need a warm-up round and a measure round");
+    let campus = ScaleCampus::build(cfg.clone());
+    let depth = campus.shape.depth();
+    assert!(depth <= 8, "summary stagger supports 8 levels");
+    let mut sim = Sim::new(seed);
+    let me = sim.spawn(campus);
+
+    // Reports: each node, staggered over the first half of the period.
+    let half = period.as_nanos() / 2;
+    for node in 0..cfg.n {
+        let stagger = SimTime::from_nanos(u64::from(node) * half / u64::from(cfg.n));
+        sim.send_packed(stagger, me, pack(K_REPORT, node, 0));
+    }
+    // Summaries (hier only): level l pushes at (8+l)/16 of each period,
+    // so presence reaches the root within the same round.
+    if cfg.variant == Variant::Hier {
+        let shape = HierShape::build(u64::from(cfg.n), u64::from(cfg.fanout), u64::from(cfg.replicas));
+        for level in 0..shape.depth() {
+            let at = period * (8 + level as u64) / 16;
+            for g in 0..shape.group_count(level) {
+                sim.send_packed(at, me, pack(K_SUMMARY, g as u32, level as u32));
+            }
+        }
+    }
+    // Queries: early in the last round, spaced 2 ms apart.
+    for i in 0..cfg.queries {
+        let origin = ((u64::from(i) + 1) * u64::from(cfg.n) / (u64::from(cfg.queries) + 1)) as u32;
+        let at = period * (rounds - 1)
+            + period / 16
+            + SimTime::from_millis(2) * u64::from(i);
+        sim.send_packed(at, me, pack(K_QUERY_START, origin, i));
+    }
+    // Churn: after the queries, still inside the last round.
+    for j in 0..cfg.churn {
+        let node = (u64::from(j) * 997 + 13) as u32 % cfg.n;
+        let at = period * (rounds - 1) + period * 5 / 8 + period / 64 * u64::from(j);
+        sim.send_packed(at, me, pack(K_CHURN, node, j));
+    }
+
+    sim.run_until(period * rounds);
+
+    let queue_bytes = sim.queue_arena_bytes();
+    let events = sim.events_fired();
+    let campus = match sim.actor_as::<ScaleCampus>(me) {
+        Some(c) => c,
+        None => unreachable!("campus actor never dies"),
+    };
+    let counter = |name: &str| {
+        campus
+            .counter_values()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let report_msgs = counter("scale.report_msgs");
+    let summary_msgs = counter("scale.summary_msgs");
+    let query_msgs = counter("scale.query_msgs");
+    let churn_msgs = counter("scale.churn_msgs");
+    let queries_completed = counter("scale.queries_completed");
+    let escalations = counter("scale.escalations");
+    let campus_bytes = campus.campus_bytes();
+    let outcomes = campus.outcomes();
+    let mut latency = campus.latency.clone();
+    ScaleReport {
+        n: cfg.n,
+        variant: cfg.variant.name(),
+        depth: if cfg.variant == Variant::Hier { depth } else { 1 },
+        groups: campus.groups.len(),
+        events,
+        report_msgs,
+        summary_msgs,
+        query_msgs,
+        queries: cfg.queries,
+        queries_completed,
+        msgs_per_query: query_msgs as f64 / f64::from(cfg.queries.max(1)),
+        churn_events: cfg.churn,
+        churn_msgs,
+        churn_msgs_per_event: churn_msgs as f64 / f64::from(cfg.churn.max(1)),
+        escalations,
+        nodes_materialized: campus.soa.nodes_materialized(),
+        distinct_sites: campus.soa.distinct_sites(),
+        campus_bytes,
+        queue_bytes,
+        bytes_per_node: (campus_bytes + queue_bytes) as f64 / f64::from(cfg.n),
+        traffic_max_shard: campus.traffic.max_shard(),
+        traffic_total: campus.traffic.total(),
+        latency_p50_ns: latency.quantile(0.5),
+        latency_p99_ns: latency.quantile(0.99),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hier_queries_resolve_with_flat_cost() {
+        let r = run_scale(ScaleConfig::new(4_096, Variant::Hier), 11);
+        assert_eq!(r.queries_completed, u64::from(r.queries));
+        // Every query resolves through the tree: messages stay within a
+        // small multiple of the depth, far below owner count (16).
+        assert!(r.msgs_per_query < 20.0, "msgs/query {}", r.msgs_per_query);
+        assert!(r.escalations > 0, "campus queries should have to ascend");
+        assert_eq!(r.depth, 4);
+        // Reports: n × replicas × rounds.
+        assert_eq!(r.report_msgs, 4_096 * 2 * 2);
+    }
+
+    #[test]
+    fn flat_fanout_grows_with_owner_count() {
+        let small = run_scale(ScaleConfig::new(2_048, Variant::Flat), 11);
+        let big = run_scale(ScaleConfig::new(8_192, Variant::Flat), 11);
+        assert_eq!(small.queries_completed, u64::from(small.queries));
+        // 4× the nodes → 4× the owners → ≈4× the per-query messages.
+        assert!(big.msgs_per_query > small.msgs_per_query * 3.0);
+    }
+
+    #[test]
+    fn strong_pays_for_churn_not_queries() {
+        let r = run_scale(ScaleConfig::new(2_048, Variant::Strong), 11);
+        // 3 messages per query: origin → coordinator → owner → origin.
+        assert!((r.msgs_per_query - 3.0).abs() < 1e-9);
+        // Each membership change re-installs the view everywhere.
+        assert_eq!(r.churn_msgs_per_event, (1 + 2 * 2_048) as f64);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_scale(ScaleConfig::new(4_096, Variant::Hier), 7);
+        let b = run_scale(ScaleConfig::new(4_096, Variant::Hier), 7);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.query_msgs, b.query_msgs);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.campus_bytes, b.campus_bytes);
+        assert_eq!(a.queue_bytes, b.queue_bytes);
+    }
+
+    #[test]
+    fn lazy_campus_materializes_only_touched_nodes() {
+        let r = run_scale(ScaleConfig::new(100_000, Variant::Hier), 5);
+        // 1 % of 100k = 1000; only query endpoints materialize.
+        assert!(
+            r.nodes_materialized <= 1_000,
+            "materialized {} of 100000",
+            r.nodes_materialized
+        );
+        assert!(r.nodes_materialized >= r.queries as usize);
+        assert_eq!(r.queries_completed, u64::from(r.queries));
+    }
+
+    #[test]
+    fn lazy_and_eager_campuses_agree_on_every_query() {
+        let lazy = run_scale(ScaleConfig::new(100_000, Variant::Hier), 5);
+        let eager = run_scale(
+            ScaleConfig { eager: true, ..ScaleConfig::new(100_000, Variant::Hier) },
+            5,
+        );
+        assert_eq!(lazy.outcomes, eager.outcomes);
+        assert_eq!(lazy.query_msgs, eager.query_msgs);
+        assert_eq!(lazy.escalations, eager.escalations);
+        assert_eq!(lazy.queries_completed, eager.queries_completed);
+        // Only the materialization footprint differs.
+        assert_eq!(eager.nodes_materialized, 100_000);
+        assert!(lazy.nodes_materialized <= 1_000);
+        assert!(lazy.campus_bytes < eager.campus_bytes / 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! String interning for shared descriptors.
+//!
+//! A million nodes name at most a few thousand distinct sites,
+//! platforms and component types. Interning stores each distinct string
+//! once and hands out 4-byte [`Sym`] handles, so per-node descriptor
+//! references cost an index, not an owned `String` (24 bytes + heap)
+//! per node.
+
+use std::collections::BTreeMap;
+
+/// Handle to an interned string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u32);
+
+/// The intern table. Lookup is by `BTreeMap` (deterministic iteration);
+/// resolution is a dense `Vec` index.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    by_name: BTreeMap<String, Sym>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its (stable) symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.by_name.get(s) {
+            return sym;
+        }
+        assert!(self.names.len() < u32::MAX as usize, "interner exceeds u32 symbols");
+        let sym = Sym(self.names.len() as u32);
+        self.by_name.insert(s.to_owned(), sym);
+        self.names.push(s.to_owned());
+        sym
+    }
+
+    /// Resolve a symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Any strings interned?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Approximate bytes held (string payloads twice — map key and
+    /// dense copy — plus the symbol values); len-based, deterministic.
+    pub fn bytes(&self) -> usize {
+        self.names.iter().map(|n| 2 * n.len() + std::mem::size_of::<Sym>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("site-7");
+        let b = i.intern("site-9");
+        let a2 = i.intern("site-7");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "site-7");
+        assert_eq!(i.resolve(b), "site-9");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_stable() {
+        let mut i = Interner::new();
+        for k in 0..100 {
+            assert_eq!(i.intern(&format!("s{k}")), Sym(k));
+        }
+        // Re-interning in any order returns the original symbols.
+        assert_eq!(i.intern("s42"), Sym(42));
+        assert_eq!(i.len(), 100);
+    }
+}

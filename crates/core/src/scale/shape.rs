@@ -1,0 +1,227 @@
+//! The MRM hierarchy as arithmetic.
+//!
+//! [`Hierarchy::build`](crate::cohesion::Hierarchy) chunks the host
+//! list into groups of `fanout`, elects the first `replicas` members of
+//! each chunk as MRMs, and recurses over the chunk primaries. Because
+//! the input is always the contiguous id range `0..n`, every group is
+//! an arithmetic progression: the `j`-th member of group `g` at level
+//! `l` is host `(g·f + j)·fˡ`. [`HierShape`] exploits that — group
+//! membership, replica sets, parents and subtree spans are computed on
+//! demand from `(n, fanout, replicas)` with no member `Vec`s at all,
+//! which is what lets a 10⁶-node campus keep its whole routing
+//! structure in a few dozen bytes.
+//!
+//! The `matches_materialized_hierarchy` test proves the two
+//! constructions agree group-by-group, so scale-model queries traverse
+//! exactly the tree the full node stack would.
+
+/// Arithmetic view of the MRM hierarchy over hosts `0..n`.
+#[derive(Clone, Debug)]
+pub struct HierShape {
+    n: u64,
+    fanout: u64,
+    replicas: u64,
+    /// Groups per level; `group_counts[0]` are leaf groups, last is 1.
+    group_counts: Vec<u64>,
+}
+
+impl HierShape {
+    /// Shape of the hierarchy over `n` hosts.
+    pub fn build(n: u64, fanout: u64, replicas: u64) -> HierShape {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(replicas >= 1, "at least one MRM per group");
+        assert!(n >= 1, "hierarchy over zero hosts");
+        let mut group_counts = Vec::new();
+        let mut members = n;
+        loop {
+            let groups = members.div_ceil(fanout);
+            group_counts.push(groups);
+            if groups == 1 {
+                break;
+            }
+            members = groups;
+        }
+        HierShape { n, fanout, replicas, group_counts }
+    }
+
+    /// Number of hosts.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The fanout.
+    pub fn fanout(&self) -> u64 {
+        self.fanout
+    }
+
+    /// Number of levels (1 = a single root group of plain nodes).
+    pub fn depth(&self) -> usize {
+        self.group_counts.len()
+    }
+
+    /// Number of groups at `level`.
+    pub fn group_count(&self, level: usize) -> u64 {
+        self.group_counts[level]
+    }
+
+    /// Total groups across all levels (≈ n/(fanout−1)).
+    pub fn groups_total(&self) -> u64 {
+        self.group_counts.iter().sum()
+    }
+
+    /// Members at `level` (hosts at level 0, child primaries above).
+    fn members_at(&self, level: usize) -> u64 {
+        if level == 0 {
+            self.n
+        } else {
+            self.group_counts[level - 1]
+        }
+    }
+
+    /// Host-id stride between adjacent members at `level` (`fanoutˡ`).
+    fn stride(&self, level: usize) -> u64 {
+        debug_assert!(level < self.group_counts.len());
+        self.fanout.pow(level as u32)
+    }
+
+    /// Number of members in group `g` at `level`.
+    pub fn group_size(&self, level: usize, g: u64) -> u64 {
+        (self.members_at(level) - g * self.fanout).min(self.fanout)
+    }
+
+    /// Host id of member `j` of group `g` at `level`.
+    pub fn member(&self, level: usize, g: u64, j: u64) -> u64 {
+        debug_assert!(j < self.group_size(level, g));
+        (g * self.fanout + j) * self.stride(level)
+    }
+
+    /// All members of group `g` at `level`, in id order.
+    pub fn members(&self, level: usize, g: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..self.group_size(level, g)).map(move |j| self.member(level, g, j))
+    }
+
+    /// The group's primary (first member, first replica).
+    pub fn primary(&self, level: usize, g: u64) -> u64 {
+        self.member(level, g, 0)
+    }
+
+    /// The group's MRM replicas (first `replicas` members).
+    pub fn mrms(&self, level: usize, g: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..self.group_size(level, g).min(self.replicas)).map(move |j| self.member(level, g, j))
+    }
+
+    /// The leaf group a host belongs to.
+    pub fn leaf_group_of(&self, host: u64) -> u64 {
+        debug_assert!(host < self.n);
+        host / self.fanout
+    }
+
+    /// Parent group of group `g` at `level` (`None` at the root level).
+    pub fn parent(&self, level: usize, g: u64) -> Option<(usize, u64)> {
+        if level + 1 < self.depth() {
+            Some((level + 1, g / self.fanout))
+        } else {
+            None
+        }
+    }
+
+    /// The member slot (bit position) of group `g`'s primary inside its
+    /// parent group.
+    pub fn slot_in_parent(&self, g: u64) -> u64 {
+        g % self.fanout
+    }
+
+    /// Host-id span covered by the subtree under group `g` at `level`.
+    pub fn subtree(&self, level: usize, g: u64) -> std::ops::Range<u64> {
+        let width = self.stride(level) * self.fanout;
+        (g * width)..((g + 1) * width).min(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohesion::{CohesionConfig, Hierarchy};
+    use lc_net::HostId;
+
+    /// The arithmetic shape reproduces the materialized hierarchy
+    /// exactly: same depth, same groups, same members, same MRMs, same
+    /// parent replicas — for a spread of sizes including non-powers and
+    /// a ragged final group.
+    #[test]
+    fn matches_materialized_hierarchy() {
+        for &(n, fanout, replicas) in
+            &[(5u64, 8u64, 2u64), (37, 3, 1), (64, 8, 2), (100, 4, 2), (1000, 8, 3), (257, 2, 2)]
+        {
+            let hosts: Vec<HostId> =
+                (0..n).map(|h| HostId(u32::try_from(h).expect("host fits u32"))).collect();
+            let cfg = CohesionConfig {
+                fanout: usize::try_from(fanout).expect("usize fanout"),
+                replicas: usize::try_from(replicas).expect("usize replicas"),
+                ..Default::default()
+            };
+            let built = Hierarchy::build(&hosts, cfg);
+            let shape = HierShape::build(n, fanout, replicas);
+            assert_eq!(shape.depth(), built.depth(), "depth n={n} f={fanout}");
+            let mut groups_total = 0;
+            for (level, groups) in built.levels.iter().enumerate() {
+                assert_eq!(
+                    shape.group_count(level),
+                    groups.len() as u64,
+                    "group count n={n} f={fanout} l={level}"
+                );
+                groups_total += groups.len() as u64;
+                for (g, group) in groups.iter().enumerate() {
+                    let g = g as u64;
+                    let members: Vec<u64> = shape.members(level, g).collect();
+                    let built_members: Vec<u64> =
+                        group.members.iter().map(|h| u64::from(h.0)).collect();
+                    assert_eq!(members, built_members, "members n={n} f={fanout} l={level} g={g}");
+                    let mrms: Vec<u64> = shape.mrms(level, g).collect();
+                    let built_mrms: Vec<u64> = group.mrms.iter().map(|h| u64::from(h.0)).collect();
+                    assert_eq!(mrms, built_mrms, "mrms n={n} f={fanout} l={level} g={g}");
+                    assert_eq!(shape.primary(level, g), u64::from(group.primary().0));
+                    // Parent replicas as the duty table would list them.
+                    if let Some((pl, pg)) = shape.parent(level, g) {
+                        let parent_mrms: Vec<u64> = shape.mrms(pl, pg).collect();
+                        let built_parent: Vec<u64> = built.levels[pl]
+                            .iter()
+                            .find(|pg| pg.members.contains(&group.primary()))
+                            .map(|pg| pg.mrms.iter().map(|h| u64::from(h.0)).collect())
+                            .unwrap_or_default();
+                        assert_eq!(parent_mrms, built_parent, "parents n={n} l={level} g={g}");
+                    } else {
+                        assert_eq!(level + 1, built.depth(), "root level n={n}");
+                    }
+                }
+            }
+            assert_eq!(shape.groups_total(), groups_total);
+        }
+    }
+
+    #[test]
+    fn leaf_groups_and_subtrees() {
+        let s = HierShape::build(1000, 8, 2);
+        assert_eq!(s.leaf_group_of(0), 0);
+        assert_eq!(s.leaf_group_of(7), 0);
+        assert_eq!(s.leaf_group_of(8), 1);
+        assert_eq!(s.leaf_group_of(999), 124);
+        // Level-1 group 0 spans hosts 0..64; the last one is ragged.
+        assert_eq!(s.subtree(1, 0), 0..64);
+        assert_eq!(s.subtree(0, 124), 992..1000);
+        assert_eq!(s.group_size(0, 124), 8);
+        // Depth: 1000 → 125 → 16 → 2 → 1.
+        assert_eq!(s.depth(), 4);
+        assert_eq!(s.group_count(3), 1);
+        assert_eq!(s.slot_in_parent(9), 1);
+    }
+
+    #[test]
+    fn shape_is_constant_memory() {
+        let s = HierShape::build(1_000_000, 8, 2);
+        assert_eq!(s.depth(), 7);
+        // The whole routing structure: three u64s and one tiny Vec.
+        assert!(s.group_counts.len() <= 8);
+        assert_eq!(s.groups_total(), 125_000 + 15_625 + 1_954 + 245 + 31 + 4 + 1);
+    }
+}

@@ -56,7 +56,10 @@ pub const CSCW_IDL: &str = r#"
 
 /// Compile the CSCW IDL.
 pub fn cscw_idl() -> lc_idl::Repository {
-    lc_idl::compile(CSCW_IDL).expect("cscw IDL compiles")
+    match lc_idl::compile(CSCW_IDL) {
+        Ok(repo) => repo,
+        Err(e) => panic!("cscw IDL must compile: {e:?}"),
+    }
 }
 
 /// Build a `cscw::Rect` value.

@@ -44,16 +44,16 @@
 //! ```
 
 pub mod metrics;
+pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use metrics::{Histogram, Metrics};
+pub use queue::{IndexedQueue, LegacyQueue};
 pub use rng::SimRng;
 pub use time::SimTime;
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifier of an actor living inside a [`Sim`].
 ///
@@ -87,6 +87,14 @@ impl AnyMsgExt for AnyMsg {
     }
 }
 
+/// A packed event delivered through the zero-allocation lane: the
+/// `u64` is whatever [`Ctx::send_packed`]/[`Sim::send_packed`] encoded.
+///
+/// Actors that do not override [`Actor::handle_packed`] receive packed
+/// events boxed as this type through their ordinary [`Actor::handle`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PackedEvent(pub u64);
+
 /// A simulated entity: a protocol state machine reacting to messages.
 pub trait Actor: Any {
     /// React to one message. `ctx` gives access to virtual time, the RNG,
@@ -94,43 +102,31 @@ pub trait Actor: Any {
     /// private state (communicate by message instead).
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg);
 
+    /// React to a packed event — a bare `u64` scheduled through
+    /// [`Ctx::send_packed`], carrying no heap allocation at all. The
+    /// scale-path actors (`lc-core`'s campus model) override this; the
+    /// default forwards a boxed [`PackedEvent`] to [`Actor::handle`] so
+    /// ordinary actors never notice which lane a sender used.
+    fn handle_packed(&mut self, ctx: &mut Ctx<'_>, data: u64) {
+        self.handle(ctx, Box::new(PackedEvent(data)));
+    }
+
     /// Called once when the actor is killed (crash or orderly shutdown).
     fn on_kill(&mut self, _ctx: &mut Ctx<'_>) {}
 }
 
 enum Payload {
     Message { target: ActorId, msg: AnyMsg },
+    /// Index-sized event for the scale path: no box, no downcast.
+    Packed { target: ActorId, data: u64 },
     Control(Box<dyn FnOnce(&mut Sim)>),
-}
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    payload: Payload,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// The scheduling core shared between [`Sim`] and [`Ctx`].
 struct Core {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: IndexedQueue<Payload>,
     rng: SimRng,
     metrics: Metrics,
     events_fired: u64,
@@ -145,7 +141,7 @@ impl Core {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, payload }));
+        self.queue.push(at, seq, payload);
     }
 }
 
@@ -188,6 +184,13 @@ impl<'a> Ctx<'a> {
         self.send_in(delay, me, msg);
     }
 
+    /// Deliver a packed `u64` event to `target` after `delay` — the
+    /// zero-allocation lane ([`Actor::handle_packed`]).
+    pub fn send_packed(&mut self, delay: SimTime, target: ActorId, data: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Packed { target, data });
+    }
+
     /// Run a control closure against the whole world at `now + delay`.
     pub fn control_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
         let at = self.core.now + delay;
@@ -215,6 +218,12 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// How one event reaches its actor in [`Sim::deliver`].
+enum Delivery {
+    Msg(AnyMsg),
+    Packed(u64),
+}
+
 /// The simulation world.
 pub struct Sim {
     core: Core,
@@ -228,7 +237,7 @@ impl Sim {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: IndexedQueue::new(),
                 rng: SimRng::seed_from_u64(seed),
                 metrics: Metrics::default(),
                 events_fired: 0,
@@ -308,10 +317,23 @@ impl Sim {
         self.core.push(at, Payload::Message { target, msg: Box::new(msg) });
     }
 
+    /// Schedule a packed `u64` event for `target` after `delay` — the
+    /// zero-allocation lane ([`Actor::handle_packed`]).
+    pub fn send_packed(&mut self, delay: SimTime, target: ActorId, data: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, Payload::Packed { target, data });
+    }
+
     /// Schedule a control closure after `delay`.
     pub fn control_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
         let at = self.core.now + delay;
         self.core.push(at, Payload::Control(Box::new(f)));
+    }
+
+    /// Bytes currently held by the event-calendar arena — used by the
+    /// scale sweep's memory accounting.
+    pub fn queue_arena_bytes(&self) -> usize {
+        self.core.queue.arena_bytes()
     }
 
     /// Access a live actor's state for inspection (tests/instrumentation).
@@ -347,35 +369,42 @@ impl Sim {
         }
     }
 
-    /// Fire a single event. Returns `false` when the calendar is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.core.queue.pop() else { return false };
-        debug_assert!(ev.at >= self.core.now);
-        self.core.now = ev.at;
-        self.core.events_fired += 1;
-        match ev.payload {
-            Payload::Message { target, msg } => {
-                let idx = target.0 as usize;
-                // Temporarily remove the actor so it can borrow the core.
-                let taken = self.actors.get_mut(idx).and_then(|s| s.take());
-                if let Some(mut actor) = taken {
-                    {
-                        let mut ctx = Ctx { core: &mut self.core, me: target };
-                        actor.handle(&mut ctx, msg);
-                    }
-                    // Re-insert unless the actor killed itself.
-                    if self.core.killed.contains(&target) {
-                        self.core.killed.retain(|&k| k != target);
-                        let mut ctx = Ctx { core: &mut self.core, me: target };
-                        actor.on_kill(&mut ctx);
-                    } else {
-                        self.actors[idx] = Some(actor);
-                    }
-                    self.apply_side_effects();
-                } else {
-                    self.core.metrics.incr("des.dropped_to_dead");
+    /// Deliver one event to `target`, temporarily removing the actor so
+    /// it can borrow the core. Shared by the boxed and packed lanes.
+    fn deliver(&mut self, target: ActorId, ev: Delivery) {
+        let idx = target.0 as usize;
+        let taken = self.actors.get_mut(idx).and_then(|s| s.take());
+        if let Some(mut actor) = taken {
+            {
+                let mut ctx = Ctx { core: &mut self.core, me: target };
+                match ev {
+                    Delivery::Msg(msg) => actor.handle(&mut ctx, msg),
+                    Delivery::Packed(data) => actor.handle_packed(&mut ctx, data),
                 }
             }
+            // Re-insert unless the actor killed itself.
+            if self.core.killed.contains(&target) {
+                self.core.killed.retain(|&k| k != target);
+                let mut ctx = Ctx { core: &mut self.core, me: target };
+                actor.on_kill(&mut ctx);
+            } else {
+                self.actors[idx] = Some(actor);
+            }
+            self.apply_side_effects();
+        } else {
+            self.core.metrics.incr("des.dropped_to_dead");
+        }
+    }
+
+    /// Fire a single event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, _seq, payload)) = self.core.queue.pop() else { return false };
+        debug_assert!(at >= self.core.now);
+        self.core.now = at;
+        self.core.events_fired += 1;
+        match payload {
+            Payload::Message { target, msg } => self.deliver(target, Delivery::Msg(msg)),
+            Payload::Packed { target, data } => self.deliver(target, Delivery::Packed(data)),
             Payload::Control(f) => {
                 f(self);
             }
@@ -392,8 +421,8 @@ impl Sim {
     /// `deadline` are fired). Later events stay queued.
     pub fn run_until(&mut self, deadline: SimTime) {
         while !self.core.stopped {
-            let Some(Reverse(head)) = self.core.queue.peek() else { break };
-            if head.at > deadline {
+            let Some((head_at, _)) = self.core.queue.peek() else { break };
+            if head_at > deadline {
                 break;
             }
             self.step();
@@ -553,6 +582,118 @@ mod tests {
         sim.run();
         assert_eq!(t.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert!(!sim.is_alive(s));
+    }
+
+    #[test]
+    fn same_time_messages_deliver_in_schedule_order() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        struct Tag(u32);
+        impl Actor for Recorder {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMsg) {
+                self.seen.push(msg.downcast_msg::<Tag>().map(|t| t.0).unwrap_or(u32::MAX));
+            }
+        }
+        let mut sim = Sim::new(1);
+        let r = sim.spawn(Recorder { seen: Vec::new() });
+        // All at the same instant; seq must break the tie in FIFO order.
+        for i in 0..16 {
+            sim.send_in(SimTime::from_millis(5), r, Tag(i));
+        }
+        sim.run();
+        let seen = &sim.actor_as::<Recorder>(r).unwrap().seen;
+        assert_eq!(*seen, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packed_lane_reaches_default_actors_as_packed_event() {
+        struct Plain {
+            got: Vec<u64>,
+        }
+        impl Actor for Plain {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMsg) {
+                if let Ok(PackedEvent(d)) = msg.downcast_msg::<PackedEvent>() {
+                    self.got.push(d);
+                }
+            }
+        }
+        let mut sim = Sim::new(1);
+        let p = sim.spawn(Plain { got: Vec::new() });
+        sim.send_packed(SimTime::from_millis(1), p, 0xBEEF);
+        sim.run();
+        assert_eq!(sim.actor_as::<Plain>(p).unwrap().got, [0xBEEF]);
+    }
+
+    #[test]
+    fn packed_lane_uses_override_and_interleaves_with_boxed() {
+        struct Both {
+            log: Vec<(bool, u64)>,
+        }
+        struct Boxed(u64);
+        impl Actor for Both {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: AnyMsg) {
+                if let Ok(Boxed(d)) = msg.downcast_msg::<Boxed>() {
+                    self.log.push((false, d));
+                }
+            }
+            fn handle_packed(&mut self, _ctx: &mut Ctx<'_>, data: u64) {
+                self.log.push((true, data));
+            }
+        }
+        let mut sim = Sim::new(1);
+        let b = sim.spawn(Both { log: Vec::new() });
+        sim.send_packed(SimTime::from_millis(2), b, 1);
+        sim.send_in(SimTime::from_millis(2), b, Boxed(2));
+        sim.send_packed(SimTime::from_millis(1), b, 3);
+        sim.run();
+        // Time order first, then schedule order within the same instant;
+        // each event keeps its lane.
+        assert_eq!(sim.actor_as::<Both>(b).unwrap().log, [(true, 3), (true, 1), (false, 2)]);
+    }
+
+    #[test]
+    fn packed_to_dead_actor_is_dropped() {
+        let mut sim = Sim::new(1);
+        let c = sim.spawn(Counter { hits: 0, every: SimTime::from_millis(1), limit: 1 });
+        sim.kill(c);
+        sim.send_packed(SimTime::ZERO, c, 7);
+        sim.run();
+        assert_eq!(sim.metrics_ref().counter("des.dropped_to_dead"), 1);
+    }
+
+    /// lc-prop: the indexed queue replays any random schedule — pushes
+    /// and pops arbitrarily interleaved — byte-identically to the
+    /// legacy binary heap it replaced.
+    #[test]
+    fn prop_indexed_queue_replays_legacy_order() {
+        lc_prop::check("indexed queue == legacy heap", |g| {
+            let mut indexed = IndexedQueue::new();
+            let mut legacy = LegacyQueue::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let ops = g.gen_range(1..200usize);
+            for _ in 0..ops {
+                if legacy.is_empty() || g.gen_f64() < 0.55 {
+                    // Bursts of identical timestamps stress the tie-break.
+                    let at = SimTime::from_nanos(now + g.gen_range(0..50u64));
+                    indexed.push(at, seq, seq);
+                    legacy.push(at, seq, seq);
+                    seq += 1;
+                } else {
+                    assert_eq!(indexed.peek(), legacy.peek());
+                    let want = legacy.pop();
+                    assert_eq!(indexed.pop(), want);
+                    if let Some((at, _, _)) = want {
+                        now = at.as_nanos();
+                    }
+                }
+            }
+            while let Some(want) = legacy.pop() {
+                assert_eq!(indexed.pop(), Some(want));
+            }
+            assert!(indexed.is_empty());
+        });
     }
 
     #[test]

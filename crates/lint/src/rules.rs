@@ -24,6 +24,11 @@
 //!   are a determinism *oracle* (two identical runs must export
 //!   byte-identical span files), so the tracing crate gets a stricter
 //!   rule than the D1/D4 defaults — no allowlist, no test exemption.
+//! * **D6** — arena/SoA modules (`crates/core/src/scale/`, the indexed
+//!   event queue) must stay flat: no `Rc<RefCell<…>>`, no `Box<dyn …>`.
+//!   The million-node refactor's whole premise is dense rows addressed
+//!   by `u32` handles; one shared-ownership cell or per-item vtable
+//!   quietly reintroduces the pointer-chasing layout it removed.
 //! * **A1** — no callers of the PR-2 deprecated shims `Net::new`,
 //!   `ObjectAdapter::dispatch` (3-arg) and `ObjectAdapter::dispatch_raw`
 //!   (the shims themselves were removed in the observability PR; the
@@ -34,7 +39,7 @@
 use crate::lexer::{lex, Tok, Token};
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "A1", "A2"];
+pub const RULES: [&str; 8] = ["D1", "D2", "D3", "D4", "D5", "D6", "A1", "A2"];
 
 /// Crates whose data structures feed marshalled messages or printed
 /// experiment tables (D2 scope).
@@ -48,6 +53,13 @@ const DES_CRATES: [&str; 9] =
 /// The one module allowed to touch the wall clock: the bench harness that
 /// produces the explicitly-wall-clock columns of E1/E9/F1.
 const WALLCLOCK_ALLOWLIST: [&str; 1] = ["crates/bench/src/micro.rs"];
+
+/// Arena/SoA modules held to the flat-memory rule (D6 scope): per-item
+/// state lives in dense rows behind `u32` handles, so shared mutable
+/// ownership (`Rc<RefCell<…>>`) and per-item virtual dispatch
+/// (`Box<dyn …>`) are banned — either would silently reintroduce the
+/// pointer-chasing layout the scale refactor removed.
+const ARENA_SOA_SCOPE: [&str; 2] = ["crates/core/src/scale/", "crates/des/src/queue.rs"];
 
 /// Modules that own seeded RNG streams (D4 scope): the generator itself,
 /// the DES kernel stream, the fault-plan stream and the property-test
@@ -154,6 +166,7 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
     // The tracing crate is held to the hermetic rule (D5): wall-clock
     // and entropy are banned outright, in every target kind.
     let d5_scope = ctx.krate == "trace";
+    let d6_scope = ARENA_SOA_SCOPE.iter().any(|p| ctx.rel.starts_with(p));
     // Lib/Bin code paths are what reach wire messages and experiment
     // output; tests, benches and examples get D2–D4 leniency.
     let libish = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
@@ -225,6 +238,18 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
                 "D4",
                 format!("`{name}`: ambient-entropy / foreign RNG types are banned everywhere"),
             )),
+            "Rc" if d6_scope && opens_generic_over(toks, i, "RefCell") => Some((
+                "D6",
+                "`Rc<RefCell<…>>` in an arena/SoA module: scale-path state is dense rows \
+                 behind u32 handles; shared mutable ownership defeats the layout"
+                    .to_owned(),
+            )),
+            "Box" if d6_scope && opens_generic_over(toks, i, "dyn") => Some((
+                "D6",
+                "`Box<dyn …>` in an arena/SoA module: no per-item virtual dispatch on the \
+                 scale path; use an enum or the packed event lane"
+                    .to_owned(),
+            )),
             "new" if called_on(toks, i, "Net") => Some((
                 "A1",
                 "deprecated shim `Net::new`: use `Net::builder(topo)…build()`".to_owned(),
@@ -286,6 +311,12 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
         });
     }
     report
+}
+
+/// Does token `i` start `Outer<inner` (e.g. `Rc<RefCell` / `Box<dyn`)?
+fn opens_generic_over(toks: &[Token], i: usize, inner: &str) -> bool {
+    toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('<'))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(n)) if n == inner)
 }
 
 /// Is token `i` preceded by `prefix::` (e.g. `thread::spawn`)?
@@ -522,6 +553,23 @@ mod tests {
         );
         // Other crates keep the D1/D4 classification.
         assert_eq!(hits(src, "crates/des/src/lib.rs"), vec![("D1", 1, false)]);
+    }
+
+    #[test]
+    fn d6_bans_shared_ownership_in_arena_modules() {
+        let rc = "let n: Rc<RefCell<Node>> = Rc::new(RefCell::new(n));";
+        let dy = "let a: Box<dyn Actor> = Box::new(x);";
+        assert_eq!(hits(rc, "crates/core/src/scale/soa.rs"), vec![("D6", 1, false)]);
+        assert_eq!(hits(dy, "crates/des/src/queue.rs"), vec![("D6", 1, false)]);
+        // Outside the scoped modules the layouts are legitimate.
+        assert!(hits(rc, "crates/core/src/node.rs").is_empty());
+        assert!(hits(dy, "crates/des/src/lib.rs").is_empty());
+        // Plain Rc/Box without the banned inner type is fine even in scope.
+        assert!(hits("let b: Box<u64> = Box::new(1);", "crates/core/src/scale/soa.rs").is_empty());
+        assert!(hits("let r: Rc<str> = x.into();", "crates/core/src/scale/soa.rs").is_empty());
+        // Suppression works like every other rule.
+        let sup = "let n: Rc<RefCell<Node>> = make(); // lc-lint: allow(D6) -- bridge to old API\n";
+        assert_eq!(hits(sup, "crates/core/src/scale/soa.rs"), vec![("D6", 1, true)]);
     }
 
     #[test]

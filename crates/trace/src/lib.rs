@@ -14,6 +14,7 @@
 //! | [`span`] | [`TraceContext`], [`Span`], [`validate`] (tree well-formedness) |
 //! | [`tracer`] | [`Tracer`] (allocation, current-context register, end-propagation), flight recorder |
 //! | [`metrics`] | [`MetricsRegistry`] (counters/gauges/fixed-bucket histograms) |
+//! | [`streaming`] | constant-memory primitives for 10⁶-node runs: [`DenseCounters`], [`ShardedCounter`], [`ReservoirHistogram`] |
 //! | [`export`] | sorted JSONL, chrome://tracing JSON, critical path |
 //!
 //! ## Propagation model
@@ -33,9 +34,11 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod streaming;
 pub mod tracer;
 
 pub use export::{critical_path, to_chrome, to_jsonl, CritSegment};
 pub use metrics::{BucketHistogram, MetricsRegistry};
+pub use streaming::{CounterId, DenseCounters, ReservoirHistogram, ShardedCounter};
 pub use span::{validate, Span, SpanId, TraceContext, TraceId};
 pub use tracer::{SpanEvent, Tracer, FLIGHT_RECORDER_CAP};

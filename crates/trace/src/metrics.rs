@@ -9,6 +9,7 @@
 //! self-describing-node story of the paper's reflection architecture
 //! extended to instrumentation.
 
+use crate::streaming::ReservoirHistogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -119,6 +120,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, BucketHistogram>,
+    reservoirs: BTreeMap<String, ReservoirHistogram>,
 }
 
 impl MetricsRegistry {
@@ -178,6 +180,31 @@ impl MetricsRegistry {
         self.histograms.insert(key.to_owned(), h);
     }
 
+    /// Record a sample into reservoir histogram `key`, creating it with
+    /// `capacity` slots on first use (later calls keep the original
+    /// capacity). Unlike [`MetricsRegistry::observe`], memory stays
+    /// O(capacity) no matter how many samples arrive — the variant the
+    /// million-node scale path uses.
+    pub fn observe_reservoir(&mut self, key: &str, capacity: usize, v: u64) {
+        if let Some(r) = self.reservoirs.get_mut(key) {
+            r.observe(v);
+            return;
+        }
+        let mut r = ReservoirHistogram::new(capacity);
+        r.observe(v);
+        self.reservoirs.insert(key.to_owned(), r);
+    }
+
+    /// Borrow a reservoir mutably (quantile queries sort in place).
+    pub fn reservoir_mut(&mut self, key: &str) -> Option<&mut ReservoirHistogram> {
+        self.reservoirs.get_mut(key)
+    }
+
+    /// Iterate reservoirs in key order.
+    pub fn reservoirs(&self) -> impl Iterator<Item = (&str, &ReservoirHistogram)> {
+        self.reservoirs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Borrow a histogram, if anything was observed under `key`.
     pub fn histogram(&self, key: &str) -> Option<&BucketHistogram> {
         self.histograms.get(key)
@@ -193,6 +220,7 @@ impl MetricsRegistry {
         self.counters.clear();
         self.gauges.clear();
         self.histograms.clear();
+        self.reservoirs.clear();
     }
 }
 
@@ -231,6 +259,22 @@ mod tests {
         let h = BucketHistogram::exponential(1_000, 4, 5);
         let edges: Vec<u64> = h.buckets().map(|(e, _)| e).collect();
         assert_eq!(edges, vec![1_000, 4_000, 16_000, 64_000, 256_000, u64::MAX]);
+    }
+
+    #[test]
+    fn registry_reservoirs_stay_bounded() {
+        let mut r = MetricsRegistry::new();
+        for v in 0..10_000u64 {
+            r.observe_reservoir("queue.depth", 16, v);
+        }
+        let res = r.reservoir_mut("queue.depth").unwrap();
+        assert_eq!(res.count(), 10_000);
+        assert_eq!(res.reservoir_len(), 16);
+        assert_eq!(res.max(), 9_999);
+        let keys: Vec<_> = r.reservoirs().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(keys, ["queue.depth"]);
+        r.clear();
+        assert!(r.reservoir_mut("queue.depth").is_none());
     }
 
     #[test]
