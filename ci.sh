@@ -63,4 +63,24 @@ grep -v wall_ BENCH_e13.json > target/e13_committed.stable
 diff target/e13_full.stable target/e13_committed.stable
 rm -f /tmp/e13_run1.txt /tmp/e13_run2.txt target/e13_run?.json target/e13_*.stable target/e13_full.json
 
+# Sharded-registry gates (E14). Smoke double run at the 1k campus:
+# everything except the wall-marked columns/keys must be
+# byte-identical, and the hotspot gate must hold (the former leader's
+# recv bytes drop >= 3x at 4+ shards with p99 no worse).
+./target/release/e14_sharded_registry --max-nodes 1024 --gate-reduction 3 target/e14_run1.json \
+  | sed -E 's/[0-9.]+ wall/<wall> wall/' > /tmp/e14_run1.txt
+./target/release/e14_sharded_registry --max-nodes 1024 --gate-reduction 3 target/e14_run2.json \
+  | sed -E 's/[0-9.]+ wall/<wall> wall/' > /tmp/e14_run2.txt
+diff /tmp/e14_run1.txt /tmp/e14_run2.txt
+grep -v wall_ target/e14_run1.json > target/e14_run1.stable
+grep -v wall_ target/e14_run2.json > target/e14_run2.stable
+diff target/e14_run1.stable target/e14_run2.stable
+# Full sweep (the 8k points must complete); simulated columns must
+# match the committed BENCH_e14.json artefact.
+./target/release/e14_sharded_registry --gate-reduction 3 target/e14_full.json > /dev/null
+grep -v wall_ target/e14_full.json > target/e14_full.stable
+grep -v wall_ BENCH_e14.json > target/e14_committed.stable
+diff target/e14_full.stable target/e14_committed.stable
+rm -f /tmp/e14_run1.txt /tmp/e14_run2.txt target/e14_run?.json target/e14_*.stable target/e14_full.json
+
 echo "ci: all green"

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod micro;
 
 /// Render a titled ASCII table with aligned columns.

@@ -155,6 +155,80 @@ impl<K: Ord + Clone, V> QueryCache<K, V> {
     }
 }
 
+/// A per-publisher generation vector: the anti-entropy summary one
+/// registry replica exchanges with another. Each publisher (keyed by an
+/// opaque `u64`, in practice the host id) advances its own generation
+/// when its inventory for a component actually changes; a replica
+/// holding `{p → g}` knows everything publisher `p` said up to
+/// generation `g`. Two vectors reconcile by element-wise max — a digest
+/// round sends the vector, the peer answers with entries it holds at a
+/// strictly newer generation (or that the digest lacks entirely), and
+/// both sides converge without re-shipping the full inventory.
+///
+/// This generalises [`QueryCache::generation`] (one monotone counter
+/// per node) to one counter per publisher per shard, which is what a
+/// *sharded* registry needs: a replica can tell exactly which
+/// publisher's updates it missed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenVector {
+    gens: BTreeMap<u64, u64>,
+}
+
+impl GenVector {
+    /// An empty vector (knows nothing about anyone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The generation recorded for `publisher` (0 = nothing known).
+    pub fn get(&self, publisher: u64) -> u64 {
+        self.gens.get(&publisher).copied().unwrap_or(0)
+    }
+
+    /// Record `generation` for `publisher` if it is newer than what we
+    /// hold. Returns `true` when the vector advanced.
+    pub fn observe(&mut self, publisher: u64, generation: u64) -> bool {
+        let slot = self.gens.entry(publisher).or_insert(0);
+        if generation > *slot {
+            *slot = generation;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Element-wise max merge. Returns how many entries advanced.
+    pub fn merge(&mut self, other: &GenVector) -> usize {
+        other.iter().filter(|&(p, g)| self.observe(p, g)).count()
+    }
+
+    /// Publishers where *we* are strictly ahead of `other` — the
+    /// entries an anti-entropy responder must ship back.
+    pub fn ahead_of<'a>(&'a self, other: &'a GenVector) -> impl Iterator<Item = (u64, u64)> + 'a {
+        self.iter().filter(move |&(p, g)| g > other.get(p))
+    }
+
+    /// `(publisher, generation)` pairs in publisher order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.gens.iter().map(|(&p, &g)| (p, g))
+    }
+
+    /// Number of publishers known.
+    pub fn len(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Knows nothing?
+    pub fn is_empty(&self) -> bool {
+        self.gens.is_empty()
+    }
+
+    /// Forget a publisher (its entries expired away).
+    pub fn forget(&mut self, publisher: u64) {
+        self.gens.remove(&publisher);
+    }
+}
+
 /// Singleflight bookkeeping for the node's registry: maps an in-flight
 /// query key to the *leader* continuation's sequence number. Followers
 /// attach themselves to the leader's pending entry; this table only
@@ -317,6 +391,39 @@ mod tests {
         assert_eq!(c.stats().invalidated_entries, 1);
         assert_eq!(c.invalidate_all(), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn gen_vector_observes_only_forward() {
+        let mut v = GenVector::new();
+        assert_eq!(v.get(3), 0);
+        assert!(v.observe(3, 2));
+        assert!(!v.observe(3, 2), "equal generation is not news");
+        assert!(!v.observe(3, 1), "older generation is not news");
+        assert!(v.observe(3, 5));
+        assert_eq!(v.get(3), 5);
+        assert_eq!(v.len(), 1);
+        v.forget(3);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn gen_vector_merge_and_ahead_converge() {
+        let mut a = GenVector::new();
+        let mut b = GenVector::new();
+        a.observe(1, 4);
+        a.observe(2, 1);
+        b.observe(2, 3);
+        b.observe(9, 7);
+        // b answers a's digest with what it holds strictly newer
+        let reply: Vec<_> = b.ahead_of(&a).collect();
+        assert_eq!(reply, vec![(2, 3), (9, 7)]);
+        assert_eq!(a.merge(&b), 2);
+        assert_eq!(b.merge(&a), 1); // picks up publisher 1
+        assert_eq!(a, b, "element-wise max merge converges both replicas");
+        assert_eq!(a.ahead_of(&b).count(), 0);
+        let all: Vec<_> = a.iter().collect();
+        assert_eq!(all, vec![(1, 4), (2, 3), (9, 7)]);
     }
 
     #[test]

@@ -45,11 +45,16 @@ pub use cohesion::{CohesionConfig, Hierarchy};
 pub use deploy::{NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
 pub use node::{
     AssemblySink, CacheConfig, CacheStats, Continuations, InvokePolicy, InvokeSink,
-    LoadBalanceConfig, MigrateSink, Node, NodeCmd, NodeConfig, NodeCtx, NodeMetrics, NodeSeed,
-    NodeService, NodeState, QueryResult, QuerySink, ServiceKind, ServiceMetrics, ServiceReflect,
-    SpawnSink, SvcMsg, Tick,
+    LoadBalanceConfig, MigrateSink, Node, NodeCmd, NodeConfig, NodeConfigBuilder, NodeCtx,
+    NodeMetrics, NodeSeed, NodeService, NodeState, QueryResult, QuerySink, RegistryConfig,
+    ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick, TraceConfig,
 };
-pub use proto::{CtrlMsg, GroupSummary, QueryId};
+pub use proto::{CtrlMsg, DeltaEntry, GroupSummary, QueryId};
+pub use registry::backend::{
+    BackendStats, CoherenceRoute, RegistryBackend, ResolveStep, SearchRoute, ShardConfig,
+    ShardDigest, Sharded, SingleLeader,
+};
+pub use registry::shard::{ShardRing, ShardRingConfig};
 pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, Offer};
 pub use repository::{ComponentRepository, InstallError};
 pub use resource::{ResourceManager, ResourceReport};

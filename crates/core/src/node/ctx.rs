@@ -12,10 +12,11 @@
 use crate::behavior::BehaviorRegistry;
 use crate::cohesion::{DutyState, Hierarchy, MrmDuty};
 use crate::proto::CtrlMsg;
-use crate::registry::{ComponentRegistry, InstanceId};
+use crate::registry::backend::{make_backend, CoherenceRoute, RegistryBackend};
+use crate::registry::{ComponentQuery, ComponentRegistry, InstanceId};
 use crate::repository::ComponentRepository;
 use crate::resource::ResourceManager;
-use lc_cache::{CacheStats, Coalescer, QueryCache};
+use lc_cache::CacheStats;
 use lc_des::{Ctx, SimTime};
 use lc_net::{DropReason, HostId, Net};
 use lc_trace::Tracer;
@@ -80,23 +81,19 @@ pub struct NodeState {
     /// CPU FIFO: when the processor frees up (owned by the Resource
     /// Manager's accounting, see `resource_svc::occupy_cpu`).
     pub(crate) cpu_free_at: SimTime,
-    /// Registry query-result cache (generation-stamped, virtual-time
-    /// TTL); `None` unless [`NodeConfig::cache`] enables result caching.
-    pub(crate) query_cache: Option<QueryCache<String, Vec<crate::registry::Offer>>>,
-    /// Singleflight bookkeeping for identical in-flight queries.
-    pub(crate) coalescer: Coalescer<String>,
+    /// The resolution substrate behind the Component Registry service:
+    /// result cache, singleflight and (when configured) the shard ring,
+    /// all behind the [`RegistryBackend`] trait selected by
+    /// [`NodeConfig::registry`].
+    pub(crate) backend: Box<dyn RegistryBackend>,
 }
 
 impl NodeState {
     /// Build the shared state from a seed (no packages installed yet).
     pub(crate) fn new(seed: NodeSeed) -> Self {
         let cfg = seed.config;
-        let query_cache = cfg
-            .cache
-            .as_ref()
-            .filter(|c| c.cache_results)
-            .map(|c| QueryCache::new(c.ttl));
         let host = seed.host;
+        let backend = make_backend(&cfg, host, &seed.net.host_ids());
         let duties = seed.hierarchy.duties_of(host);
         let duty_state = duties.iter().map(|_| DutyState::default()).collect();
         let report_targets = seed.hierarchy.report_targets(host);
@@ -128,8 +125,7 @@ impl NodeState {
             subs: BTreeMap::new(),
             forwards: BTreeMap::new(),
             cpu_free_at: SimTime::ZERO,
-            query_cache,
-            coalescer: Coalescer::new(),
+            backend,
         }
     }
 
@@ -156,18 +152,23 @@ impl NodeState {
 
     /// Registry query-cache counters, when result caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.query_cache.as_ref().map(|c| c.stats())
+        self.backend.stats().cache
     }
 
     /// The cache's invalidation generation (coherence epoch), when
     /// result caching is enabled. Monotone per node.
     pub fn cache_generation(&self) -> Option<u64> {
-        self.query_cache.as_ref().map(|c| c.generation())
+        self.backend.stats().cache_generation
     }
 
     /// Queries merged onto an in-flight identical query so far.
     pub fn coalesced_queries(&self) -> u64 {
-        self.coalescer.coalesced()
+        self.backend.stats().coalesced
+    }
+
+    /// The registry backend's counters (cache, coalescing, shard store).
+    pub fn backend_stats(&self) -> crate::registry::backend::BackendStats {
+        self.backend.stats()
     }
 
     /// Current pending-work depth across the unified continuation table.
@@ -216,7 +217,11 @@ impl NodeCtx<'_, '_> {
         let size = msg.wire_size();
         if matches!(
             msg,
-            CtrlMsg::Query { .. } | CtrlMsg::Offers { .. } | CtrlMsg::QueryDone { .. }
+            CtrlMsg::Query { .. }
+                | CtrlMsg::Offers { .. }
+                | CtrlMsg::QueryDone { .. }
+                | CtrlMsg::ShardLookup { .. }
+                | CtrlMsg::ShardServe { .. }
         ) {
             self.sim.metrics().incr("query.msgs");
         }
@@ -226,39 +231,87 @@ impl NodeCtx<'_, '_> {
     /// Drop cached query results that could name `component` (the entry's
     /// query names it, is a no-name interface query, or any cached offer
     /// resolves to it). Bumps the coherence generation even when nothing
-    /// matched.
+    /// matched; no-op (and no metrics) when there is no cache layer.
     pub(crate) fn invalidate_cached(&mut self, component: &str) {
-        let Some(cache) = self.state.query_cache.as_mut() else { return };
-        let name_key = format!("name:{component}|");
-        let dropped = cache.invalidate_matching(|key, offers| {
-            key.starts_with(&name_key)
-                || key.starts_with("name:*|")
-                || offers.iter().any(|o| o.component == component)
-        });
+        let Some(dropped) = self.state.backend.invalidate(component) else { return };
         self.sim.metrics().incr("cache.invalidations");
         self.sim.metrics().add("cache.invalidated_entries", dropped as u64);
         self.state.metrics.note("cache.invalidations");
     }
 
     /// A register/deregister/migrate event changed this node's component
-    /// inventory: drop matching local cache entries and broadcast a
-    /// best-effort `CacheInvalidate` to every peer. No-op (and no
-    /// traffic) unless caching is configured, so cache-disabled runs
-    /// stay byte-identical.
+    /// inventory: drop matching local cache entries and run the
+    /// backend's coherence route — a best-effort `CacheInvalidate`
+    /// broadcast for the single-leader backend, or a targeted publish +
+    /// invalidate to the owning shard's replica set for the sharded one.
+    /// No-op (and no traffic) when coherence is disabled, so
+    /// cache-disabled runs stay byte-identical.
     pub(crate) fn note_registry_change(&mut self, component: &str) {
-        if self.state.cfg.cache.is_none() {
-            return;
-        }
-        self.invalidate_cached(component);
-        let from = self.state.host;
-        let msg = CtrlMsg::CacheInvalidate { from, component: component.to_owned() };
-        let size = msg.wire_size();
-        for to in self.state.net.host_ids() {
-            if to != from && self.state.net.reachable(from, to) {
-                let _ = self.net_send(to, size, msg.clone());
+        match self.state.backend.coherence_route(component) {
+            CoherenceRoute::Disabled => {}
+            CoherenceRoute::Broadcast => {
+                self.invalidate_cached(component);
+                let from = self.state.host;
+                let msg = CtrlMsg::CacheInvalidate { from, component: component.to_owned() };
+                let size = msg.wire_size();
+                for to in self.state.net.host_ids() {
+                    if to != from && self.state.net.reachable(from, to) {
+                        let _ = self.net_send(to, size, msg.clone());
+                    }
+                }
+                self.sim.metrics().incr("cache.invalidate_bcasts");
+            }
+            CoherenceRoute::Shard { replicas } => {
+                self.invalidate_cached(component);
+                self.publish_component(component, true, &replicas);
+                let from = self.state.host;
+                let msg = CtrlMsg::CacheInvalidate { from, component: component.to_owned() };
+                let size = msg.wire_size();
+                for &to in &replicas {
+                    if to != from && self.state.net.reachable(from, to) {
+                        let _ = self.net_send(to, size, msg.clone());
+                    }
+                }
+                self.sim.metrics().incr("cache.invalidate_targeted");
             }
         }
-        self.sim.metrics().incr("cache.invalidate_bcasts");
+    }
+
+    /// Push this node's current offers for `component` to the owning
+    /// shard's replica set (self applies locally, no wire traffic).
+    /// `bump` advances the publication generation — a real inventory
+    /// change; refreshes reuse the current generation so reordered
+    /// publishes cannot resurrect stale offers.
+    pub(crate) fn publish_component(&mut self, component: &str, bump: bool, replicas: &[HostId]) {
+        let now = self.sim.now();
+        let from = self.state.host;
+        let gen = self.state.backend.publish_gen(component, bump);
+        let query = ComponentQuery { name: Some(component.to_owned()), ..Default::default() };
+        let offers = self.state.local_offers_for(&query);
+        for &to in replicas {
+            if to == from {
+                self.state.backend.on_shard_publish(
+                    component,
+                    from,
+                    gen,
+                    now,
+                    offers.clone(),
+                    now,
+                );
+            } else if self.state.net.reachable(from, to) {
+                let msg = CtrlMsg::ShardPublish {
+                    from,
+                    component: component.to_owned(),
+                    gen,
+                    at: now,
+                    offers: offers.clone(),
+                };
+                let size = msg.wire_size();
+                if self.net_send(to, size, msg).is_ok() {
+                    self.sim.metrics().incr("registry.publish_msgs");
+                }
+            }
+        }
     }
 
     /// Raw network send from this host, counted as a per-service

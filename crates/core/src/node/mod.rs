@@ -49,6 +49,7 @@ pub use service::{NodeService, ServiceReflect, SvcMsg, Tick};
 use crate::assembly::AssemblyDescriptor;
 use crate::behavior::BehaviorRegistry;
 use crate::cohesion::{CohesionConfig, Hierarchy};
+use crate::registry::backend::ShardConfig;
 use crate::deploy::{PlacementStrategy, ResolvePolicy};
 use crate::proto::CtrlMsg;
 use crate::registry::{ComponentQuery, InstanceId, Offer};
@@ -177,7 +178,37 @@ impl CacheConfig {
     }
 }
 
-/// Node-level configuration.
+/// Which [`crate::registry::backend::RegistryBackend`] a node runs its
+/// Component Registry queries through.
+#[derive(Clone, Debug, Default)]
+pub enum RegistryConfig {
+    /// The hierarchy path: every cache miss funnels through the MRM
+    /// leaders, coherence is a best-effort broadcast. Byte-identical to
+    /// the pre-backend runtime.
+    #[default]
+    SingleLeader,
+    /// Component inventory consistent-hashed over a shard ring with
+    /// finger-overlay routing and gossip anti-entropy.
+    Sharded(ShardConfig),
+}
+
+/// Tracing knobs of the node runtime.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Root a `registry.query` span per searching query (on by default;
+    /// experiments that only care about message counts can switch the
+    /// per-query roots off while keeping fabric spans).
+    pub query_spans: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { query_spans: true }
+    }
+}
+
+/// Node-level configuration. Construct via [`NodeConfig::builder`] (the
+/// typed path) or a struct literal over [`Default`].
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
     /// Cohesion protocol parameters.
@@ -197,6 +228,10 @@ pub struct NodeConfig {
     pub query_retries: u32,
     /// Registry query cache / coalescing / batching (off by default).
     pub cache: Option<CacheConfig>,
+    /// Registry backend selection (single-leader by default).
+    pub registry: RegistryConfig,
+    /// Tracing knobs.
+    pub tracing: TraceConfig,
 }
 
 impl Default for NodeConfig {
@@ -209,7 +244,94 @@ impl Default for NodeConfig {
             invoke: InvokePolicy::default(),
             query_retries: 0,
             cache: None,
+            registry: RegistryConfig::default(),
+            tracing: TraceConfig::default(),
         }
+    }
+}
+
+impl NodeConfig {
+    /// Start a typed configuration chain (mirrors `Net::builder(topo)`).
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder { cfg: NodeConfig::default() }
+    }
+}
+
+/// Typed construction chain for [`NodeConfig`]: each step replaces one
+/// configuration axis, `build()` yields the finished value.
+///
+/// ```
+/// # use lc_core::node::{NodeConfig, CacheConfig, RegistryConfig};
+/// let cfg = NodeConfig::builder()
+///     .cache(CacheConfig::default())
+///     .registry(RegistryConfig::SingleLeader)
+///     .query_retries(2)
+///     .build();
+/// assert!(cfg.cache.is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NodeConfigBuilder {
+    cfg: NodeConfig,
+}
+
+impl NodeConfigBuilder {
+    /// Cohesion protocol parameters.
+    pub fn cohesion(mut self, cohesion: CohesionConfig) -> Self {
+        self.cfg.cohesion = cohesion;
+        self
+    }
+
+    /// Query offer-collection deadline.
+    pub fn query_timeout(mut self, timeout: SimTime) -> Self {
+        self.cfg.query_timeout = timeout;
+        self
+    }
+
+    /// Refuse unsigned packages.
+    pub fn require_signature(mut self, on: bool) -> Self {
+        self.cfg.require_signature = on;
+        self
+    }
+
+    /// Enable automatic load balancing.
+    pub fn load_balance(mut self, lb: LoadBalanceConfig) -> Self {
+        self.cfg.load_balance = Some(lb);
+        self
+    }
+
+    /// Invocation recovery policy.
+    pub fn invoke(mut self, policy: InvokePolicy) -> Self {
+        self.cfg.invoke = policy;
+        self
+    }
+
+    /// Zero-offer re-issue budget.
+    pub fn query_retries(mut self, retries: u32) -> Self {
+        self.cfg.query_retries = retries;
+        self
+    }
+
+    /// Enable the registry cache / coalescing / batching stack.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Select the registry backend.
+    pub fn registry(mut self, registry: RegistryConfig) -> Self {
+        self.cfg.registry = registry;
+        self
+    }
+
+    /// Tracing knobs.
+    pub fn tracing(mut self, tracing: TraceConfig) -> Self {
+        self.cfg.tracing = tracing;
+        self
+    }
+
+    /// Finish the chain.
+    pub fn build(self) -> NodeConfig {
+        self.cfg
     }
 }
 
@@ -427,6 +549,13 @@ impl NodeSeed {
         );
         if let Some(lb) = &self.config.load_balance {
             sim.send_in(jitter + lb.check_period, actor, TickMsg(Tick::LoadBalance));
+        }
+        if let RegistryConfig::Sharded(sc) = &self.config.registry {
+            // First maintenance tick publishes the pre-installed
+            // inventory (installed before the actor existed, so no
+            // runtime was there to publish through) and starts the
+            // gossip cadence.
+            sim.send_in(jitter + sc.gossip_period, actor, TickMsg(Tick::ShardMaintain));
         }
         actor
     }

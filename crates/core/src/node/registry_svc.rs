@@ -6,6 +6,7 @@
 
 use crate::deploy::{choose, ResolveAction};
 use crate::proto::{CtrlMsg, QueryId};
+use crate::registry::backend::{CoherenceRoute, ResolveStep, SearchRoute};
 use crate::registry::{ComponentQuery, InstanceId, Offer};
 use lc_net::HostId;
 use lc_pkg::Version;
@@ -20,21 +21,6 @@ use super::{NodeCmd, SpawnSink};
 /// time (1 ms up to 5 s).
 const CACHE_AGE_US_BUCKETS: [u64; 6] =
     [1_000, 10_000, 50_000, 250_000, 1_000_000, 5_000_000];
-
-/// Deterministic cache/coalescing key for a query. The `name:` prefix is
-/// parseable so invalidation can match by component name; `*` marks a
-/// wildcard (interface queries match any component and are invalidated
-/// by every coherence event).
-pub(crate) fn cache_key(q: &ComponentQuery) -> String {
-    format!(
-        "name:{}|provides:{}|minv:{}|cost:{}|mobile:{}",
-        q.name.as_deref().unwrap_or("*"),
-        q.provides.as_deref().unwrap_or("*"),
-        q.min_version.map_or_else(|| "*".to_owned(), |v| v.to_string()),
-        q.max_cost.map_or_else(|| "*".to_owned(), |c| c.to_string()),
-        q.require_mobile,
-    )
-}
 
 impl NodeState {
     /// Offers this node's own registry/repository can make for a query.
@@ -56,14 +42,17 @@ impl NodeCtx<'_, '_> {
             sink.borrow_mut().started = started;
         }
         let timeout = self.state.cfg.query_timeout;
-        let coalesce = self.state.cfg.cache.as_ref().is_some_and(|c| c.coalesce);
-        let key = (coalesce || self.state.query_cache.is_some()).then(|| cache_key(&query));
+        // Triage through the backend: cache hit, coalesce onto an
+        // in-flight identical query, or run a network search.
+        let step = {
+            let NodeState { backend, conts, .. } = &mut *self.state;
+            backend.resolve(&query, started, &|seq| conts.queries.contains_key(&seq))
+        };
 
-        // Cache hit: serve synchronously from the local result cache —
-        // no network search, no pending continuation.
-        if let (Some(k), Some(cache)) = (key.as_ref(), self.state.query_cache.as_mut()) {
-            if let Some((offers, age)) = cache.get(k, started) {
-                let offers = offers.clone();
+        match step {
+            // Cache hit: serve synchronously from the local result cache
+            // — no network search, no pending continuation.
+            ResolveStep::Hit { offers, age } => {
                 self.sim.metrics().incr("query.started");
                 self.sim.metrics().incr("cache.hits");
                 self.state.metrics.note("cache.hits");
@@ -82,103 +71,260 @@ impl NodeCtx<'_, '_> {
                 }
                 let f = QueryFollower { purpose, started, deadline: started };
                 self.resolve_follower(f, offers, &query, false, Some(age));
-                return;
             }
-            self.sim.metrics().incr("cache.misses");
-            self.state.metrics.note("cache.misses");
-        }
-
-        // Coalesce: an identical query is already in flight — ride it as
-        // a follower instead of spawning a second network search.
-        if coalesce {
-            if let Some(k) = key.as_deref() {
-                if let Some(leader) = self.state.coalescer.leader_of(&k.to_owned()) {
-                    if self.state.conts.queries.contains_key(&leader) {
-                        self.sim.metrics().incr("query.started");
-                        self.sim.metrics().incr("cache.coalesced");
-                        self.state.metrics.note("cache.coalesced");
-                        self.state.coalescer.note_coalesced();
-                        let tracer = self.state.tracer.clone();
-                        if let Some(sp) = tracer.complete(
-                            self.state.host.0,
-                            "registry.cache",
-                            tracer.current(),
-                            started,
-                            started,
-                        ) {
-                            tracer.set_attr(sp, "coalesced", "true");
-                            tracer.set_attr(sp, "leader_seq", &leader.to_string());
-                        }
-                        let deadline = started + timeout;
-                        if let Some(pq) = self.state.conts.queries.get_mut(&leader) {
-                            pq.followers.push(QueryFollower { purpose, started, deadline });
-                        }
-                        // The follower's own deadline needs a sweep tick
-                        // even if the leader never expires.
-                        self.timer_in(timeout, Tick::QueryDeadline(leader));
-                        return;
+            // Coalesce: an identical query is already in flight — ride it
+            // as a follower instead of spawning a second network search.
+            ResolveStep::Coalesce { leader, cache_missed } => {
+                if cache_missed {
+                    self.sim.metrics().incr("cache.misses");
+                    self.state.metrics.note("cache.misses");
+                }
+                self.sim.metrics().incr("query.started");
+                self.sim.metrics().incr("cache.coalesced");
+                self.state.metrics.note("cache.coalesced");
+                let tracer = self.state.tracer.clone();
+                if let Some(sp) = tracer.complete(
+                    self.state.host.0,
+                    "registry.cache",
+                    tracer.current(),
+                    started,
+                    started,
+                ) {
+                    tracer.set_attr(sp, "coalesced", "true");
+                    tracer.set_attr(sp, "leader_seq", &leader.to_string());
+                }
+                let deadline = started + timeout;
+                if let Some(pq) = self.state.conts.queries.get_mut(&leader) {
+                    pq.followers.push(QueryFollower { purpose, started, deadline });
+                }
+                // The follower's own deadline needs a sweep tick even if
+                // the leader never expires.
+                self.timer_in(timeout, Tick::QueryDeadline(leader));
+            }
+            ResolveStep::Search { key, cache_missed } => {
+                if cache_missed {
+                    self.sim.metrics().incr("cache.misses");
+                    self.state.metrics.note("cache.misses");
+                }
+                let seq = self.state.conts.next_seq();
+                let qid = QueryId { origin: self.state.host, seq };
+                // Root (or continue) the per-query trace: everything the
+                // search fans out — MRM hops, member queries, shard hops,
+                // offer replies — parents under this span until
+                // finalization ends it.
+                let tracer = self.state.tracer.clone();
+                let span = self
+                    .state
+                    .cfg
+                    .tracing
+                    .query_spans
+                    .then(|| tracer.span(self.state.host.0, "registry.query", started))
+                    .flatten();
+                if let Some(s) = span {
+                    if let Some(name) = &query.name {
+                        tracer.set_attr(s, "component", name);
                     }
-                    // Stale coalescer entry (leader already finalized
-                    // outside the normal path): clear and lead afresh.
-                    self.state.coalescer.finish(&k.to_owned());
+                    tracer.set_attr(s, "seq", &seq.to_string());
+                }
+                self.state.conts.queries.insert_with_deadline(
+                    seq,
+                    PendingQuery {
+                        purpose,
+                        offers: Vec::new(),
+                        started,
+                        first_offer_at: None,
+                        query: query.clone(),
+                        retries_left: self.state.cfg.query_retries,
+                        span,
+                        followers: Vec::new(),
+                        cache_key: key.clone(),
+                    },
+                    started + timeout,
+                );
+                if let Some(k) = key {
+                    self.state.backend.lead(&k, seq);
+                }
+                self.sim.metrics().incr("query.started");
+
+                let prev = span.map(|s| tracer.set_current(Some(s)));
+                // Answer locally first (own repository).
+                let local = self.state.local_offers_for(&query);
+                let mut done = false;
+                if !local.is_empty() {
+                    self.on_offers(qid, local);
+                    // first_wins completed instantly
+                    done = !self.state.conts.queries.contains_key(&seq);
+                }
+                if !done {
+                    self.issue_search(qid, query);
+                    self.timer_in(timeout, Tick::QueryDeadline(seq));
+                }
+                if let Some(prev) = prev {
+                    tracer.set_current(prev);
                 }
             }
         }
+    }
 
-        let seq = self.state.conts.next_seq();
-        let qid = QueryId { origin: self.state.host, seq };
-        // Root (or continue) the per-query trace: everything the search
-        // fans out — MRM hops, member queries, offer replies — parents
-        // under this span until finalization ends it.
+    /// Run the network search for a pending query along the backend's
+    /// route: up the MRM cohesion hierarchy, from the local shard store,
+    /// or into the shard finger overlay.
+    pub(crate) fn issue_search(&mut self, qid: QueryId, query: ComponentQuery) {
+        match self.state.backend.search_route(&query) {
+            SearchRoute::Hierarchy => {
+                // Send to our leaf-group MRM (first reachable replica).
+                // The hop is *ascending*: a miss at the group escalates
+                // to the parent ("request higher hierarchy level
+                // requests").
+                let targets = self.state.report_targets.clone();
+                self.send_query_to_first_reachable(&targets, qid, query, 0, false);
+            }
+            SearchRoute::ShardLocal { shard } => {
+                let now = self.sim.now();
+                if let Some(offers) = self.state.backend.shard_lookup(shard, &query, now) {
+                    if !offers.is_empty() {
+                        self.on_offers(qid, offers);
+                    }
+                }
+                // The shard store is authoritative for this key — the
+                // search is exhausted either way, synchronously.
+                if self.state.conts.queries.contains_key(&qid.seq) {
+                    self.finish_query(qid.seq);
+                }
+            }
+            SearchRoute::ShardHop { target, via } => {
+                self.shard_send(qid, query, target, via, 1);
+            }
+        }
+    }
+
+    /// Forward a shard lookup to the first reachable replica of `shard`
+    /// (`hops` counts this hop; a replica that is this host dispatches
+    /// locally without a wire message). Falls back to `QueryDone` toward
+    /// the origin when no replica is reachable — the origin's deadline
+    /// and retry budget are the backstop.
+    fn shard_send(
+        &mut self,
+        qid: QueryId,
+        query: ComponentQuery,
+        target: u32,
+        shard: u32,
+        hops: u32,
+    ) {
+        let replicas = self.state.backend.shard_replicas(shard);
+        for &r in &replicas {
+            if r == self.state.host {
+                self.shard_dispatch(qid, query, target, shard, hops);
+                return;
+            }
+            if self.state.net.reachable(self.state.host, r) {
+                let msg =
+                    CtrlMsg::ShardLookup { qid, query: query.clone(), target, at: shard, hops };
+                let size = msg.wire_size();
+                if self.net_send(r, size, msg).is_ok() {
+                    self.sim.metrics().incr("query.msgs");
+                    return;
+                }
+                break; // send failed despite reachable — give up hop
+            }
+            self.sim.metrics().incr("query.failover");
+        }
+        self.send_ctrl(qid.origin, CtrlMsg::QueryDone { qid });
+    }
+
+    /// Act for shard `at` on a travelling lookup: serve it when `at`
+    /// owns the key and this host replicates it, otherwise take one
+    /// greedy finger hop toward the owner. Hop-bounded by the ring's
+    /// budget so stale addressing cannot loop.
+    pub(crate) fn shard_dispatch(
+        &mut self,
+        qid: QueryId,
+        query: ComponentQuery,
+        target: u32,
+        at: u32,
+        hops: u32,
+    ) {
+        let now = self.sim.now();
+        if at == target {
+            if let Some(offers) = self.state.backend.shard_lookup(target, &query, now) {
+                let tracer = self.state.tracer.clone();
+                if let Some(sp) = tracer.complete(
+                    self.state.host.0,
+                    "registry.shard_serve",
+                    tracer.current(),
+                    now,
+                    now,
+                ) {
+                    tracer.set_attr(sp, "shard", &target.to_string());
+                    tracer.set_attr(sp, "hops", &hops.to_string());
+                    tracer.set_attr(sp, "offers", &offers.len().to_string());
+                }
+                if offers.is_empty() {
+                    self.send_ctrl(qid.origin, CtrlMsg::QueryDone { qid });
+                } else {
+                    // One message for answer + completion: two separate
+                    // sends can reorder under link jitter, and a done
+                    // arriving first finalizes the query empty.
+                    self.send_ctrl(qid.origin, CtrlMsg::ShardServe { qid, offers });
+                }
+                return;
+            }
+            // Stale addressing: this host no longer replicates the
+            // shard — re-route to the current replica set below.
+        }
+        if hops >= self.state.backend.max_hops() {
+            self.sim.metrics().incr("registry.shard_giveup");
+            self.send_ctrl(qid.origin, CtrlMsg::QueryDone { qid });
+            return;
+        }
+        let next = self.state.backend.shard_next_hop(at, target);
         let tracer = self.state.tracer.clone();
-        let span = tracer.span(self.state.host.0, "registry.query", started);
-        if let Some(s) = span {
-            if let Some(name) = &query.name {
-                tracer.set_attr(s, "component", name);
-            }
-            tracer.set_attr(s, "seq", &seq.to_string());
+        if let Some(sp) = tracer.complete(
+            self.state.host.0,
+            "registry.shard_hop",
+            tracer.current(),
+            now,
+            now,
+        ) {
+            tracer.set_attr(sp, "at", &at.to_string());
+            tracer.set_attr(sp, "next", &next.to_string());
+            tracer.set_attr(sp, "target", &target.to_string());
+            tracer.set_attr(sp, "hops", &hops.to_string());
         }
-        self.state.conts.queries.insert_with_deadline(
-            seq,
-            PendingQuery {
-                purpose,
-                offers: Vec::new(),
-                started,
-                first_offer_at: None,
-                query: query.clone(),
-                retries_left: self.state.cfg.query_retries,
-                span,
-                followers: Vec::new(),
-                cache_key: key.clone(),
-            },
-            started + timeout,
-        );
-        if coalesce {
-            if let Some(k) = key {
-                self.state.coalescer.lead(k, seq);
-            }
-        }
-        self.sim.metrics().incr("query.started");
+        self.sim.metrics().incr("registry.shard_hops");
+        self.shard_send(qid, query, target, next, hops + 1);
+    }
 
-        let prev = span.map(|s| tracer.set_current(Some(s)));
-        // Answer locally first (own repository).
-        let local = self.state.local_offers_for(&query);
-        let mut done = false;
-        if !local.is_empty() {
-            self.on_offers(qid, local);
-            done = !self.state.conts.queries.contains_key(&seq); // first_wins completed instantly
+    /// One sharded-registry maintenance round: refresh-publish the local
+    /// inventory to its owning shards (covering pre-spawn installs that
+    /// had no runtime to publish through) and exchange gossip digests
+    /// with peer replicas, then re-arm the cadence.
+    pub(crate) fn shard_maintain(&mut self) {
+        let Some(period) = self.state.backend.maintain_period() else { return };
+        let components: std::collections::BTreeSet<String> = self
+            .state
+            .repository
+            .iter()
+            .map(|p| p.descriptor.name.clone())
+            .collect();
+        for c in components {
+            if let CoherenceRoute::Shard { replicas } = self.state.backend.coherence_route(&c) {
+                self.publish_component(&c, false, &replicas);
+            }
         }
-        if !done {
-            // Send to our leaf-group MRM (first reachable replica). The hop
-            // is *ascending*: a miss at the group escalates to the parent
-            // ("request higher hierarchy level requests").
-            let targets = self.state.report_targets.clone();
-            self.send_query_to_first_reachable(&targets, qid, query, 0, false);
-            self.timer_in(timeout, Tick::QueryDeadline(seq));
+        let now = self.sim.now();
+        let digests = self.state.backend.gossip_digests(now);
+        let from = self.state.host;
+        for (to, shard, gens) in digests {
+            if self.state.net.reachable(from, to) {
+                let msg = CtrlMsg::GossipDigest { from, shard, gens };
+                let size = msg.wire_size();
+                if self.net_send(to, size, msg).is_ok() {
+                    self.sim.metrics().incr("registry.gossip_msgs");
+                }
+            }
         }
-        if let Some(prev) = prev {
-            tracer.set_current(prev);
-        }
+        self.timer_in(period, Tick::ShardMaintain);
     }
 
     fn send_query_to_first_reachable(
@@ -360,12 +506,7 @@ impl NodeCtx<'_, '_> {
         // the cache before the leader's sink consumes the offer vector.
         // Timed-out (partial) results are never cached.
         if let Some(k) = pq.cache_key.take() {
-            self.state.coalescer.finish(&k);
-            if !timed_out && !pq.offers.is_empty() {
-                if let Some(cache) = self.state.query_cache.as_mut() {
-                    cache.insert(k, pq.offers.clone(), now);
-                }
-            }
+            self.state.backend.complete(&k, &pq.offers, now, !timed_out);
         }
         let followers = std::mem::take(&mut pq.followers);
         let fan = (!followers.is_empty()).then(|| (pq.offers.clone(), pq.query.clone()));
@@ -549,9 +690,49 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
             }
         }
         CtrlMsg::Offers { qid, offers } => ctx.on_offers(qid, offers),
-        // Coherence broadcast: a peer's inventory changed — drop any
-        // cached results that could name the component.
+        // Coherence (broadcast or shard-targeted): a peer's inventory
+        // changed — drop any cached results that could name the
+        // component.
         CtrlMsg::CacheInvalidate { component, .. } => ctx.invalidate_cached(&component),
+        // A lookup travelling the shard finger overlay.
+        CtrlMsg::ShardLookup { qid, query, target, at, hops } => {
+            ctx.shard_dispatch(qid, query, target, at, hops);
+        }
+        // The owning replica's authoritative answer: record the offers
+        // and complete the query atomically.
+        CtrlMsg::ShardServe { qid, offers } => {
+            ctx.on_offers(qid, offers);
+            if ctx.state.conts.queries.contains_key(&qid.seq) {
+                ctx.finish_query(qid.seq);
+            }
+        }
+        // A publisher pushed its offers for one component to this shard
+        // replica.
+        CtrlMsg::ShardPublish { from, component, gen, at, offers } => {
+            let now = ctx.sim.now();
+            ctx.state.backend.on_shard_publish(&component, from, gen, at, offers, now);
+        }
+        // Anti-entropy: answer a peer replica's digest with whatever it
+        // is missing or holds at an older generation.
+        CtrlMsg::GossipDigest { from, shard, gens } => {
+            let now = ctx.sim.now();
+            let entries = ctx.state.backend.on_gossip_digest(shard, &gens, now);
+            if !entries.is_empty() {
+                let msg = CtrlMsg::GossipDelta { shard, entries };
+                let size = msg.wire_size();
+                if ctx.net_send(from, size, msg).is_ok() {
+                    ctx.sim.metrics().incr("registry.gossip_msgs");
+                }
+            }
+        }
+        // Anti-entropy repair delta from a peer replica.
+        CtrlMsg::GossipDelta { shard, entries } => {
+            let now = ctx.sim.now();
+            let repaired = ctx.state.backend.on_gossip_delta(shard, entries, now);
+            if repaired > 0 {
+                ctx.sim.metrics().add("registry.gossip_repaired", repaired as u64);
+            }
+        }
         // Best-effort completion signal.
         CtrlMsg::QueryDone { qid } if ctx.state.conts.queries.contains_key(&qid.seq) => {
             ctx.finish_query(qid.seq);
@@ -591,6 +772,10 @@ impl NodeService for RegistrySvc {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tick: Tick) {
+        if let Tick::ShardMaintain = tick {
+            ctx.shard_maintain();
+            return;
+        }
         if let Tick::QueryDeadline(_) = tick {
             // One sweep finalizes every query whose deadline has passed
             // (count- and order-identical to the old per-seq checks:
@@ -632,7 +817,6 @@ impl NodeService for RegistrySvc {
                     ctx.state.conts.queries.insert_with_deadline(seq, pq, now + timeout);
                     ctx.sim.metrics().incr("query.retries");
                     let qid = QueryId { origin: ctx.state.host, seq };
-                    let targets = ctx.state.report_targets.clone();
                     // The re-issue runs under a fresh span that *links*
                     // to the query root (retry, not a parent edge).
                     let tracer = ctx.state.tracer.clone();
@@ -643,7 +827,7 @@ impl NodeService for RegistrySvc {
                         tracer.link(r, o.span);
                     }
                     let prev = retry.map(|r| tracer.set_current(Some(r)));
-                    ctx.send_query_to_first_reachable(&targets, qid, query, 0, false);
+                    ctx.issue_search(qid, query);
                     if let Some(r) = retry {
                         tracer.end(r, now);
                     }
@@ -660,12 +844,15 @@ impl NodeService for RegistrySvc {
     }
 
     fn reflect(&self, state: &NodeState) -> ServiceReflect {
-        ServiceReflect {
-            kind: ServiceKind::Registry,
-            items: vec![
-                item("running instances", state.registry.instance_count()),
-                item("pending queries", state.conts.queries.len()),
-            ],
+        let mut items = vec![
+            item("running instances", state.registry.instance_count()),
+            item("pending queries", state.conts.queries.len()),
+        ];
+        // Only a sharded backend has a shard store to report — the
+        // single-leader reflection stays unchanged.
+        if state.backend.maintain_period().is_some() {
+            items.push(item("shard entries", state.backend.stats().shard_entries));
         }
+        ServiceReflect { kind: ServiceKind::Registry, items }
     }
 }

@@ -49,6 +49,9 @@ pub enum Tick {
     CallRetry(RequestId),
     /// Sweep the servant-side duplicate-suppression reply cache.
     DedupSweep,
+    /// Sharded-registry maintenance: republish the local inventory to
+    /// the owning shards and run one gossip anti-entropy round.
+    ShardMaintain,
 }
 
 /// Newtype so ticks route through the actor mailbox unambiguously.
@@ -112,7 +115,12 @@ pub(crate) fn ctrl_service(msg: &CtrlMsg) -> ServiceKind {
         CtrlMsg::Query { .. }
         | CtrlMsg::Offers { .. }
         | CtrlMsg::QueryDone { .. }
-        | CtrlMsg::CacheInvalidate { .. } => ServiceKind::Registry,
+        | CtrlMsg::CacheInvalidate { .. }
+        | CtrlMsg::ShardLookup { .. }
+        | CtrlMsg::ShardServe { .. }
+        | CtrlMsg::ShardPublish { .. }
+        | CtrlMsg::GossipDigest { .. }
+        | CtrlMsg::GossipDelta { .. } => ServiceKind::Registry,
         CtrlMsg::Fetch { .. }
         | CtrlMsg::PackageBytes { .. }
         | CtrlMsg::FetchFailed { .. }
@@ -131,7 +139,7 @@ pub(crate) fn tick_service(tick: &Tick) -> ServiceKind {
     match tick {
         Tick::KeepAlive | Tick::LoadBalance => ServiceKind::Resource,
         Tick::MrmSweep => ServiceKind::Cohesion,
-        Tick::QueryDeadline(_) => ServiceKind::Registry,
+        Tick::QueryDeadline(_) | Tick::ShardMaintain => ServiceKind::Registry,
         Tick::SendReply { .. } | Tick::CallSweep | Tick::CallRetry(_) | Tick::DedupSweep => {
             ServiceKind::Container
         }

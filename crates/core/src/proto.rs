@@ -199,6 +199,69 @@ pub enum CtrlMsg {
         component: String,
     },
 
+    // ---- sharded registry (DHT overlay + anti-entropy) ------------------
+    /// A component lookup travelling the shard finger overlay toward the
+    /// owning shard's replica set.
+    ShardLookup {
+        /// Query id (offers flow straight back to `qid.origin`).
+        qid: QueryId,
+        /// The query.
+        query: ComponentQuery,
+        /// Shard owning the queried component.
+        target: u32,
+        /// Shard the receiving replica acts for on this hop.
+        at: u32,
+        /// Hops taken so far (bounded by the ring's hop budget).
+        hops: u32,
+    },
+    /// The owning replica's authoritative answer: offers plus query
+    /// completion in ONE message, so link jitter cannot reorder the
+    /// offers behind the done marker (the origin would finalize empty
+    /// and drop the late offers as stale).
+    ShardServe {
+        /// Query id (delivered to `qid.origin`).
+        qid: QueryId,
+        /// The owning shard's offers for the query (non-empty; an empty
+        /// lookup completes with a plain [`CtrlMsg::QueryDone`]).
+        offers: Vec<Offer>,
+    },
+    /// A publisher pushes its current offers for one component to the
+    /// owning shard's replicas.
+    ShardPublish {
+        /// Publishing node.
+        from: lc_net::HostId,
+        /// Component whose inventory changed.
+        component: String,
+        /// Publisher's generation for this component (monotone; newer
+        /// wins, so reordered publishes cannot resurrect stale offers).
+        gen: u64,
+        /// Publisher's freshness stamp (virtual time of the refresh).
+        at: lc_des::SimTime,
+        /// The publisher's complete current offers for the component
+        /// (empty = deregistered).
+        offers: Vec<Offer>,
+    },
+    /// Anti-entropy digest: one replica's `(component, publisher,
+    /// generation)` view of a shard, sent to a peer replica on the
+    /// gossip cadence. Sent even when empty so a freshly (re)spawned
+    /// replica still solicits repair.
+    GossipDigest {
+        /// Sending replica.
+        from: lc_net::HostId,
+        /// Shard the digest describes.
+        shard: u32,
+        /// Generation triples.
+        gens: Vec<(String, lc_net::HostId, u64)>,
+    },
+    /// Anti-entropy repair: the entries the digest sender was missing or
+    /// held at an older generation.
+    GossipDelta {
+        /// Shard being repaired.
+        shard: u32,
+        /// Entries strictly ahead of the digest.
+        entries: Vec<DeltaEntry>,
+    },
+
     // ---- migration (§2.2) ----------------------------------------------
     /// Carry a passivated instance to a new node.
     MigrateIn {
@@ -268,7 +331,51 @@ impl CtrlMsg {
             CtrlMsg::OffloadQuery { .. } => 16,
             CtrlMsg::OffloadTarget { .. } => 8,
             CtrlMsg::CacheInvalidate { component, .. } => component.len() as u64 + 8,
+            CtrlMsg::ShardLookup { query, .. } => query.wire_size() + 20,
+            CtrlMsg::ShardServe { offers, .. } => {
+                8 + offers.iter().map(Offer::wire_size).sum::<u64>()
+            }
+            CtrlMsg::ShardPublish { component, offers, .. } => {
+                component.len() as u64
+                    + 24
+                    + offers.iter().map(Offer::wire_size).sum::<u64>()
+            }
+            CtrlMsg::GossipDigest { gens, .. } => {
+                8 + gens.iter().map(|(c, _, _)| c.len() as u64 + 16).sum::<u64>()
+            }
+            CtrlMsg::GossipDelta { entries, .. } => {
+                8 + entries.iter().map(DeltaEntry::wire_size).sum::<u64>()
+            }
         }
+    }
+}
+
+/// One repaired `(component, publisher)` inventory entry inside a
+/// [`CtrlMsg::GossipDelta`]. Carries the *sender's stored* freshness
+/// stamp — not the send time — so an entry the receiver already expired
+/// is re-adopted with its original deadline and both replicas retire it
+/// on the same virtual-time schedule (no resurrection ping-pong for dead
+/// publishers).
+#[derive(Clone, Debug)]
+pub struct DeltaEntry {
+    /// Component name.
+    pub component: String,
+    /// Publishing node.
+    pub publisher: lc_net::HostId,
+    /// Publisher generation.
+    pub gen: u64,
+    /// Freshness stamp as stored at the sender.
+    pub at: lc_des::SimTime,
+    /// The publisher's offers for the component.
+    pub offers: Vec<Offer>,
+}
+
+impl DeltaEntry {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        self.component.len() as u64
+            + 24
+            + self.offers.iter().map(Offer::wire_size).sum::<u64>()
     }
 }
 
@@ -315,5 +422,46 @@ mod tests {
 
         let q = CtrlMsg::QueryDone { qid: QueryId { origin: HostId(1), seq: 2 } };
         assert!(q.wire_size() < 64);
+    }
+
+    #[test]
+    fn shard_wire_sizes_scale_with_content() {
+        use crate::registry::ComponentQuery;
+        let lookup = CtrlMsg::ShardLookup {
+            qid: QueryId { origin: HostId(0), seq: 1 },
+            query: ComponentQuery::by_name("Counter", Version::new(1, 0)),
+            target: 3,
+            at: 1,
+            hops: 2,
+        };
+        assert!(lookup.wire_size() < 128);
+
+        let empty = CtrlMsg::GossipDigest { from: HostId(0), shard: 0, gens: Vec::new() };
+        let full = CtrlMsg::GossipDigest {
+            from: HostId(0),
+            shard: 0,
+            gens: (0..10).map(|i| (format!("C{i}"), HostId(i), i as u64)).collect(),
+        };
+        assert!(full.wire_size() > empty.wire_size() + 100);
+
+        let delta = CtrlMsg::GossipDelta {
+            shard: 0,
+            entries: vec![DeltaEntry {
+                component: "Counter".into(),
+                publisher: HostId(2),
+                gen: 4,
+                at: lc_des::SimTime::from_millis(10),
+                offers: Vec::new(),
+            }],
+        };
+        assert!(delta.wire_size() > empty.wire_size());
+        let publish = CtrlMsg::ShardPublish {
+            from: HostId(2),
+            component: "Counter".into(),
+            gen: 4,
+            at: lc_des::SimTime::from_millis(10),
+            offers: Vec::new(),
+        };
+        assert!(publish.wire_size() < delta.wire_size() + 16);
     }
 }

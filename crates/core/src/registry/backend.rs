@@ -1,0 +1,993 @@
+//! The `RegistryBackend` seam: everything the Component Registry
+//! service needs from "the place query results come from", behind one
+//! trait so the single-leader hierarchy path and the sharded DHT path
+//! are *configurations*, not inline branches.
+//!
+//! * [`SingleLeader`] — the PR-5 behaviour: a per-node result cache and
+//!   singleflight coalescer in front of the MRM hierarchy search, with
+//!   best-effort `CacheInvalidate` broadcasts for coherence. Selected
+//!   by default; byte-identical to the pre-trait runtime.
+//! * [`Sharded`] — the component inventory consistent-hashed over a
+//!   [`ShardRing`](super::shard::ShardRing): publishers push their
+//!   offers to the owning shard's replica set, lookups route
+//!   Chord-style through the finger overlay in O(log S) hops, and
+//!   replicas reconcile with gossip anti-entropy (per-publisher
+//!   generation vectors on a virtual-time cadence), so a lost publish
+//!   or invalidate has a convergence path beyond the TTL backstop.
+//!
+//! The registry service calls only this trait; the cache/coalescing
+//! layers live behind it.
+
+use crate::proto::DeltaEntry;
+use crate::registry::shard::{ShardRing, ShardRingConfig};
+use crate::registry::{ComponentQuery, Offer};
+use lc_cache::{CacheStats, Coalescer, GenVector, QueryCache};
+use lc_des::SimTime;
+use lc_net::HostId;
+use lc_pkg::Mobility;
+use std::collections::BTreeMap;
+
+/// Deterministic cache/coalescing key for a query. The `name:` prefix is
+/// parseable so invalidation can match by component name; `*` marks a
+/// wildcard (interface queries match any component and are invalidated
+/// by every coherence event).
+pub fn cache_key(q: &ComponentQuery) -> String {
+    format!(
+        "name:{}|provides:{}|minv:{}|cost:{}|mobile:{}",
+        q.name.as_deref().unwrap_or("*"),
+        q.provides.as_deref().unwrap_or("*"),
+        q.min_version.map_or_else(|| "*".to_owned(), |v| v.to_string()),
+        q.max_cost.map_or_else(|| "*".to_owned(), |c| c.to_string()),
+        q.require_mobile,
+    )
+}
+
+/// Parameters of the sharded backend: the ring shape plus the two
+/// virtual-time cadences that bound staleness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of logical shards.
+    pub shards: u32,
+    /// Hosts replicating each shard.
+    pub replicas: u32,
+    /// Consistent-hash ring points per host.
+    pub vnodes: u32,
+    /// Anti-entropy cadence: how often a replica republishes its own
+    /// inventory and exchanges gossip digests with its peers.
+    pub gossip_period: SimTime,
+    /// How long a publisher's entry survives without a refresh — the
+    /// liveness backstop that retires a crashed publisher's offers.
+    pub publish_ttl: SimTime,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 8,
+            replicas: 2,
+            vnodes: 8,
+            gossip_period: SimTime::from_millis(500),
+            publish_ttl: SimTime::from_secs(2),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// The ring-shape part of this configuration.
+    pub fn ring(&self) -> ShardRingConfig {
+        ShardRingConfig { shards: self.shards, replicas: self.replicas, vnodes: self.vnodes }
+    }
+}
+
+/// What [`RegistryBackend::resolve`] decided about a fresh query.
+pub enum ResolveStep {
+    /// Serve synchronously from the result cache.
+    Hit {
+        /// The cached offer set.
+        offers: Vec<Offer>,
+        /// The entry's age (surfaced as result staleness).
+        age: SimTime,
+    },
+    /// Ride an identical in-flight query as a follower.
+    Coalesce {
+        /// The leader's continuation sequence.
+        leader: u64,
+        /// A result-cache lookup ran and missed (metrics attribution).
+        cache_missed: bool,
+    },
+    /// No shortcut: run a network search. `key` is what the pending
+    /// query carries for singleflight/cache-fill at finalization.
+    Search {
+        /// The singleflight/cache key, when the backend wants one.
+        key: Option<String>,
+        /// A result-cache lookup ran and missed (metrics attribution).
+        cache_missed: bool,
+    },
+}
+
+/// Where a network search for a query goes.
+pub enum SearchRoute {
+    /// Ascend the MRM cohesion hierarchy (the paper's §2.4.3 path; also
+    /// the sharded backend's fallback for queries the shard store
+    /// cannot answer, e.g. interface queries).
+    Hierarchy,
+    /// This host replicates the owning shard: answer from the local
+    /// shard store, synchronously.
+    ShardLocal {
+        /// The owning shard.
+        shard: u32,
+    },
+    /// Enter the finger overlay: address a replica of shard `via` and
+    /// let it forward toward `target`.
+    ShardHop {
+        /// The shard owning the key.
+        target: u32,
+        /// First overlay hop (next finger from this host's home shard).
+        via: u32,
+    },
+}
+
+/// Where an inventory-change coherence event travels.
+pub enum CoherenceRoute {
+    /// Nowhere: coherence machinery is off (no cache configured).
+    Disabled,
+    /// Best-effort `CacheInvalidate` to every reachable peer (the
+    /// single-leader behaviour).
+    Broadcast,
+    /// Publish + invalidate only the owning shard's replica set.
+    Shard {
+        /// The replica set of the component's owning shard.
+        replicas: Vec<HostId>,
+    },
+}
+
+/// Counters the node surfaces from its backend.
+#[derive(Clone, Debug, Default)]
+pub struct BackendStats {
+    /// Result-cache counters, when result caching is enabled.
+    pub cache: Option<CacheStats>,
+    /// The cache's invalidation generation, when caching is enabled.
+    pub cache_generation: Option<u64>,
+    /// Queries merged onto an in-flight identical query.
+    pub coalesced: u64,
+    /// Publisher entries held in this host's shard stores.
+    pub shard_entries: usize,
+    /// Anti-entropy digest rounds initiated.
+    pub gossip_rounds: u64,
+}
+
+/// A shard's anti-entropy summary: `(component, publisher, generation)`
+/// triples for every entry a replica holds.
+pub type ShardDigest = Vec<(String, HostId, u64)>;
+
+/// The registry service's view of its resolution substrate.
+pub trait RegistryBackend {
+    /// Triage a fresh query: cache hit, coalesce onto a live leader
+    /// (`leader_live` says whether a sequence is still pending), or
+    /// search.
+    fn resolve(
+        &mut self,
+        query: &ComponentQuery,
+        now: SimTime,
+        leader_live: &dyn Fn(u64) -> bool,
+    ) -> ResolveStep;
+
+    /// Register `seq` as the singleflight leader for `key` (no-op when
+    /// coalescing is off).
+    fn lead(&mut self, key: &str, seq: u64);
+
+    /// A search finished: close the coalescing window and, when
+    /// `cacheable` (not timed out) and non-empty, fill the result cache.
+    fn complete(&mut self, key: &str, offers: &[Offer], now: SimTime, cacheable: bool);
+
+    /// Drop cached results that could name `component`. Returns how many
+    /// entries fell, or `None` when there is no cache layer at all (the
+    /// caller then skips coherence metrics, matching the cache-disabled
+    /// runtime byte-for-byte).
+    fn invalidate(&mut self, component: &str) -> Option<usize>;
+
+    /// Where a network search for this query goes.
+    fn search_route(&self, query: &ComponentQuery) -> SearchRoute;
+
+    /// Where an inventory-change event for `component` travels.
+    fn coherence_route(&self, component: &str) -> CoherenceRoute;
+
+    // ---- sharded surface (single-leader: inert defaults) -------------
+
+    /// Answer a query from the local store of `shard`. `None` when this
+    /// host does not replicate the shard (stale addressing).
+    fn shard_lookup(&mut self, _shard: u32, _query: &ComponentQuery, _now: SimTime) -> Option<Vec<Offer>> {
+        None
+    }
+
+    /// The replica set of a shard (empty when not sharded).
+    fn shard_replicas(&self, _shard: u32) -> Vec<HostId> {
+        Vec::new()
+    }
+
+    /// One finger hop from `at` toward `target`.
+    fn shard_next_hop(&self, _at: u32, target: u32) -> u32 {
+        target
+    }
+
+    /// Hop budget for overlay routing.
+    fn max_hops(&self) -> u32 {
+        0
+    }
+
+    /// This host's publication generation for `component`; `bump`
+    /// advances it (a real inventory change), a refresh reuses it.
+    fn publish_gen(&mut self, _component: &str, _bump: bool) -> u64 {
+        0
+    }
+
+    /// Absorb a publisher's offers for `component` (direct publish).
+    /// `at` is the publisher's freshness stamp. Returns whether the
+    /// store changed.
+    fn on_shard_publish(
+        &mut self,
+        _component: &str,
+        _publisher: HostId,
+        _gen: u64,
+        _at: SimTime,
+        _offers: Vec<Offer>,
+        _now: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// Expiry-sweep the local shard stores and produce one digest per
+    /// (peer replica, shard) pair: `(to, shard, (component, publisher,
+    /// generation) triples)`. Digests go out even when empty, so an
+    /// empty (respawned) replica still solicits repair deltas.
+    fn gossip_digests(&mut self, _now: SimTime) -> Vec<(HostId, u32, ShardDigest)> {
+        Vec::new()
+    }
+
+    /// Answer a peer's digest for `shard` with every entry this replica
+    /// holds at a strictly newer generation (or that the digest lacks).
+    fn on_gossip_digest(
+        &mut self,
+        _shard: u32,
+        _gens: &[(String, HostId, u64)],
+        _now: SimTime,
+    ) -> Vec<DeltaEntry> {
+        Vec::new()
+    }
+
+    /// Apply a peer's repair delta. Returns how many entries advanced.
+    fn on_gossip_delta(&mut self, _shard: u32, _entries: Vec<DeltaEntry>, _now: SimTime) -> usize {
+        0
+    }
+
+    /// The anti-entropy cadence, when this backend runs one.
+    fn maintain_period(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Counters for reflection and experiments.
+    fn stats(&self) -> BackendStats;
+}
+
+/// The result cache + singleflight front shared by both backends.
+struct CacheFront {
+    cache: Option<QueryCache<String, Vec<Offer>>>,
+    coalescer: Coalescer<String>,
+    coalesce: bool,
+}
+
+impl CacheFront {
+    fn new(cache_ttl: Option<SimTime>, coalesce: bool) -> Self {
+        CacheFront {
+            cache: cache_ttl.map(QueryCache::new),
+            coalescer: Coalescer::new(),
+            coalesce,
+        }
+    }
+
+    /// The shared resolve triage. `want_key_always` forces a key even
+    /// without a cache/coalescer (the sharded backend routes by it).
+    fn resolve(
+        &mut self,
+        want_key_always: bool,
+        query: &ComponentQuery,
+        now: SimTime,
+        leader_live: &dyn Fn(u64) -> bool,
+    ) -> ResolveStep {
+        let key = (want_key_always || self.coalesce || self.cache.is_some())
+            .then(|| cache_key(query));
+        let mut cache_missed = false;
+        if let (Some(k), Some(cache)) = (key.as_ref(), self.cache.as_mut()) {
+            if let Some((offers, age)) = cache.get(k, now) {
+                return ResolveStep::Hit { offers: offers.clone(), age };
+            }
+            cache_missed = true;
+        }
+        if self.coalesce {
+            if let Some(k) = key.as_deref() {
+                if let Some(leader) = self.coalescer.leader_of(&k.to_owned()) {
+                    if leader_live(leader) {
+                        self.coalescer.note_coalesced();
+                        return ResolveStep::Coalesce { leader, cache_missed };
+                    }
+                    // Stale entry (leader finalized outside the normal
+                    // path): clear and lead afresh.
+                    self.coalescer.finish(&k.to_owned());
+                }
+            }
+        }
+        ResolveStep::Search { key, cache_missed }
+    }
+
+    fn lead(&mut self, key: &str, seq: u64) {
+        if self.coalesce {
+            self.coalescer.lead(key.to_owned(), seq);
+        }
+    }
+
+    fn complete(&mut self, key: &str, offers: &[Offer], now: SimTime, cacheable: bool) {
+        self.coalescer.finish(&key.to_owned());
+        if cacheable && !offers.is_empty() {
+            if let Some(cache) = self.cache.as_mut() {
+                cache.insert(key.to_owned(), offers.to_vec(), now);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, component: &str) -> Option<usize> {
+        let cache = self.cache.as_mut()?;
+        let name_key = format!("name:{component}|");
+        Some(cache.invalidate_matching(|key, offers| {
+            key.starts_with(&name_key)
+                || key.starts_with("name:*|")
+                || offers.iter().any(|o| o.component == component)
+        }))
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            cache_generation: self.cache.as_ref().map(|c| c.generation()),
+            coalesced: self.coalescer.coalesced(),
+            shard_entries: 0,
+            gossip_rounds: 0,
+        }
+    }
+}
+
+/// The PR-5 runtime as a backend: cache + coalescer in front of the MRM
+/// hierarchy, coherence by best-effort broadcast.
+pub struct SingleLeader {
+    front: CacheFront,
+    /// Coherence events travel iff a `CacheConfig` exists at all (even
+    /// one with result caching off still broadcasts, matching the
+    /// pre-trait runtime).
+    coherence: bool,
+}
+
+impl SingleLeader {
+    /// Build from the node's cache configuration.
+    pub fn new(cache: Option<&crate::node::CacheConfig>) -> Self {
+        let ttl = cache.filter(|c| c.cache_results).map(|c| c.ttl);
+        let coalesce = cache.is_some_and(|c| c.coalesce);
+        SingleLeader { front: CacheFront::new(ttl, coalesce), coherence: cache.is_some() }
+    }
+}
+
+impl RegistryBackend for SingleLeader {
+    fn resolve(
+        &mut self,
+        query: &ComponentQuery,
+        now: SimTime,
+        leader_live: &dyn Fn(u64) -> bool,
+    ) -> ResolveStep {
+        self.front.resolve(false, query, now, leader_live)
+    }
+
+    fn lead(&mut self, key: &str, seq: u64) {
+        self.front.lead(key, seq);
+    }
+
+    fn complete(&mut self, key: &str, offers: &[Offer], now: SimTime, cacheable: bool) {
+        self.front.complete(key, offers, now, cacheable);
+    }
+
+    fn invalidate(&mut self, component: &str) -> Option<usize> {
+        self.front.invalidate(component)
+    }
+
+    fn search_route(&self, _query: &ComponentQuery) -> SearchRoute {
+        SearchRoute::Hierarchy
+    }
+
+    fn coherence_route(&self, _component: &str) -> CoherenceRoute {
+        if self.coherence {
+            CoherenceRoute::Broadcast
+        } else {
+            CoherenceRoute::Disabled
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.front.stats()
+    }
+}
+
+/// One publisher's inventory for one component at one replica.
+struct PubEntry {
+    gen: u64,
+    /// Freshness stamp (virtual time of the publisher's last refresh as
+    /// observed along the publish/gossip path).
+    at: SimTime,
+    offers: Vec<Offer>,
+}
+
+/// Does an offer satisfy a (name-routed) query? Interface (`provides`)
+/// queries never reach the shard store — the router sends them down the
+/// hierarchy — so only the offer-expressible predicates apply.
+fn offer_matches(o: &Offer, q: &ComponentQuery) -> bool {
+    if let Some(name) = &q.name {
+        if &o.component != name {
+            return false;
+        }
+    }
+    if let Some(min) = q.min_version {
+        if !o.version.satisfies(min) {
+            return false;
+        }
+    }
+    if let Some(max) = q.max_cost {
+        if o.cost_per_hour > max {
+            return false;
+        }
+    }
+    if q.require_mobile && o.mobility != Mobility::Mobile {
+        return false;
+    }
+    true
+}
+
+/// The sharded backend: the same cache/coalescer front, with the
+/// component inventory consistent-hashed over the ring and reconciled
+/// by gossip.
+pub struct Sharded {
+    front: CacheFront,
+    host: HostId,
+    ring: ShardRing,
+    cfg: ShardConfig,
+    /// Shards this host replicates.
+    my_shards: Vec<u32>,
+    /// This host's home shard (overlay entry point for lookups).
+    home: u32,
+    /// shard → component → publisher → entry.
+    store: BTreeMap<u32, BTreeMap<String, BTreeMap<HostId, PubEntry>>>,
+    /// This host's publication generations, one monotone counter
+    /// stamped per component on real changes.
+    next_gen: u64,
+    my_gens: BTreeMap<String, u64>,
+    gossip_rounds: u64,
+}
+
+impl Sharded {
+    /// Build from the node's cache configuration, the shard parameters
+    /// and the fabric's (full, shared) host list.
+    pub fn new(
+        cache: Option<&crate::node::CacheConfig>,
+        cfg: &ShardConfig,
+        host: HostId,
+        hosts: &[HostId],
+    ) -> Self {
+        let ttl = cache.filter(|c| c.cache_results).map(|c| c.ttl);
+        let coalesce = cache.is_some_and(|c| c.coalesce);
+        let ring = ShardRing::build(hosts, &cfg.ring());
+        let my_shards = ring.shards_of(host);
+        let home = ring.home_shard(host);
+        Sharded {
+            front: CacheFront::new(ttl, coalesce),
+            host,
+            ring,
+            cfg: cfg.clone(),
+            my_shards,
+            home,
+            store: BTreeMap::new(),
+            next_gen: 0,
+            my_gens: BTreeMap::new(),
+            gossip_rounds: 0,
+        }
+    }
+
+    /// The ring (for tests and experiments).
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Apply one entry if it is news: a strictly newer generation wins,
+    /// and an equal generation with an equal-or-newer freshness stamp
+    /// refreshes (keeps a live publisher's entry from expiring).
+    fn apply(
+        &mut self,
+        shard: u32,
+        component: &str,
+        publisher: HostId,
+        gen: u64,
+        at: SimTime,
+        offers: Vec<Offer>,
+    ) -> bool {
+        let by_pub = self
+            .store
+            .entry(shard)
+            .or_default()
+            .entry(component.to_owned())
+            .or_default();
+        match by_pub.get_mut(&publisher) {
+            Some(e) if gen < e.gen || (gen == e.gen && at < e.at) => false,
+            Some(e) => {
+                let changed = gen > e.gen;
+                e.gen = gen;
+                e.at = at;
+                e.offers = offers;
+                changed
+            }
+            None => {
+                by_pub.insert(publisher, PubEntry { gen, at, offers });
+                true
+            }
+        }
+    }
+
+    /// Drop entries whose freshness stamp aged past `publish_ttl`.
+    fn expire(&mut self, now: SimTime) {
+        let ttl = self.cfg.publish_ttl;
+        for by_comp in self.store.values_mut() {
+            for by_pub in by_comp.values_mut() {
+                by_pub.retain(|_, e| now.saturating_sub(e.at) < ttl);
+            }
+            by_comp.retain(|_, by_pub| !by_pub.is_empty());
+        }
+    }
+}
+
+impl RegistryBackend for Sharded {
+    fn resolve(
+        &mut self,
+        query: &ComponentQuery,
+        now: SimTime,
+        leader_live: &dyn Fn(u64) -> bool,
+    ) -> ResolveStep {
+        // Always key: the pending query's key doubles as the shard
+        // routing input at retry time.
+        self.front.resolve(true, query, now, leader_live)
+    }
+
+    fn lead(&mut self, key: &str, seq: u64) {
+        self.front.lead(key, seq);
+    }
+
+    fn complete(&mut self, key: &str, offers: &[Offer], now: SimTime, cacheable: bool) {
+        self.front.complete(key, offers, now, cacheable);
+    }
+
+    fn invalidate(&mut self, component: &str) -> Option<usize> {
+        self.front.invalidate(component)
+    }
+
+    fn search_route(&self, query: &ComponentQuery) -> SearchRoute {
+        // The shard store indexes by component name and cannot evaluate
+        // interface-subtyping predicates — those stay on the hierarchy.
+        let Some(name) = query.name.as_deref().filter(|_| query.provides.is_none()) else {
+            return SearchRoute::Hierarchy;
+        };
+        let target = self.ring.shard_of_component(name);
+        if self.ring.is_replica(target, self.host) {
+            SearchRoute::ShardLocal { shard: target }
+        } else {
+            let via = if self.home == target {
+                target
+            } else {
+                self.ring.next_hop(self.home, target)
+            };
+            SearchRoute::ShardHop { target, via }
+        }
+    }
+
+    fn coherence_route(&self, component: &str) -> CoherenceRoute {
+        let shard = self.ring.shard_of_component(component);
+        CoherenceRoute::Shard { replicas: self.ring.replicas(shard).to_vec() }
+    }
+
+    fn shard_lookup(&mut self, shard: u32, query: &ComponentQuery, _now: SimTime) -> Option<Vec<Offer>> {
+        if !self.ring.is_replica(shard, self.host) {
+            return None;
+        }
+        let mut out: Vec<Offer> = Vec::new();
+        if let Some(by_comp) = self.store.get(&shard) {
+            let comps: Box<dyn Iterator<Item = &BTreeMap<HostId, PubEntry>>> =
+                match query.name.as_deref() {
+                    Some(name) => Box::new(by_comp.get(name).into_iter()),
+                    None => Box::new(by_comp.values()),
+                };
+            for by_pub in comps {
+                for e in by_pub.values() {
+                    for o in &e.offers {
+                        if offer_matches(o, query)
+                            && !out.iter().any(|x| {
+                                x.node == o.node
+                                    && x.component == o.component
+                                    && x.version == o.version
+                            })
+                        {
+                            out.push(o.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn shard_replicas(&self, shard: u32) -> Vec<HostId> {
+        self.ring.replicas(shard).to_vec()
+    }
+
+    fn shard_next_hop(&self, at: u32, target: u32) -> u32 {
+        if at == target {
+            target
+        } else {
+            self.ring.next_hop(at, target)
+        }
+    }
+
+    fn max_hops(&self) -> u32 {
+        self.ring.max_hops()
+    }
+
+    fn publish_gen(&mut self, component: &str, bump: bool) -> u64 {
+        if bump || !self.my_gens.contains_key(component) {
+            self.next_gen += 1;
+            self.my_gens.insert(component.to_owned(), self.next_gen);
+        }
+        self.my_gens.get(component).copied().unwrap_or(0)
+    }
+
+    fn on_shard_publish(
+        &mut self,
+        component: &str,
+        publisher: HostId,
+        gen: u64,
+        at: SimTime,
+        offers: Vec<Offer>,
+        _now: SimTime,
+    ) -> bool {
+        let shard = self.ring.shard_of_component(component);
+        if !self.ring.is_replica(shard, self.host) {
+            return false; // stale addressing (e.g. ring drift across configs)
+        }
+        self.apply(shard, component, publisher, gen, at, offers)
+    }
+
+    fn gossip_digests(&mut self, now: SimTime) -> Vec<(HostId, u32, ShardDigest)> {
+        self.expire(now);
+        self.gossip_rounds += 1;
+        let mut out = Vec::new();
+        for &shard in &self.my_shards {
+            let gens: Vec<(String, HostId, u64)> = self
+                .store
+                .get(&shard)
+                .map(|by_comp| {
+                    by_comp
+                        .iter()
+                        .flat_map(|(c, by_pub)| {
+                            by_pub.iter().map(move |(&p, e)| (c.clone(), p, e.gen))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for &peer in self.ring.replicas(shard) {
+                if peer != self.host {
+                    out.push((peer, shard, gens.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    fn on_gossip_digest(
+        &mut self,
+        shard: u32,
+        gens: &[(String, HostId, u64)],
+        now: SimTime,
+    ) -> Vec<DeltaEntry> {
+        if !self.ring.is_replica(shard, self.host) {
+            return Vec::new();
+        }
+        self.expire(now);
+        // Fold the peer's digest into per-component generation vectors,
+        // then ship everything we hold strictly ahead of (or absent
+        // from) the peer's view.
+        let mut theirs: BTreeMap<&str, GenVector> = BTreeMap::new();
+        for (c, p, g) in gens {
+            theirs.entry(c.as_str()).or_default().observe(p.0 as u64, *g);
+        }
+        let Some(by_comp) = self.store.get(&shard) else { return Vec::new() };
+        let mut out = Vec::new();
+        for (c, by_pub) in by_comp {
+            for (&p, e) in by_pub {
+                let known = theirs.get(c.as_str()).map_or(0, |v| v.get(p.0 as u64));
+                if e.gen > known {
+                    out.push(DeltaEntry {
+                        component: c.clone(),
+                        publisher: p,
+                        gen: e.gen,
+                        at: e.at,
+                        offers: e.offers.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn on_gossip_delta(&mut self, shard: u32, entries: Vec<DeltaEntry>, _now: SimTime) -> usize {
+        if !self.ring.is_replica(shard, self.host) {
+            return 0;
+        }
+        let mut advanced = 0;
+        for e in entries {
+            if self.ring.shard_of_component(&e.component) != shard {
+                continue;
+            }
+            if self.apply(shard, &e.component, e.publisher, e.gen, e.at, e.offers) {
+                advanced += 1;
+            }
+        }
+        advanced
+    }
+
+    fn maintain_period(&self) -> Option<SimTime> {
+        Some(self.cfg.gossip_period)
+    }
+
+    fn stats(&self) -> BackendStats {
+        let mut s = self.front.stats();
+        s.shard_entries = self
+            .store
+            .values()
+            .flat_map(|by_comp| by_comp.values())
+            .map(|by_pub| by_pub.len())
+            .sum();
+        s.gossip_rounds = self.gossip_rounds;
+        s
+    }
+}
+
+/// Construct the backend a node's configuration selects.
+pub fn make_backend(
+    cfg: &crate::node::NodeConfig,
+    host: HostId,
+    hosts: &[HostId],
+) -> Box<dyn RegistryBackend> {
+    match &cfg.registry {
+        crate::node::RegistryConfig::SingleLeader => {
+            Box::new(SingleLeader::new(cfg.cache.as_ref()))
+        }
+        crate::node::RegistryConfig::Sharded(sc) => {
+            Box::new(Sharded::new(cfg.cache.as_ref(), sc, host, hosts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_pkg::Version;
+
+    const MS: fn(u64) -> SimTime = SimTime::from_millis;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    fn offer(node: u32, component: &str) -> Offer {
+        Offer {
+            node: HostId(node),
+            component: component.into(),
+            version: Version::new(1, 0),
+            mobility: Mobility::Mobile,
+            cost_per_hour: 0,
+            package_size: 1000,
+            load: 0.0,
+            running_instance: None,
+        }
+    }
+
+    /// Two replicas of a two-host ring (replicas=2 → every shard lives
+    /// on both hosts), as sharded backends.
+    fn replica_pair() -> (Sharded, Sharded) {
+        let cfg = ShardConfig { shards: 4, replicas: 2, vnodes: 4, ..Default::default() };
+        let hs = hosts(2);
+        (
+            Sharded::new(None, &cfg, HostId(0), &hs),
+            Sharded::new(None, &cfg, HostId(1), &hs),
+        )
+    }
+
+    /// One full anti-entropy exchange: `a` digests to `b`, `b` replies
+    /// with its delta, and vice versa. Returns entries applied.
+    fn gossip_round(a: &mut Sharded, b: &mut Sharded, now: SimTime) -> usize {
+        let mut applied = 0;
+        for (to, shard, gens) in a.gossip_digests(now) {
+            assert_eq!(to, HostId(1));
+            let delta = b.on_gossip_digest(shard, &gens, now);
+            applied += a.on_gossip_delta(shard, delta, now);
+        }
+        for (to, shard, gens) in b.gossip_digests(now) {
+            assert_eq!(to, HostId(0));
+            let delta = a.on_gossip_digest(shard, &gens, now);
+            applied += b.on_gossip_delta(shard, delta, now);
+        }
+        applied
+    }
+
+    #[test]
+    fn missed_publish_converges_via_anti_entropy() {
+        let (mut a, mut b) = replica_pair();
+        let q = ComponentQuery::by_name("X", Version::new(1, 0));
+        let shard = a.ring().shard_of_component("X");
+        // The publish reached replica A but the fabric lost B's copy
+        // (the missed-broadcast case): only A can answer.
+        assert!(a.on_shard_publish("X", HostId(0), 1, MS(10), vec![offer(0, "X")], MS(10)));
+        assert_eq!(a.shard_lookup(shard, &q, MS(20)).map(|o| o.len()), Some(1));
+        assert_eq!(b.shard_lookup(shard, &q, MS(20)).map(|o| o.len()), Some(0));
+        // One gossip round repairs B; a second round is quiescent.
+        assert_eq!(gossip_round(&mut a, &mut b, MS(30)), 1);
+        assert_eq!(b.shard_lookup(shard, &q, MS(40)).map(|o| o.len()), Some(1));
+        assert_eq!(gossip_round(&mut a, &mut b, MS(50)), 0, "converged replicas stay quiet");
+    }
+
+    #[test]
+    fn missed_invalidate_converges_to_removal() {
+        let (mut a, mut b) = replica_pair();
+        let q = ComponentQuery::by_name("X", Version::new(1, 0));
+        let shard = a.ring().shard_of_component("X");
+        // Both replicas hold generation 1 …
+        a.on_shard_publish("X", HostId(0), 1, MS(10), vec![offer(0, "X")], MS(10));
+        b.on_shard_publish("X", HostId(0), 1, MS(10), vec![offer(0, "X")], MS(10));
+        // … then the publisher's inventory empties (deregister) and only
+        // A hears about it — the lost-CacheInvalidate analogue.
+        a.on_shard_publish("X", HostId(0), 2, MS(20), Vec::new(), MS(20));
+        assert_eq!(a.shard_lookup(shard, &q, MS(25)).map(|o| o.len()), Some(0));
+        assert_eq!(b.shard_lookup(shard, &q, MS(25)).map(|o| o.len()), Some(1), "B is stale");
+        assert_eq!(gossip_round(&mut a, &mut b, MS(30)), 1);
+        assert_eq!(b.shard_lookup(shard, &q, MS(35)).map(|o| o.len()), Some(0), "B converged");
+    }
+
+    #[test]
+    fn stale_generations_never_regress_the_store() {
+        let (mut a, _) = replica_pair();
+        let q = ComponentQuery::by_name("X", Version::new(1, 0));
+        let shard = a.ring().shard_of_component("X");
+        a.on_shard_publish("X", HostId(0), 3, MS(30), Vec::new(), MS(30));
+        // A reordered older publish must not resurrect the offers.
+        assert!(!a.on_shard_publish("X", HostId(0), 2, MS(10), vec![offer(0, "X")], MS(31)));
+        assert_eq!(a.shard_lookup(shard, &q, MS(32)).map(|o| o.len()), Some(0));
+    }
+
+    #[test]
+    fn publisher_entries_expire_without_refresh() {
+        let cfg = ShardConfig {
+            shards: 4,
+            replicas: 2,
+            vnodes: 4,
+            publish_ttl: MS(100),
+            ..Default::default()
+        };
+        let hs = hosts(2);
+        let mut a = Sharded::new(None, &cfg, HostId(0), &hs);
+        let q = ComponentQuery::by_name("X", Version::new(1, 0));
+        let shard = a.ring().shard_of_component("X");
+        a.on_shard_publish("X", HostId(1), 1, MS(0), vec![offer(1, "X")], MS(0));
+        // Refresh (same generation, newer stamp) keeps it alive …
+        a.on_shard_publish("X", HostId(1), 1, MS(80), vec![offer(1, "X")], MS(80));
+        a.gossip_digests(MS(150)); // sweep at 150: age 70 < ttl
+        assert_eq!(a.shard_lookup(shard, &q, MS(150)).map(|o| o.len()), Some(1));
+        // … but a crashed publisher's entry ages out.
+        a.gossip_digests(MS(200)); // age 120 >= ttl
+        assert_eq!(a.shard_lookup(shard, &q, MS(200)).map(|o| o.len()), Some(0));
+        assert_eq!(a.stats().shard_entries, 0);
+    }
+
+    #[test]
+    fn lookup_filters_by_query_predicates() {
+        let (mut a, _) = replica_pair();
+        let shard = a.ring().shard_of_component("X");
+        let mut pay = offer(0, "X");
+        pay.cost_per_hour = 100;
+        pay.version = Version::new(1, 5);
+        pay.mobility = Mobility::Fixed;
+        a.on_shard_publish("X", HostId(0), 1, MS(0), vec![offer(1, "X"), pay], MS(0));
+        let all = ComponentQuery::by_name("X", Version::new(1, 0));
+        assert_eq!(a.shard_lookup(shard, &all, MS(1)).map(|o| o.len()), Some(2));
+        let newer = ComponentQuery::by_name("X", Version::new(1, 5));
+        assert_eq!(a.shard_lookup(shard, &newer, MS(1)).map(|o| o.len()), Some(1));
+        let mut cheap = ComponentQuery::by_name("X", Version::new(1, 0));
+        cheap.max_cost = Some(50);
+        assert_eq!(a.shard_lookup(shard, &cheap, MS(1)).map(|o| o.len()), Some(1));
+        let mut mobile = ComponentQuery::by_name("X", Version::new(1, 0));
+        mobile.require_mobile = true;
+        assert_eq!(a.shard_lookup(shard, &mobile, MS(1)).map(|o| o.len()), Some(1));
+        // not a replica of some other shard → None, not empty
+        let other = (0..4).find(|s| !a.ring().is_replica(*s, HostId(0)));
+        assert_eq!(other, None, "2 hosts, 2 replicas: replica of everything");
+    }
+
+    #[test]
+    fn routes_pick_shard_paths_only_for_name_queries() {
+        let cfg = ShardConfig { shards: 8, replicas: 2, vnodes: 8, ..Default::default() };
+        let hs = hosts(16);
+        let s = Sharded::new(None, &cfg, HostId(3), &hs);
+        // interface query → hierarchy
+        let iq = ComponentQuery::by_interface("IDL:Display:1.0");
+        assert!(matches!(s.search_route(&iq), SearchRoute::Hierarchy));
+        // name queries → shard-local or overlay hop
+        let mut local = 0;
+        let mut hop = 0;
+        for i in 0..32 {
+            let q = ComponentQuery::by_name(&format!("C{i}"), Version::new(1, 0));
+            match s.search_route(&q) {
+                SearchRoute::ShardLocal { shard } => {
+                    assert!(s.ring().is_replica(shard, HostId(3)));
+                    local += 1;
+                }
+                SearchRoute::ShardHop { target, via } => {
+                    assert!(!s.ring().is_replica(target, HostId(3)));
+                    assert!(via == target || s.ring().fingers(s.ring().home_shard(HostId(3))).contains(&via));
+                    hop += 1;
+                }
+                SearchRoute::Hierarchy => panic!("name query must route through shards"),
+            }
+        }
+        assert!(hop > 0, "16 hosts / 8 shards: most lookups need the overlay");
+        assert!(local + hop == 32);
+    }
+
+    #[test]
+    fn single_leader_front_matches_cache_semantics() {
+        let cache = crate::node::CacheConfig::default();
+        let mut b = SingleLeader::new(Some(&cache));
+        let q = ComponentQuery::by_name("X", Version::new(1, 0));
+        let live = |_: u64| true;
+        // miss → search with a key
+        let step = b.resolve(&q, MS(0), &live);
+        let key = match step {
+            ResolveStep::Search { key: Some(k), cache_missed: true } => k,
+            _ => panic!("expected keyed search with a cache miss"),
+        };
+        b.lead(&key, 7);
+        // identical query coalesces onto the live leader
+        match b.resolve(&q, MS(1), &live) {
+            ResolveStep::Coalesce { leader: 7, cache_missed: true } => {}
+            _ => panic!("expected coalesce onto seq 7"),
+        }
+        // completion fills the cache; next query hits
+        b.complete(&key, &[offer(2, "X")], MS(2), true);
+        match b.resolve(&q, MS(3), &live) {
+            ResolveStep::Hit { offers, age } => {
+                assert_eq!(offers.len(), 1);
+                assert_eq!(age, MS(1));
+            }
+            _ => panic!("expected a cache hit"),
+        }
+        // invalidation drops it again
+        assert_eq!(b.invalidate("X"), Some(1));
+        assert!(matches!(b.resolve(&q, MS(4), &live), ResolveStep::Search { .. }));
+        assert!(matches!(b.coherence_route("X"), CoherenceRoute::Broadcast));
+        // no cache config at all: no key, no coherence, invalidate = None
+        let mut none = SingleLeader::new(None);
+        assert!(matches!(
+            none.resolve(&q, MS(0), &live),
+            ResolveStep::Search { key: None, cache_missed: false }
+        ));
+        assert_eq!(none.invalidate("X"), None);
+        assert!(matches!(none.coherence_route("X"), CoherenceRoute::Disabled));
+    }
+}

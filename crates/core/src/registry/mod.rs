@@ -10,6 +10,9 @@
 //! ([`InstanceInfo::add_provides`] etc.), and the registry reflects that
 //! immediately.
 
+pub mod backend;
+pub mod shard;
+
 use crate::repository::ComponentRepository;
 use lc_idl::Repository;
 use lc_net::HostId;

@@ -317,6 +317,20 @@ impl Net {
         (hs.bytes_sent, hs.bytes_recv)
     }
 
+    /// The hottest receiver so far: `(host, bytes received)`, lowest id
+    /// on ties. The hotspot metric of the registry experiments — a
+    /// single-leader registry concentrates query traffic here.
+    pub fn max_recv(&self) -> (HostId, u64) {
+        let inner = self.inner.borrow();
+        let mut best = (HostId(0), 0u64);
+        for (i, h) in inner.hosts.iter().enumerate() {
+            if h.bytes_recv > best.1 {
+                best = (HostId(i as u32), h.bytes_recv);
+            }
+        }
+        best
+    }
+
     /// Would a message from `a` to `b` currently be deliverable?
     pub fn reachable(&self, a: HostId, b: HostId) -> bool {
         let inner = self.inner.borrow();
@@ -870,6 +884,7 @@ mod tests {
         assert_eq!(sim.metrics_ref().counter("net.bytes.inter"), 0);
         assert_eq!(net.host_traffic(h0).0, 500);
         assert_eq!(net.host_traffic(h1).1, 500);
+        assert_eq!(net.max_recv(), (h1, 500));
     }
 
     #[test]
