@@ -4,15 +4,22 @@
 set -eu
 cd "$(dirname "$0")"
 
+# Determinism & API-hygiene gate runs FIRST: the protocol-flow rules
+# (P1-P3, D7) plus the per-file rules must pass with zero unsuppressed
+# violations against the checked-in baseline (which may only shrink --
+# a stale entry fails too) before anything else is built or run.
+# --stats keeps the unwrap budget trajectory visible across PRs, and
+# the JSON stats document is a committed artefact: any drift in rule
+# counts without a matching LINT_STATS.json update fails the gate.
+cargo run -q -p lc-lint -- --workspace --baseline lint-baseline.txt --stats
+cargo run -q -p lc-lint -- --workspace --baseline lint-baseline.txt --format json \
+  > target/lint_stats.json
+diff target/lint_stats.json LINT_STATS.json
+rm -f target/lint_stats.json
+
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
-
-# Determinism & API-hygiene gate: lc-lint must pass with zero
-# unsuppressed violations against the checked-in baseline (which may
-# only shrink -- a stale entry fails too). --stats keeps the unwrap
-# budget trajectory visible across PRs.
-cargo run --release -q -p lc-lint -- --workspace --baseline lint-baseline.txt --stats
 
 # Fault-injection determinism gate: the same seeds must reproduce the
 # same faults, retries and recoveries byte-for-byte (E10 prints only
@@ -47,9 +54,9 @@ rm -f /tmp/e12_run1.txt /tmp/e12_run2.txt target/e12_run?.json
 # Scale-sweep gates (E13). Small-config double run: everything except
 # the wall-marked throughput lines/keys must be byte-identical.
 ./target/release/e13_scale_sweep --max-nodes 10000 target/e13_run1.json \
-  | sed -E 's/[0-9.]+(M|k)?\/s wall/<wall>/' > /tmp/e13_run1.txt
+  | sed -E 's/ *[0-9.]+(M|k)?\/s wall/ <wall>/' > /tmp/e13_run1.txt
 ./target/release/e13_scale_sweep --max-nodes 10000 target/e13_run2.json \
-  | sed -E 's/[0-9.]+(M|k)?\/s wall/<wall>/' > /tmp/e13_run2.txt
+  | sed -E 's/ *[0-9.]+(M|k)?\/s wall/ <wall>/' > /tmp/e13_run2.txt
 diff /tmp/e13_run1.txt /tmp/e13_run2.txt
 grep -v wall_ target/e13_run1.json > target/e13_run1.stable
 grep -v wall_ target/e13_run2.json > target/e13_run2.stable
@@ -68,9 +75,9 @@ rm -f /tmp/e13_run1.txt /tmp/e13_run2.txt target/e13_run?.json target/e13_*.stab
 # byte-identical, and the hotspot gate must hold (the former leader's
 # recv bytes drop >= 3x at 4+ shards with p99 no worse).
 ./target/release/e14_sharded_registry --max-nodes 1024 --gate-reduction 3 target/e14_run1.json \
-  | sed -E 's/[0-9.]+ wall/<wall> wall/' > /tmp/e14_run1.txt
+  | sed -E 's/ *[0-9.]+ wall/ <wall> wall/' > /tmp/e14_run1.txt
 ./target/release/e14_sharded_registry --max-nodes 1024 --gate-reduction 3 target/e14_run2.json \
-  | sed -E 's/[0-9.]+ wall/<wall> wall/' > /tmp/e14_run2.txt
+  | sed -E 's/ *[0-9.]+ wall/ <wall> wall/' > /tmp/e14_run2.txt
 diff /tmp/e14_run1.txt /tmp/e14_run2.txt
 grep -v wall_ target/e14_run1.json > target/e14_run1.stable
 grep -v wall_ target/e14_run2.json > target/e14_run2.stable

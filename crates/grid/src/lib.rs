@@ -68,6 +68,15 @@ pub fn mc_hits(seed: u64, n: u64) -> u64 {
     hits
 }
 
+/// Fetch argument `i` as an unsigned integer, or raise `BadParam` —
+/// dispatch must reject a mistyped invocation, not panic on it.
+fn arg_u64(inv: &Invocation<'_>, i: usize) -> Result<u64, OrbError> {
+    inv.args
+        .get(i)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| OrbError::BadParam(format!("{}: arg {i} must be unsigned", inv.op)))
+}
+
 /// A Monte-Carlo π worker: CPU cost proportional to work units.
 pub struct PiWorkerServant {
     /// Reference-CPU time per million work units.
@@ -92,8 +101,8 @@ impl Servant for PiWorkerServant {
     fn dispatch(&mut self, inv: &mut Invocation<'_>) -> Result<(), OrbError> {
         match inv.op {
             "compute" => {
-                let seed = inv.args[0].as_u64().expect("typed");
-                let units = inv.args[1].as_u64().expect("typed");
+                let seed = arg_u64(inv, 0)?;
+                let units = arg_u64(inv, 1)?;
                 self.units_done += units;
                 inv.set_cpu_cost(self.cost_per_mega_unit.mul_f64(units as f64 / 1e6));
                 inv.set_ret(Value::ULongLong(mc_hits(seed, units.min(100_000))));
@@ -203,7 +212,7 @@ impl Servant for PiMasterServant {
                 Ok(())
             }
             "start" => {
-                let total = inv.args[0].as_u64().expect("typed");
+                let total = arg_u64(inv, 0)?;
                 let chunks = match inv.args[1] {
                     Value::ULong(c) => c as u64,
                     _ => 1,
@@ -253,7 +262,7 @@ impl Servant for PiMasterServant {
                 Ok(())
             }
             "_reply" => {
-                let token = inv.args[0].as_u64().expect("token");
+                let token = arg_u64(inv, 0)?;
                 let ok = inv.args[1].as_bool().unwrap_or(false);
                 let idx = token as usize;
                 if idx >= self.chunks.len() || self.chunks[idx].done {

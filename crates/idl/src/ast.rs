@@ -34,9 +34,9 @@ pub enum TypeRef {
 pub struct ScopedName(pub Vec<String>);
 
 impl ScopedName {
-    /// The unqualified last segment.
+    /// The unqualified last segment (empty for the empty name).
     pub fn leaf(&self) -> &str {
-        self.0.last().expect("non-empty scoped name")
+        self.0.last().map_or("", String::as_str)
     }
 }
 

@@ -183,7 +183,7 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
         text.parse::<u64>()
             .map(TokenKind::Int)
             .map_err(|_| LexError { msg: format!("integer '{text}' out of range"), line: self.line })
@@ -194,11 +194,11 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         if let Some(kw) = KEYWORDS.iter().find(|k| **k == text) {
             TokenKind::Keyword(kw)
         } else {
-            TokenKind::Ident(text.to_owned())
+            TokenKind::Ident(text)
         }
     }
 }

@@ -1,0 +1,230 @@
+//! The message-flow graph: per-function effect summaries propagated
+//! over a name-resolved call graph.
+//!
+//! For every function the extractor records which protocol enum
+//! variants its body *constructs*, which continuation tables it
+//! *inserts into* and *completes* (`remove` / `take_expired`), and
+//! which bare function names it calls. A fixpoint then closes the
+//! effect sets over the call relation, so a handler that replies three
+//! helpers deep still satisfies P2.
+//!
+//! Calls resolve by bare name to **every** function so named (method
+//! receivers and module paths are not tracked — see the index module
+//! docs for why over-approximation is the safe direction here). The
+//! closure therefore runs on *names*, not functions: effects of all
+//! same-named functions merge, and only the small effect sets
+//! propagate — transitive call sets are never materialized.
+
+use crate::index::Workspace;
+use crate::lexer::Tok;
+use crate::parser::Range;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Continuation-table method names that park work (open an obligation).
+const CONT_INSERTS: [&str; 3] = ["insert", "insert_with_deadline", "entry_or_default"];
+/// Continuation-table method names that complete or sweep parked work.
+const CONT_COMPLETES: [&str; 2] = ["remove", "take_expired"];
+
+/// Effects extracted from one token range.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// `(enum, variant)` construction sites.
+    pub constructs: BTreeSet<(String, String)>,
+    /// Continuation tables inserted into (field names).
+    pub cont_inserts: BTreeSet<String>,
+    /// Continuation tables completed/swept (field names).
+    pub cont_completes: BTreeSet<String>,
+    /// Bare names of functions called (direct only; never closed).
+    pub calls: BTreeSet<String>,
+}
+
+impl Summary {
+    fn merge_effects(&mut self, other: &Summary) {
+        self.constructs.extend(other.constructs.iter().cloned());
+        self.cont_inserts.extend(other.cont_inserts.iter().cloned());
+        self.cont_completes.extend(other.cont_completes.iter().cloned());
+    }
+}
+
+/// A concrete site, for diagnostics: `(file index, line)`.
+pub type Site = (usize, u32);
+
+/// The assembled flow graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Call-closed effects per bare function name.
+    pub name_effects: BTreeMap<String, Summary>,
+    /// Construction sites per `(enum, variant)`, lib/bin files only.
+    pub construct_sites: BTreeMap<(String, String), Vec<Site>>,
+    /// Pattern (handle) sites per `(enum, variant)`, lib/bin files only.
+    pub pattern_sites: BTreeMap<(String, String), Vec<Site>>,
+    /// Insert sites per continuation table, lib/bin files only.
+    pub cont_insert_sites: BTreeMap<String, Vec<Site>>,
+    /// Complete/sweep sites per continuation table, lib/bin files only.
+    pub cont_complete_sites: BTreeMap<String, Vec<Site>>,
+}
+
+impl Graph {
+    /// Extract summaries for every function and close them over calls.
+    pub fn build(ws: &Workspace) -> Graph {
+        let mut g = Graph::default();
+        // Direct effects, merged per bare name.
+        for (fi, fa) in ws.files.iter().enumerate() {
+            for f in &fa.parsed.fns {
+                let s = summarize(ws, fi, f.body);
+                let e = g.name_effects.entry(f.name.clone()).or_default();
+                e.merge_effects(&s);
+                e.calls.extend(s.calls);
+            }
+            if fa.libish() {
+                collect_sites(ws, fi, &mut g);
+            }
+        }
+        // Fixpoint: effects(name) ⊇ effects(callee) for every direct
+        // callee that names a workspace function. Terminates because
+        // the sets only grow and the universe is finite.
+        let names: Vec<String> = g.name_effects.keys().cloned().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in &names {
+                let callees: Vec<String> = g.name_effects[n]
+                    .calls
+                    .iter()
+                    .filter(|c| *c != n && g.name_effects.contains_key(*c))
+                    .cloned()
+                    .collect();
+                let mut acc = g.name_effects[n].clone();
+                for c in &callees {
+                    acc.merge_effects(&g.name_effects[c]);
+                }
+                if acc != g.name_effects[n] {
+                    g.name_effects.insert(n.clone(), acc);
+                    changed = true;
+                }
+            }
+        }
+        g
+    }
+
+    /// The call-closed summary of an arbitrary token range: its direct
+    /// effects plus the closed effects of everything it calls.
+    pub fn close_range(&self, ws: &Workspace, file: usize, range: Range) -> Summary {
+        let mut s = summarize(ws, file, range);
+        for c in s.calls.clone() {
+            if let Some(e) = self.name_effects.get(&c) {
+                s.merge_effects(e);
+            }
+        }
+        s
+    }
+}
+
+/// Extract the direct effects of one token range.
+pub fn summarize(ws: &Workspace, file: usize, range: Range) -> Summary {
+    let fa = &ws.files[file];
+    let toks = &fa.tokens;
+    let p = &fa.parsed;
+    let mut s = Summary::default();
+    let end = range.1.min(toks.len());
+    let mut i = range.0;
+    while i < end {
+        let Tok::Ident(name) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        // `Enum::Variant` in expression position: a construction site.
+        if let Some((e, v)) = variant_path(ws, file, i) {
+            if !p.pattern[i] && !p.ignored[i] {
+                s.constructs.insert((e.to_owned(), v.to_owned()));
+            }
+            i += 4; // Enum :: :: Variant
+            continue;
+        }
+        let is_call = toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+        let after_dot = i >= 1 && toks[i - 1].tok == Tok::Punct('.');
+        if is_call && after_dot && i >= 2 {
+            if let Tok::Ident(recv) = &toks[i - 2].tok {
+                if ws.cont_fields.contains(recv) {
+                    if CONT_INSERTS.contains(&name.as_str()) {
+                        s.cont_inserts.insert(recv.clone());
+                        i += 1;
+                        continue;
+                    }
+                    if CONT_COMPLETES.contains(&name.as_str()) {
+                        s.cont_completes.insert(recv.clone());
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        if is_call && !is_keyword(name) {
+            s.calls.insert(name.clone());
+        }
+        i += 1;
+    }
+    s
+}
+
+/// If token `i` starts `Enum::Variant` for a workspace enum, return it.
+fn variant_path(ws: &Workspace, file: usize, i: usize) -> Option<(&str, &str)> {
+    let toks = &ws.files[file].tokens;
+    let Tok::Ident(e) = &toks[i].tok else { return None };
+    let (key, variants) = ws.enums.get_key_value(e)?;
+    if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+        || toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+    {
+        return None;
+    }
+    let Some(Tok::Ident(v)) = toks.get(i + 3).map(|t| &t.tok) else { return None };
+    let v = variants.get(v)?;
+    Some((key.as_str(), v.as_str()))
+}
+
+/// Fill the graph's per-site registries from one lib/bin file.
+fn collect_sites(ws: &Workspace, fi: usize, g: &mut Graph) {
+    let fa = &ws.files[fi];
+    let toks = &fa.tokens;
+    let p = &fa.parsed;
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some((e, v)) = variant_path(ws, fi, i) {
+            let key = (e.to_owned(), v.to_owned());
+            let site = (fi, toks[i].line);
+            if p.pattern[i] {
+                g.pattern_sites.entry(key).or_default().push(site);
+            } else if !p.ignored[i] {
+                g.construct_sites.entry(key).or_default().push(site);
+            }
+            i += 4;
+            continue;
+        }
+        if let Tok::Ident(name) = &toks[i].tok {
+            let is_call = toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+            if is_call && i >= 2 && toks[i - 1].tok == Tok::Punct('.') {
+                if let Tok::Ident(recv) = &toks[i - 2].tok {
+                    if ws.cont_fields.contains(recv) {
+                        let site = (fi, toks[i].line);
+                        if CONT_INSERTS.contains(&name.as_str()) {
+                            g.cont_insert_sites.entry(recv.clone()).or_default().push(site);
+                        } else if CONT_COMPLETES.contains(&name.as_str()) {
+                            g.cont_complete_sites.entry(recv.clone()).or_default().push(site);
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Keywords and control-flow words that look like calls (`if (…)`).
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while" | "for" | "match" | "return" | "loop" | "else" | "in" | "as"
+            | "move" | "fn" | "let" | "mut" | "ref" | "break" | "continue" | "unsafe"
+            | "await" | "yield" | "box"
+    )
+}

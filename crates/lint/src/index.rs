@@ -1,0 +1,104 @@
+//! Cross-file symbol index for the workspace-level rules.
+//!
+//! One [`FileAnalysis`] per scanned file keeps the token stream, the
+//! parse ([`crate::parser::Parsed`]) and the file's suppression
+//! annotations together; [`Workspace`] aggregates the pieces the
+//! protocol rules need to resolve names across files: protocol enum
+//! definitions (merged by name — the analyses treat every `CtrlMsg`
+//! in the tree as the same protocol), `Continuations<…>`-typed struct
+//! fields (the continuation tables P2 audits), and functions by bare
+//! name (the call-resolution relation of [`crate::graph`]).
+//!
+//! Name resolution is deliberately coarse — no module paths, no method
+//! receivers — which over-approximates the call graph. For the rules
+//! built on top that is the safe direction: a too-big call graph can
+//! only make P1/P2 *miss* a violation, never invent one.
+
+use crate::lexer::{Suppression, Token};
+use crate::parser::Parsed;
+use crate::rules::{FileCtx, FileKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything retained about one scanned file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Where the file sits (path, crate, target kind).
+    pub ctx: FileCtx,
+    /// Lexed token stream.
+    pub tokens: Vec<Token>,
+    /// Well-formed suppression annotations from the lexer.
+    pub suppressions: Vec<Suppression>,
+    /// Parsed items.
+    pub parsed: Parsed,
+}
+
+impl FileAnalysis {
+    /// Does library-grade code in this file count for protocol analysis?
+    /// Tests, benches and examples construct and match messages for
+    /// their own purposes; the flow rules reason about runtime wiring.
+    pub fn libish(&self) -> bool {
+        matches!(self.ctx.kind, FileKind::Lib | FileKind::Bin)
+    }
+}
+
+/// A function's identity: (file index, index into that file's `fns`).
+pub type FnId = (usize, usize);
+
+/// The assembled workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All scanned files, in scan order.
+    pub files: Vec<FileAnalysis>,
+    /// Enum name → variant names, merged over every lib/bin definition.
+    pub enums: BTreeMap<String, BTreeSet<String>>,
+    /// Enum name → (file, line) of each definition site.
+    pub enum_defs: BTreeMap<String, Vec<(usize, u32)>>,
+    /// Enum name → variant name → definition (file, line).
+    pub variant_defs: BTreeMap<(String, String), (usize, u32)>,
+    /// Names of struct fields typed `Continuations<…>` anywhere in lib
+    /// code — the continuation tables.
+    pub cont_fields: BTreeSet<String>,
+    /// Bare function name → every function so named.
+    pub fns_by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl Workspace {
+    /// Build the index from per-file analyses.
+    pub fn build(files: Vec<FileAnalysis>) -> Workspace {
+        let mut ws = Workspace::default();
+        for (fi, fa) in files.iter().enumerate() {
+            if fa.libish() {
+                for e in &fa.parsed.enums {
+                    ws.enum_defs.entry(e.name.clone()).or_default().push((fi, e.line));
+                    let vs = ws.enums.entry(e.name.clone()).or_default();
+                    for (v, line) in &e.variants {
+                        vs.insert(v.clone());
+                        ws.variant_defs
+                            .entry((e.name.clone(), v.clone()))
+                            .or_insert((fi, *line));
+                    }
+                }
+                for f in &fa.parsed.fields {
+                    if f.type_head == "Continuations" {
+                        ws.cont_fields.insert(f.name.clone());
+                    }
+                }
+            }
+            for (fj, f) in fa.parsed.fns.iter().enumerate() {
+                ws.fns_by_name.entry(f.name.clone()).or_default().push((fi, fj));
+            }
+        }
+        ws.files = files;
+        ws
+    }
+
+    /// Apply a file's suppression annotations to a workspace-rule
+    /// violation (same semantics as the per-file rules: the annotation
+    /// covers its own line and the next).
+    pub fn suppressed(&self, file_idx: usize, line: u32, rule: &str) -> bool {
+        self.files[file_idx]
+            .suppressions
+            .iter()
+            .any(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+}

@@ -14,11 +14,17 @@
 //! for the fixture tests.
 
 pub mod baseline;
+pub mod graph;
+pub mod index;
 pub mod lexer;
+pub mod parser;
+pub mod protocol;
 pub mod rules;
+pub mod taint;
 
 use baseline::{Baseline, Key};
-use rules::{check_file, classify, Violation, RULES};
+use index::{FileAnalysis, Workspace};
+use rules::{check_lexed, classify, Violation, RULES};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -95,17 +101,45 @@ pub fn execute(opts: &RunOpts) -> Result<Execution, String> {
     }
     let mut all: Vec<Violation> = Vec::new();
     let mut hard_errors: Vec<Violation> = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
 
     for rel in &files {
         let path = opts.root.join(rel);
         let src = fs::read_to_string(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let ctx = classify(&rel_str(rel));
-        let report = check_file(&src, &ctx);
+        let lexed = lexer::lex(&src);
+        let report = check_lexed(&lexed, &ctx);
         stats.files += 1;
         stats.tokens += report.tokens;
         all.extend(report.violations);
         hard_errors.extend(report.errors);
+        if opts.workspace {
+            let parsed = parser::parse(&lexed.tokens);
+            analyses.push(FileAnalysis {
+                ctx,
+                tokens: lexed.tokens,
+                suppressions: lexed.suppressions,
+                parsed,
+            });
+        }
+    }
+
+    // Workspace-level flow rules (P1–P3, D7) need the whole tree: a
+    // partial scan can't tell "unhandled" from "handler not scanned".
+    if opts.workspace {
+        let ws = Workspace::build(analyses);
+        let g = graph::Graph::build(&ws);
+        let mut flow = protocol::check(&ws, &g);
+        flow.extend(taint::check(&ws));
+        let idx_by_rel: BTreeMap<&str, usize> =
+            ws.files.iter().enumerate().map(|(i, f)| (f.ctx.rel.as_str(), i)).collect();
+        for v in &mut flow {
+            if let Some(&fi) = idx_by_rel.get(v.file.as_str()) {
+                v.suppressed = ws.suppressed(fi, v.line, v.rule);
+            }
+        }
+        all.extend(flow);
     }
 
     // Unsuppressed counts per ratchet scope: crate for A2, file otherwise.
@@ -306,4 +340,76 @@ impl Stats {
         }
         out
     }
+}
+
+impl Execution {
+    /// Render the run as one machine-readable JSON document (the
+    /// `--format json` output committed as `LINT_STATS.json` by ci.sh).
+    /// Deterministic: BTreeMap ordering throughout, diagnostics sorted.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.clean));
+        out.push_str(&format!("  \"files\": {},\n", self.stats.files));
+        out.push_str(&format!("  \"tokens\": {},\n", self.stats.tokens));
+        out.push_str("  \"rules\": {\n");
+        for (i, r) in RULES.iter().enumerate() {
+            let s = self.stats.per_rule.get(r).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "    \"{r}\": {{\"fired\": {}, \"suppressed\": {}, \"baselined\": {}, \
+                 \"new\": {}}}{}\n",
+                s.fired,
+                s.suppressed,
+                s.baselined,
+                s.new,
+                if i + 1 < RULES.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"a2_budget\": {\n");
+        let n = self.stats.budget.len();
+        for (i, (krate, (used, budget))) in self.stats.budget.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"used\": {used}, \"budget\": {budget}}}{}\n",
+                json_escape(krate),
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"unsuppressed_by_crate\": {\n");
+        let n = self.stats.per_crate.len();
+        for (i, (krate, count)) in self.stats.per_crate.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {count}{}\n",
+                json_escape(krate),
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    \"{}\"{}",
+                json_escape(d),
+                if i + 1 < self.diagnostics.len() { "," } else { "\n  " }
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

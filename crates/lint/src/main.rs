@@ -5,21 +5,38 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: lc-lint [--workspace] [--root DIR] [--baseline FILE] \
-                     [--write-baseline FILE] [--stats] [PATH...]\n\
+                     [--write-baseline FILE] [--stats] [--format text|json] [PATH...]\n\
   --workspace            scan every .rs file under the root\n\
   --root DIR             workspace root (default: current directory)\n\
   --baseline FILE        ratchet against a checked-in baseline\n\
   --write-baseline FILE  regenerate the baseline from the current tree\n\
-  --stats                print per-rule / per-crate tallies";
+  --stats                print per-rule / per-crate tallies\n\
+  --format text|json     output format (json emits one machine-readable\n\
+                         document with stats and diagnostics)";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts { root: PathBuf::from("."), ..RunOpts::default() };
     let mut stats = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => opts.workspace = true,
             "--stats" => stats = true,
+            "--format" => {
+                let Some(v) = args.next() else {
+                    eprintln!("lc-lint: --format needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.as_str() {
+                    "json" => json = true,
+                    "text" => json = false,
+                    other => {
+                        eprintln!("lc-lint: unknown format `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" | "--baseline" | "--write-baseline" => {
                 let Some(v) = args.next() else {
                     eprintln!("lc-lint: {a} needs a value\n{USAGE}");
@@ -50,6 +67,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if json {
+        print!("{}", exec.render_json());
+        return if exec.clean { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     for d in &exec.diagnostics {
         println!("{d}");
     }

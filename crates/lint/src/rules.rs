@@ -36,10 +36,14 @@
 //! * **A2** — an `unwrap()`/`expect()` budget per library crate (tests
 //!   exempt), ratcheted by the checked-in baseline.
 
-use crate::lexer::{lex, Tok, Token};
+use crate::lexer::{lex, Lexed, Tok, Token};
 
-/// All rule names, in reporting order.
-pub const RULES: [&str; 8] = ["D1", "D2", "D3", "D4", "D5", "D6", "A1", "A2"];
+/// All rule names, in reporting order. D1–D6, A1, A2 are per-file
+/// token rules (this module); D7 and P1–P3 are the workspace-level
+/// flow rules ([`crate::taint`], [`crate::protocol`]) and only run
+/// under `--workspace`.
+pub const RULES: [&str; 12] =
+    ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "A1", "A2", "P1", "P2", "P3"];
 
 /// Crates whose data structures feed marshalled messages or printed
 /// experiment tables (D2 scope).
@@ -152,9 +156,14 @@ pub struct FileReport {
     pub tokens: usize,
 }
 
-/// Run every applicable rule over one file.
+/// Run every applicable per-file rule over one source string.
 pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
-    let lexed = lex(src);
+    check_lexed(&lex(src), ctx)
+}
+
+/// Run every applicable per-file rule over an already-lexed file (the
+/// workspace scan lexes once and shares the stream with the parser).
+pub fn check_lexed(lexed: &Lexed, ctx: &FileCtx) -> FileReport {
     let toks = &lexed.tokens;
     let in_test = test_regions(toks, ctx.kind);
     let mut report = FileReport { tokens: toks.len(), ..FileReport::default() };
@@ -300,7 +309,7 @@ pub fn check_file(src: &str, ctx: &FileCtx) -> FileReport {
         v.suppressed = covered;
     }
 
-    for line in lexed.malformed {
+    for &line in &lexed.malformed {
         report.errors.push(Violation {
             file: ctx.rel.clone(),
             line,

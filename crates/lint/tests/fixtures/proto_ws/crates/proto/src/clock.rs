@@ -1,0 +1,21 @@
+//! D7 fixture: wall-clock taint flows through `let` bindings into a
+//! protocol payload (sink 1) and a send-family call (sink 2). The D1
+//! hits on the source lines are suppressed — the point here is the
+//! *derived* values, which D1 alone cannot see.
+
+use crate::proto::CtrlMsg;
+
+pub fn leak_stamp(fabric: &mut Fabric) {
+    // lc-lint: allow(D1) -- fixture: D7's source, not D1's target
+    let t0 = std::time::Instant::now();
+    let stamp = t0.elapsed().as_nanos() as u64;
+    let msg = CtrlMsg::Offers(stamp as u32); // D7-payload
+    fabric.push(msg);
+}
+
+pub fn leak_delay(net: &mut Net) {
+    // lc-lint: allow(D1) -- fixture: D7's source, not D1's target
+    let begin = std::time::SystemTime::now();
+    let delay = since(begin);
+    net.send_in(delay, 7); // D7-send
+}

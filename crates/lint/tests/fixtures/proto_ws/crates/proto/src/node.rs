@@ -1,0 +1,63 @@
+//! Handlers for the fixture protocol: one clean request arm
+//! (Query → insert + Offers), one empty request arm (P2), an un-swept
+//! table insert (P2), a leaked and a dropped span (P3), plus the
+//! block-tail closure shape P3 must NOT flag.
+
+use crate::proto::{CtrlMsg, State};
+
+pub fn handle(st: &mut State, msg: CtrlMsg, tracer: &Tracer, now: u64) {
+    let span = tracer.span(0, "handle", now);
+    match msg {
+        CtrlMsg::Query { qid } => {
+            st.queries.insert(qid, qid);
+            send(CtrlMsg::Offers(1));
+        }
+        CtrlMsg::Offers(n) => {
+            st.queries.remove(u64::from(n));
+        }
+        CtrlMsg::Fetch { name } => {} // P2-empty
+        CtrlMsg::PackageBytes(bytes) => {
+            consume(bytes);
+        }
+        CtrlMsg::Dead(_) => {}
+    }
+    tracer.end(span, now);
+}
+
+pub fn park_forever(st: &mut State) {
+    st.orphans.insert(0, 1); // P2-unswept
+}
+
+pub fn fire_orphan() {
+    send(CtrlMsg::Orphan); // P1-unhandled
+}
+
+pub fn start_query(qid: u64) {
+    send(CtrlMsg::Query { qid });
+}
+
+pub fn request_package(name: String) {
+    send(CtrlMsg::Fetch { name });
+}
+
+pub fn serve_package(bytes: Vec<u8>) {
+    send(CtrlMsg::PackageBytes(bytes));
+}
+
+pub fn trace_leak(tracer: &Tracer, now: u64) {
+    let leaked = tracer.root(1, "leak", now); // P3-leak
+    work(now);
+}
+
+pub fn trace_drop(tracer: &Tracer, now: u64) {
+    tracer.span(2, "drop", now); // P3-drop
+}
+
+pub fn trace_tail(tracer: &Tracer, parent: Option<SpanId>, now: u64) {
+    let span = parent.and_then(|p| {
+        tracer.child_of(1, "tail", p, now) // P3-tail-clean
+    });
+    if let Some(s) = span {
+        tracer.end(s, now);
+    }
+}

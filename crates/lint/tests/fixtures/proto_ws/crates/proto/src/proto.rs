@@ -1,0 +1,27 @@
+//! Protocol definitions for the flow-rule fixture workspace. Nothing
+//! here compiles as part of the real workspace — the lint scans it raw.
+
+/// The fixture control protocol. `Dead` is declared but never
+/// constructed (P1, dead direction); `Orphan` is constructed in
+/// `node.rs` but matched nowhere (P1, unhandled direction).
+pub enum CtrlMsg {
+    Query { qid: u64 },
+    Offers(u32),
+    Fetch { name: String },
+    PackageBytes(Vec<u8>),
+    Dead(u8), // P1-dead
+    Orphan,
+}
+
+/// Minimal continuation table; the *field type head* is what the
+/// workspace index keys on, so the body is irrelevant.
+pub struct Continuations<V> {
+    slots: Vec<(u64, V)>,
+}
+
+pub struct State {
+    /// Swept: `node.rs` inserts and removes.
+    pub queries: Continuations<u64>,
+    /// Never swept anywhere: P2 fires at the insert site in `node.rs`.
+    pub orphans: Continuations<u8>,
+}

@@ -1,0 +1,25 @@
+//! The workspace rules honour the same `lc-lint: allow(RULE) -- reason`
+//! escapes as the per-file rules: each site below fires and is silenced.
+
+use crate::proto::CtrlMsg;
+
+pub fn quiet_drop(tracer: &Tracer, now: u64) {
+    // lc-lint: allow(P3) -- fixture: fire-and-forget marker span
+    tracer.span(9, "quiet", now);
+}
+
+pub fn quiet_clock(net: &mut Net) {
+    // lc-lint: allow(D1) -- fixture: D7's source, not D1's target
+    let t0 = std::time::Instant::now();
+    let wall = t0.elapsed().as_nanos() as u64;
+    // lc-lint: allow(D7) -- fixture: explicitly wall-marked column
+    net.send_in(wall, 3);
+}
+
+pub fn quiet_handler(msg: CtrlMsg) {
+    match msg {
+        // lc-lint: allow(P2) -- fixture: the reply lives in a peer crate
+        CtrlMsg::Fetch { name } => {}
+        _ => {}
+    }
+}
