@@ -90,4 +90,46 @@ grep -v wall_ BENCH_e14.json > target/e14_committed.stable
 diff target/e14_full.stable target/e14_committed.stable
 rm -f /tmp/e14_run1.txt /tmp/e14_run2.txt target/e14_run?.json target/e14_*.stable target/e14_full.json
 
+# Profiler-off byte-identity gate: with the observability stack at its
+# defaults (profiler disabled, no sampling, no SLO monitors -- exactly
+# how E1-E14 run), the fully-deterministic experiment binaries must
+# stay byte-identical across runs. The wall-marked experiments are
+# covered by the masked double runs above; this loop pins the rest.
+for e in e4_fault_tolerance e6_video_migration e7_cscw_fanout e8_grid_speedup f2_cscw_model; do
+  ./target/release/$e > /tmp/ident_run1.txt
+  ./target/release/$e > /tmp/ident_run2.txt
+  diff /tmp/ident_run1.txt /tmp/ident_run2.txt
+done
+rm -f /tmp/ident_run1.txt /tmp/ident_run2.txt
+
+# Profiling/observability gates (E15). Smoke double run (part-A sweep
+# capped at 10^4): everything except the wall-marked overhead
+# columns/keys must be byte-identical -- including the flamegraph and
+# timeline artefacts, which carry only virtual-time weights. The binary
+# itself exits non-zero if the profiler or the sampler ever perturbs a
+# simulation (the `identical` columns).
+./target/release/e15_profiling --max-nodes 10000 target/e15_run1.json \
+  | sed -E 's/ *-?[0-9.]+ wall/ <wall>/' > /tmp/e15_run1.txt
+./target/release/e15_profiling --max-nodes 10000 target/e15_run2.json \
+  | sed -E 's/ *-?[0-9.]+ wall/ <wall>/' > /tmp/e15_run2.txt
+diff /tmp/e15_run1.txt /tmp/e15_run2.txt
+grep -v wall_ target/e15_run1.json > target/e15_run1.stable
+grep -v wall_ target/e15_run2.json > target/e15_run2.stable
+diff target/e15_run1.stable target/e15_run2.stable
+diff target/e15_run1.flame.txt target/e15_run2.flame.txt
+diff target/e15_run1.timeline.txt target/e15_run2.timeline.txt
+# Full sweep (the 10^5-node point must complete); simulated columns and
+# both artefacts must match the committed BENCH_e15 files. The <= 10%
+# overhead gate is asserted on the committed artefact's wall_ key
+# rather than re-measured here (CI wall clocks are too noisy to gate).
+./target/release/e15_profiling target/e15_full.json > /dev/null
+grep -v wall_ target/e15_full.json > target/e15_full.stable
+grep -v wall_ BENCH_e15.json > target/e15_committed.stable
+diff target/e15_full.stable target/e15_committed.stable
+diff target/e15_full.flame.txt BENCH_e15.flame.txt
+diff target/e15_full.timeline.txt BENCH_e15.timeline.txt
+awk '/"n": 100000/{p=1} p && /"wall_overhead_pct"/{pct=$2+0; exit} END{if (pct > 10) {print "e15: committed overhead " pct "% > 10%"; exit 1}}' BENCH_e15.json
+rm -f /tmp/e15_run1.txt /tmp/e15_run2.txt target/e15_run?.json target/e15_*.stable \
+  target/e15_run?.flame.txt target/e15_run?.timeline.txt target/e15_full.*
+
 echo "ci: all green"

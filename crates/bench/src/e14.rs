@@ -110,7 +110,7 @@ pub fn backend_label(p: &Point) -> String {
 
 /// A synthetic component package: distinct name, shared demo behavior
 /// and signer so installation passes the Acceptor checks.
-fn component_package(name: &str) -> Rc<Vec<u8>> {
+pub(crate) fn component_package(name: &str) -> Rc<Vec<u8>> {
     let mut desc = ComponentDescriptor::new(name, Version::new(1, 0), "demo-vendor")
         .provides("counter", "IDL:demo/Counter:1.0");
     desc.qos = QosSpec { cpu_min: 0.05, cpu_max: 0.2, memory: 1 << 20, bandwidth_min: 0.0 };
@@ -123,24 +123,24 @@ fn component_package(name: &str) -> Rc<Vec<u8>> {
     Rc::new(pkg.to_bytes())
 }
 
-fn component_name(i: u32) -> String {
+pub(crate) fn component_name(i: u32) -> String {
     format!("Svc{i:02}")
 }
 
 /// The owner of component `i`: a scattered non-MRM seat (offset 5).
-fn owner(i: u32, sites: u32) -> HostId {
+pub(crate) fn owner(i: u32, sites: u32) -> HostId {
     HostId(((i * 37) % sites) * 8 + 5)
 }
 
 /// The origin of query `q`: rotating sites, offsets 2–4 (never an MRM
 /// seat, an owner seat or a crash target).
-fn origin(q: u32, sites: u32) -> HostId {
+pub(crate) fn origin(q: u32, sites: u32) -> HostId {
     HostId(((q * 53 + 11) % sites) * 8 + 2 + q % 3)
 }
 
 /// E10-style churn: uniform loss/dup/jitter plus a scripted
 /// crash/restart schedule on three bystander seats.
-fn churn_plan(seed: u64, sites: u32) -> FaultPlan {
+pub(crate) fn churn_plan(seed: u64, sites: u32) -> FaultPlan {
     let mut plan = FaultPlan::seeded(seed).default_link(
         LinkFaults::none()
             .drop_p(0.01)
@@ -155,7 +155,7 @@ fn churn_plan(seed: u64, sites: u32) -> FaultPlan {
     plan
 }
 
-fn config(registry: RegistryConfig) -> NodeConfig {
+pub(crate) fn config(registry: RegistryConfig) -> NodeConfig {
     NodeConfig::builder()
         .cohesion(CohesionConfig {
             fanout: 8,

@@ -12,6 +12,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod micro;
 
 /// Render a titled ASCII table with aligned columns.

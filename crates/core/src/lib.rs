@@ -59,8 +59,8 @@ pub use registry::{ComponentQuery, ComponentRegistry, InstanceId, InstanceInfo, 
 pub use repository::{ComponentRepository, InstallError};
 pub use resource::{ResourceManager, ResourceReport};
 pub use scale::{
-    run_scale, CampusSoa, HierShape, NodeIdx, QueryOutcome, ScaleCampus, ScaleConfig, ScaleReport,
-    Variant,
+    run_scale, run_scale_profiled, CampusSoa, HierShape, NodeIdx, QueryOutcome, ScaleCampus,
+    ScaleConfig, ScaleReport, Variant, KIND_NAMES,
 };
 
 /// Convenience test-kit for building simulated CORBA-LC networks; used by

@@ -19,7 +19,7 @@ use crate::resource::ResourceManager;
 use lc_cache::CacheStats;
 use lc_des::{Ctx, SimTime};
 use lc_net::{DropReason, HostId, Net};
-use lc_trace::Tracer;
+use lc_trace::{SloMonitor, Tracer};
 use lc_orb::{ObjectAdapter, ObjectKey, ObjectRef, OrbError, Outcome, RequestId, SimOrb, Value};
 use lc_pkg::{Platform, TrustStore};
 use std::collections::BTreeMap;
@@ -71,6 +71,10 @@ pub struct NodeState {
     /// Distributed-tracing handle, shared with the fabric (disabled
     /// unless the fabric was built with one — all no-ops then).
     pub(crate) tracer: Tracer,
+    /// SLO monitor, present only when [`super::TraceConfig::slo`] is set:
+    /// windowed rules over this node's metrics registry, evaluated on
+    /// the `Tick::SloCheck` cadence.
+    pub(crate) slo: Option<SloMonitor>,
     // container runtime state
     pub(crate) instance_meta: BTreeMap<InstanceId, InstanceRuntime>,
     pub(crate) oid_to_instance: BTreeMap<u64, InstanceId>,
@@ -99,6 +103,14 @@ impl NodeState {
         let report_targets = seed.hierarchy.report_targets(host);
         let host_cfg = seed.net.host_cfg(host);
         let tracer = seed.net.tracer();
+        // Apply the node's tracing knobs to the shared tracer. Defaults
+        // are idempotent (cap 64, no sampling), so configs that leave
+        // them alone stay byte-identical to the pre-knob runtime.
+        tracer.set_recorder_cap(cfg.tracing.recorder_cap);
+        if let Some(sample) = cfg.tracing.sample {
+            tracer.set_sampling(Some(sample));
+        }
+        let slo = cfg.tracing.slo.clone().map(SloMonitor::new);
         let mut adapter = ObjectAdapter::new(host, seed.idl.clone());
         adapter.set_tracer(tracer.clone());
         NodeState {
@@ -120,6 +132,7 @@ impl NodeState {
             conts: ContTable::new(),
             metrics: NodeMetrics::default(),
             tracer,
+            slo,
             instance_meta: BTreeMap::new(),
             oid_to_instance: BTreeMap::new(),
             subs: BTreeMap::new(),
@@ -148,6 +161,12 @@ impl NodeState {
     /// all no-ops — unless the fabric was built with a tracer).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The SLO monitor, when [`super::TraceConfig::slo`] configured one
+    /// — breach history (with flight-recorder dumps) lives here.
+    pub fn slo_monitor(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
     }
 
     /// Registry query-cache counters, when result caching is enabled.
@@ -226,6 +245,47 @@ impl NodeCtx<'_, '_> {
             self.sim.metrics().incr("query.msgs");
         }
         let _ = self.net_send(to, size, msg);
+    }
+
+    /// Record one finished registry query into the SLO feed: a virtual-
+    /// latency histogram sample plus total/empty counters, under `slo.*`
+    /// keys. Gated on an SLO monitor being configured so that default
+    /// configurations add no registry keys (E1–E14 print key lists and
+    /// must stay byte-identical).
+    pub(crate) fn note_slo_query(&mut self, latency: SimTime, empty: bool) {
+        if self.state.cfg.tracing.slo.is_none() {
+            return;
+        }
+        const QUERY_LATENCY_BUCKETS_US: [u64; 8] =
+            [100, 500, 1_000, 5_000, 20_000, 100_000, 400_000, 1_600_000];
+        self.state.metrics.note_observe(
+            "slo.query_us",
+            &QUERY_LATENCY_BUCKETS_US,
+            latency.as_nanos() / 1_000,
+        );
+        self.state.metrics.note("slo.query.total");
+        if empty {
+            self.state.metrics.note("slo.query.empty");
+        }
+    }
+
+    /// One `Tick::SloCheck` evaluation: diff the node's metrics registry
+    /// against the previous window, fire deterministic breaches, and —
+    /// the crash-dump path generalized — capture this node's flight
+    /// recorder into each breach record. Re-arms its own timer.
+    pub(crate) fn slo_check(&mut self) {
+        let now = self.sim.now();
+        let Some(mut mon) = self.state.slo.take() else { return };
+        let fired = mon.evaluate(now, self.state.metrics.registry());
+        for breach in fired {
+            self.sim.metrics().incr("slo.breaches");
+            self.state.metrics.note("slo.breaches");
+            let (flight, dropped) = self.state.tracer.flight_record(self.state.host.0);
+            mon.record_breach(breach, flight, dropped);
+        }
+        let window = mon.window();
+        self.state.slo = Some(mon);
+        self.timer_in(window, Tick::SloCheck);
     }
 
     /// Drop cached query results that could name `component` (the entry's

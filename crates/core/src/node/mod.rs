@@ -199,11 +199,28 @@ pub struct TraceConfig {
     /// experiments that only care about message counts can switch the
     /// per-query roots off while keeping fabric spans).
     pub query_spans: bool,
+    /// Per-node flight-recorder ring capacity (span events kept for
+    /// post-mortem dumps). Default [`lc_trace::FLIGHT_RECORDER_CAP`].
+    pub recorder_cap: usize,
+    /// Head-based trace sampling ([`lc_trace::SampleConfig`]): decided
+    /// once per trace at root creation and propagated in the
+    /// [`TraceContext`], so tracing 100k+-node campuses stays at
+    /// bounded memory. `None` (default) records every trace.
+    pub sample: Option<lc_trace::SampleConfig>,
+    /// SLO monitoring: windowed latency/burn-rate rules evaluated on a
+    /// virtual-time cadence; breaches dump the flight recorder. `None`
+    /// (default) disables the monitor, its timer and its metrics.
+    pub slo: Option<lc_trace::SloConfig>,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { query_spans: true }
+        TraceConfig {
+            query_spans: true,
+            recorder_cap: lc_trace::FLIGHT_RECORDER_CAP,
+            sample: None,
+            slo: None,
+        }
     }
 }
 
@@ -557,6 +574,9 @@ impl NodeSeed {
             // gossip cadence.
             sim.send_in(jitter + sc.gossip_period, actor, TickMsg(Tick::ShardMaintain));
         }
+        if let Some(slo) = &self.config.tracing.slo {
+            sim.send_in(jitter + slo.window, actor, TickMsg(Tick::SloCheck));
+        }
         actor
     }
 }
@@ -601,6 +621,12 @@ impl Node {
             cohesion_svc: CohesionSvc,
             container: ContainerSvc,
         }
+    }
+
+    /// Read access to the shared node state (post-run inspection:
+    /// metrics registry, SLO monitor, repository).
+    pub fn state(&self) -> &NodeState {
+        &self.state
     }
 
     /// The five services in display order.

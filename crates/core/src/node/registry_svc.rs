@@ -532,6 +532,7 @@ impl NodeCtx<'_, '_> {
         if partial {
             self.sim.metrics().incr("query.partial");
         }
+        self.note_slo_query(now - pq.started, pq.offers.is_empty());
         match pq.purpose {
             QueryPurpose::Collect { sink, .. } => {
                 let mut s = sink.borrow_mut();
@@ -600,6 +601,7 @@ impl NodeCtx<'_, '_> {
         if partial {
             self.sim.metrics().incr("query.partial");
         }
+        self.note_slo_query(now - f.started, offers.is_empty());
         match f.purpose {
             QueryPurpose::Collect { sink, .. } => {
                 let mut s = sink.borrow_mut();

@@ -159,6 +159,9 @@ impl NodeService for ResourceSvc {
                     ctx.timer_in(period, Tick::LoadBalance);
                 }
             }
+            Tick::SloCheck => {
+                ctx.slo_check();
+            }
             _ => {}
         }
     }

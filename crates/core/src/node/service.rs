@@ -52,6 +52,9 @@ pub enum Tick {
     /// Sharded-registry maintenance: republish the local inventory to
     /// the owning shards and run one gossip anti-entropy round.
     ShardMaintain,
+    /// Evaluate the SLO monitor over the window since the previous
+    /// check; breaches dump the flight recorder.
+    SloCheck,
 }
 
 /// Newtype so ticks route through the actor mailbox unambiguously.
@@ -137,7 +140,7 @@ pub(crate) fn ctrl_service(msg: &CtrlMsg) -> ServiceKind {
 /// Which service owns a timer tick.
 pub(crate) fn tick_service(tick: &Tick) -> ServiceKind {
     match tick {
-        Tick::KeepAlive | Tick::LoadBalance => ServiceKind::Resource,
+        Tick::KeepAlive | Tick::LoadBalance | Tick::SloCheck => ServiceKind::Resource,
         Tick::MrmSweep => ServiceKind::Cohesion,
         Tick::QueryDeadline(_) | Tick::ShardMaintain => ServiceKind::Registry,
         Tick::SendReply { .. } | Tick::CallSweep | Tick::CallRetry(_) | Tick::DedupSweep => {

@@ -55,6 +55,22 @@ const K_QUERY_DONE: u8 = 8;
 const K_CHURN: u8 = 9;
 const K_VIEW: u8 = 10;
 
+/// Human names for the packed-event kinds, for profiler rendering
+/// ([`lc_trace::profile::render`] / flamegraph export). Order matches
+/// the `K_*` constants.
+pub const KIND_NAMES: [(u8, &str); 10] = [
+    (K_REPORT, "report"),
+    (K_SUMMARY, "summary"),
+    (K_QUERY_START, "query_start"),
+    (K_QUERY_UP, "query_up"),
+    (K_QUERY_DOWN, "query_down"),
+    (K_QUERY_MEMBER, "query_member"),
+    (K_OFFER, "offer"),
+    (K_QUERY_DONE, "query_done"),
+    (K_CHURN, "churn"),
+    (K_VIEW, "view"),
+];
+
 #[inline]
 fn pack(kind: u8, idx: u32, aux: u32) -> u64 {
     debug_assert!(aux < (1 << 24));
@@ -564,7 +580,7 @@ impl Actor for ScaleCampus {
 }
 
 /// Deterministic results of one campus run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScaleReport {
     /// Node count.
     pub n: u32,
@@ -624,6 +640,20 @@ pub struct ScaleReport {
 /// half of the period); summaries propagate level-by-level inside the
 /// round; queries and churn fire in the last round, after convergence.
 pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
+    let (report, _) = run_scale_profiled(cfg, seed, None);
+    report
+}
+
+/// [`run_scale`] with an optional kernel profiler attached to the
+/// internally-built [`Sim`]. The profiler is pure observation (it
+/// schedules nothing and draws no randomness), so the returned
+/// [`ScaleReport`] is byte-identical whether `prof` is `Some` or
+/// `None` — E15 asserts exactly that.
+pub fn run_scale_profiled(
+    cfg: ScaleConfig,
+    seed: u64,
+    prof: Option<lc_des::ProfilerConfig>,
+) -> (ScaleReport, Option<lc_des::ProfileReport>) {
     let period = cfg.report_period;
     let rounds = u64::from(cfg.rounds);
     assert!(cfg.rounds >= 2, "need a warm-up round and a measure round");
@@ -631,6 +661,9 @@ pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
     let depth = campus.shape.depth();
     assert!(depth <= 8, "summary stagger supports 8 levels");
     let mut sim = Sim::new(seed);
+    if let Some(p) = prof {
+        sim.enable_profiler(p);
+    }
     let me = sim.spawn(campus);
 
     // Reports: each node, staggered over the first half of the period.
@@ -667,6 +700,7 @@ pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
 
     sim.run_until(period * rounds);
 
+    let profile = sim.profile_report();
     let queue_bytes = sim.queue_arena_bytes();
     let events = sim.events_fired();
     let campus = match sim.actor_as::<ScaleCampus>(me) {
@@ -690,7 +724,7 @@ pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
     let campus_bytes = campus.campus_bytes();
     let outcomes = campus.outcomes();
     let mut latency = campus.latency.clone();
-    ScaleReport {
+    let report = ScaleReport {
         n: cfg.n,
         variant: cfg.variant.name(),
         depth: if cfg.variant == Variant::Hier { depth } else { 1 },
@@ -716,7 +750,8 @@ pub fn run_scale(cfg: ScaleConfig, seed: u64) -> ScaleReport {
         latency_p50_ns: latency.quantile(0.5),
         latency_p99_ns: latency.quantile(0.99),
         outcomes,
-    }
+    };
+    (report, profile)
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ pub mod shape;
 pub mod soa;
 
 pub use arena::Arena;
-pub use campus::{run_scale, QueryOutcome, ScaleCampus, ScaleConfig, ScaleReport, Variant};
+pub use campus::{
+    run_scale, run_scale_profiled, QueryOutcome, ScaleCampus, ScaleConfig, ScaleReport, Variant,
+    KIND_NAMES,
+};
 pub use intern::{Interner, Sym};
 pub use shape::HierShape;
 pub use soa::{CampusSoa, SvcState};

@@ -44,11 +44,13 @@
 //! ```
 
 pub mod metrics;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use metrics::{Histogram, Metrics};
+pub use profile::{Lane, ProfileReport, Profiler, ProfilerConfig, QueueSample, Tally};
 pub use queue::{IndexedQueue, LegacyQueue};
 pub use rng::SimRng;
 pub use time::SimTime;
@@ -134,6 +136,9 @@ struct Core {
     spawned: Vec<(ActorId, Box<dyn Actor>)>,
     killed: Vec<ActorId>,
     stopped: bool,
+    /// Virtual-time profiler ([`profile`]): `None` (the default) keeps the
+    /// hot path at one branch per event.
+    profiler: Option<Profiler>,
 }
 
 impl Core {
@@ -245,6 +250,7 @@ impl Sim {
                 spawned: Vec::new(),
                 killed: Vec::new(),
                 stopped: false,
+                profiler: None,
             },
             actors: Vec::new(),
         }
@@ -396,10 +402,52 @@ impl Sim {
         }
     }
 
+    /// Enable the virtual-time profiler from the current instant.
+    /// Re-enabling replaces the accumulated profile.
+    pub fn enable_profiler(&mut self, cfg: ProfilerConfig) {
+        self.core.profiler = Some(Profiler::new(cfg, self.core.now));
+    }
+
+    /// Disable the profiler, returning the final snapshot if it was on.
+    pub fn disable_profiler(&mut self) -> Option<ProfileReport> {
+        let report = self.profile_report();
+        self.core.profiler = None;
+        report
+    }
+
+    /// Is the profiler currently enabled?
+    pub fn profiler_enabled(&self) -> bool {
+        self.core.profiler.is_some()
+    }
+
+    /// Snapshot the accumulated profile (`None` while disabled).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.core
+            .profiler
+            .as_ref()
+            .map(|p| p.report(self.core.now, self.core.events_fired))
+    }
+
     /// Fire a single event. Returns `false` when the calendar is empty.
     pub fn step(&mut self) -> bool {
         let Some((at, _seq, payload)) = self.core.queue.pop() else { return false };
         debug_assert!(at >= self.core.now);
+        if let Some(p) = self.core.profiler.as_mut() {
+            // Observation only: attribute the calendar gap this event
+            // closes, then sample queue telemetry. No scheduling, no RNG.
+            let dt_ns = (at.as_nanos()).saturating_sub(self.core.now.as_nanos());
+            let (lane, actor, kind) = match &payload {
+                Payload::Message { target, .. } => (Lane::Message, Some(target.0), None),
+                Payload::Packed { target, data } => {
+                    (Lane::Packed, Some(target.0), Some((data >> 56) as u8))
+                }
+                Payload::Control(_) => (Lane::Control, None, None),
+            };
+            p.on_event(dt_ns, lane, actor, kind);
+            let depth = self.core.queue.len();
+            let arena = self.core.queue.arena_bytes();
+            p.sample_if_due(at, depth, arena);
+        }
         self.core.now = at;
         self.core.events_fired += 1;
         match payload {

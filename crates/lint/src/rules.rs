@@ -19,11 +19,13 @@
 //!   (`crates/des/src/rng.rs` and the kernel/fault/property-test modules
 //!   that derive documented sub-streams); plus a ban on ambient-entropy
 //!   types anywhere.
-//! * **D5** — `crates/trace` must be hermetic: no wall-clock types and
-//!   no ambient entropy anywhere in the crate, tests included. Traces
-//!   are a determinism *oracle* (two identical runs must export
-//!   byte-identical span files), so the tracing crate gets a stricter
-//!   rule than the D1/D4 defaults — no allowlist, no test exemption.
+//! * **D5** — `crates/trace` (plus the DES virtual-time profiler,
+//!   `crates/des/src/profile.rs`) must be hermetic: no wall-clock
+//!   types and no ambient entropy anywhere, tests included. Traces and
+//!   profiles are a determinism *oracle* (two identical runs must
+//!   export byte-identical span files and tallies), so this scope gets
+//!   a stricter rule than the D1/D4 defaults — no allowlist, no test
+//!   exemption.
 //! * **D6** — arena/SoA modules (`crates/core/src/scale/`, the indexed
 //!   event queue) must stay flat: no `Rc<RefCell<…>>`, no `Box<dyn …>`.
 //!   The million-node refactor's whole premise is dense rows addressed
@@ -64,6 +66,11 @@ const WALLCLOCK_ALLOWLIST: [&str; 1] = ["crates/bench/src/micro.rs"];
 /// (`Box<dyn …>`) are banned — either would silently reintroduce the
 /// pointer-chasing layout the scale refactor removed.
 const ARENA_SOA_SCOPE: [&str; 2] = ["crates/core/src/scale/", "crates/des/src/queue.rs"];
+
+/// Files outside `crates/trace` held to the same hermetic bar (D5):
+/// the DES virtual-time profiler, whose tallies must reproduce
+/// byte-identically across runs.
+const D5_EXTRA_FILES: [&str; 1] = ["crates/des/src/profile.rs"];
 
 /// Modules that own seeded RNG streams (D4 scope): the generator itself,
 /// the DES kernel stream, the fault-plan stream and the property-test
@@ -173,8 +180,10 @@ pub fn check_lexed(lexed: &Lexed, ctx: &FileCtx) -> FileReport {
     let d1_allowed = WALLCLOCK_ALLOWLIST.contains(&ctx.rel.as_str());
     let d4_allowed = RNG_ALLOWLIST.contains(&ctx.rel.as_str());
     // The tracing crate is held to the hermetic rule (D5): wall-clock
-    // and entropy are banned outright, in every target kind.
-    let d5_scope = ctx.krate == "trace";
+    // and entropy are banned outright, in every target kind. The DES
+    // kernel profiler observes the same bar — its numbers feed the
+    // same determinism oracle the span files do.
+    let d5_scope = ctx.krate == "trace" || D5_EXTRA_FILES.contains(&ctx.rel.as_str());
     let d6_scope = ARENA_SOA_SCOPE.iter().any(|p| ctx.rel.starts_with(p));
     // Lib/Bin code paths are what reach wire messages and experiment
     // output; tests, benches and examples get D2–D4 leniency.
@@ -186,19 +195,23 @@ pub fn check_lexed(lexed: &Lexed, ctx: &FileCtx) -> FileReport {
             "Instant" | "SystemTime" if d5_scope => Some((
                 "D5",
                 format!(
-                    "wall-clock type `{name}` in crates/trace: traces carry virtual time \
-                     only — the span files double as a determinism oracle"
+                    "wall-clock type `{name}` in the hermetic trace/profiler scope: traces \
+                     and profiles carry virtual time only — they double as a determinism \
+                     oracle"
                 ),
             )),
             "seed_from_u64" if d5_scope => Some((
                 "D5",
-                "RNG seeding in crates/trace: span ids come from per-node counters, \
-                 never from randomness"
+                "RNG seeding in the hermetic trace/profiler scope: span ids and sample \
+                 decisions come from per-node counters and fixed mixing constants, never \
+                 from randomness"
                     .to_owned(),
             )),
             n if BANNED_RNG.contains(&n) && d5_scope => Some((
                 "D5",
-                format!("`{name}` in crates/trace: ambient entropy is banned in the tracer"),
+                format!(
+                    "`{name}` in the hermetic trace/profiler scope: ambient entropy is banned"
+                ),
             )),
             "Instant" | "SystemTime" if !d1_allowed => Some((
                 "D1",
@@ -562,6 +575,12 @@ mod tests {
         );
         // Other crates keep the D1/D4 classification.
         assert_eq!(hits(src, "crates/des/src/lib.rs"), vec![("D1", 1, false)]);
+        // ... except the DES profiler, which joined the hermetic scope.
+        assert_eq!(hits(src, "crates/des/src/profile.rs"), vec![("D5", 1, false)]);
+        assert_eq!(
+            hits("let r = SimRng::seed_from_u64(7);", "crates/des/src/profile.rs"),
+            vec![("D5", 1, false)]
+        );
     }
 
     #[test]

@@ -217,6 +217,7 @@ fn wall_clock_exemptions_are_pinned_and_justified() {
         "crates/bench/src/bin/e9_packaging.rs",   // wall-clock pack/verify cost
         "crates/bench/src/bin/e13_scale_sweep.rs", // wall throughput column
         "crates/bench/src/bin/e14_sharded_registry.rs", // wall throughput column
+        "crates/bench/src/bin/e15_profiling.rs",  // wall overhead column (profiler gate)
     ];
     // Simulated-metric accessors must never need suppressions of any
     // kind: `Net::max_recv` / traffic counters and the registry

@@ -196,7 +196,7 @@ impl<'a> Decoder<'a> {
     fn u64(&mut self) -> Result<u64, CdrError> {
         self.align(8);
         let s = self.take(8)?;
-        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
     }
 
     /// Decode one value of the given type.
@@ -240,12 +240,12 @@ impl<'a> Decoder<'a> {
             ResolvedType::Float => {
                 self.align(4);
                 let s = self.take(4)?;
-                Value::Float(f32::from_le_bytes(s.try_into().expect("4")))
+                Value::Float(f32::from_le_bytes([s[0], s[1], s[2], s[3]]))
             }
             ResolvedType::Double => {
                 self.align(8);
                 let s = self.take(8)?;
-                Value::Double(f64::from_le_bytes(s.try_into().expect("8")))
+                Value::Double(f64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
             }
             ResolvedType::String => Value::Str(self.string()?),
             ResolvedType::Sequence(inner) => {

@@ -16,6 +16,10 @@
 //! | [`metrics`] | [`MetricsRegistry`] (counters/gauges/fixed-bucket histograms) |
 //! | [`streaming`] | constant-memory primitives for 10⁶-node runs: [`DenseCounters`], [`ShardedCounter`], [`ReservoirHistogram`] |
 //! | [`export`] | sorted JSONL, chrome://tracing JSON, critical path |
+//! | [`sampler`] | seeded head-based trace sampling ([`SampleConfig`]) for bounded-memory tracing at scale |
+//! | [`slo`] | windowed latency/burn-rate SLO rules over [`MetricsRegistry`] deltas, breach records with flight dumps |
+//! | [`flame`] | collapsed-stack flamegraph + per-node virtual-time timeline from span trees |
+//! | [`profile`] | deterministic rendering of the DES kernel's [`lc_des::ProfileReport`] |
 //!
 //! ## Propagation model
 //!
@@ -32,13 +36,20 @@
 //!   nesting).
 
 pub mod export;
+pub mod flame;
 pub mod metrics;
+pub mod profile;
+pub mod sampler;
+pub mod slo;
 pub mod span;
 pub mod streaming;
 pub mod tracer;
 
 pub use export::{critical_path, to_chrome, to_jsonl, CritSegment};
-pub use metrics::{BucketHistogram, MetricsRegistry};
+pub use flame::{to_collapsed, to_timeline};
+pub use metrics::{BucketHistogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sampler::SampleConfig;
+pub use slo::{SloBreach, SloConfig, SloKind, SloMonitor, SloRule};
 pub use streaming::{CounterId, DenseCounters, ReservoirHistogram, ShardedCounter};
 pub use span::{validate, Span, SpanId, TraceContext, TraceId};
 pub use tracer::{SpanEvent, Tracer, FLIGHT_RECORDER_CAP};

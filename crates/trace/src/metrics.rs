@@ -91,6 +91,50 @@ impl BucketHistogram {
             .zip(self.counts.iter().copied())
     }
 
+    /// Snapshot the cumulative state for later windowed deltas.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+
+    /// The window of samples observed since `prev` was taken, as a
+    /// snapshot of per-bucket deltas. Cumulative accessors
+    /// ([`BucketHistogram::count`] etc.) are untouched — this is a pure
+    /// read, which is what burn-rate rules need.
+    ///
+    /// A `prev` from a differently-bucketed histogram (or from after a
+    /// [`MetricsRegistry::clear`]) is treated as empty.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let comparable = prev.bounds == self.bounds && prev.count <= self.count;
+        let empty;
+        let base = if comparable {
+            prev
+        } else {
+            empty = HistogramSnapshot {
+                bounds: self.bounds.clone(),
+                counts: vec![0; self.counts.len()],
+                count: 0,
+                sum: 0,
+            };
+            &empty
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(base.counts.iter())
+                .map(|(c, p)| c.saturating_sub(*p))
+                .collect(),
+            count: self.count - base.count,
+            sum: self.sum.saturating_sub(base.sum),
+        }
+    }
+
     /// Render as `≤edge:count` pairs, skipping empty buckets.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -109,6 +153,51 @@ impl BucketHistogram {
         }
         out
     }
+}
+
+/// A point-in-time copy of a [`BucketHistogram`]'s cumulative state —
+/// or, produced by [`BucketHistogram::delta_since`], the histogram of
+/// one *window* of samples. Windowed SLO rules ([`crate::slo`]) keep one
+/// of these per evaluation and diff against it next time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket edges (inclusive), as in the source histogram.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (one trailing overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// A conservative quantile estimate: the upper edge of the first
+    /// bucket at which the cumulative count reaches `q` (in parts per
+    /// million) of the total. Returns `None` when empty; the overflow
+    /// bucket reports `u64::MAX`. Deterministic — pure integer walk.
+    pub fn quantile_le(&self, q_ppm: u32) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let need = (self.count as u128 * q_ppm as u128).div_ceil(1_000_000) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]'s counters and
+/// histograms, for windowed delta reads.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// Named counters, gauges and fixed-bucket histograms.
@@ -215,6 +304,32 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Snapshot counters and histograms for later windowed deltas.
+    /// Existing accessors are untouched — snapshots are pure reads.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+
+    /// Counter `key`'s increase since `prev` was taken (0 for unknown
+    /// keys; a counter below its snapshot — registry cleared — reads 0).
+    pub fn counter_delta(&self, key: &str, prev: &MetricsSnapshot) -> u64 {
+        self.counter(key).saturating_sub(prev.counters.get(key).copied().unwrap_or(0))
+    }
+
+    /// Histogram `key`'s window of samples since `prev` was taken.
+    /// `None` when the histogram does not exist; a key absent from
+    /// `prev` deltas against empty.
+    pub fn histogram_delta(&self, key: &str, prev: &MetricsSnapshot) -> Option<HistogramSnapshot> {
+        let h = self.histograms.get(key)?;
+        match prev.histograms.get(key) {
+            Some(p) => Some(h.delta_since(p)),
+            None => Some(h.snapshot()),
+        }
+    }
+
     /// Reset everything.
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -275,6 +390,52 @@ mod tests {
         assert_eq!(keys, ["queue.depth"]);
         r.clear();
         assert!(r.reservoir_mut("queue.depth").is_none());
+    }
+
+    #[test]
+    fn windowed_deltas_leave_cumulative_state_alone() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", &[10, 100], 5);
+        r.add("q.total", 3);
+        let snap = r.snapshot();
+        r.observe("lat", &[10, 100], 50);
+        r.observe("lat", &[10, 100], 7);
+        r.add("q.total", 4);
+        let w = r.histogram_delta("lat", &snap).unwrap();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.sum, 57);
+        assert_eq!(w.counts, vec![1, 1, 0]);
+        assert_eq!(r.counter_delta("q.total", &snap), 4);
+        // cumulative accessors unchanged by the windowed reads
+        assert_eq!(r.histogram("lat").unwrap().count(), 3);
+        assert_eq!(r.counter("q.total"), 7);
+        // a fresh key deltas against empty
+        r.observe("new", &[1], 1);
+        assert_eq!(r.histogram_delta("new", &snap).unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_quantiles_walk_buckets() {
+        let mut h = BucketHistogram::new(&[10, 100, 1000]);
+        for v in [1, 2, 3, 50, 60, 70, 80, 500, 900, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_le(500_000), Some(100)); // 5th of 10 samples
+        assert_eq!(s.quantile_le(900_000), Some(1000));
+        assert_eq!(s.quantile_le(1_000_000), Some(u64::MAX));
+        assert_eq!(HistogramSnapshot::default().quantile_le(500_000), None);
+    }
+
+    #[test]
+    fn incompatible_delta_base_reads_as_empty() {
+        let mut a = BucketHistogram::new(&[10]);
+        a.observe(5);
+        let mut b = BucketHistogram::new(&[99]);
+        b.observe(1);
+        let d = b.delta_since(&a.snapshot());
+        assert_eq!(d.count, 1);
+        assert_eq!(d.bounds, vec![99]);
     }
 
     #[test]

@@ -52,14 +52,18 @@ impl fmt::Display for TraceId {
     }
 }
 
-/// What travels in message headers: which trace, and which span is the
-/// sender-side parent of whatever the receiver does next.
+/// What travels in message headers: which trace, which span is the
+/// sender-side parent of whatever the receiver does next, and whether
+/// the trace was head-sampled for recording.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceContext {
     /// The trace every descendant span joins.
     pub trace: TraceId,
     /// The span to parent receiver-side work under.
     pub span: SpanId,
+    /// Head-sampling decision made at root creation ([`crate::sampler`]):
+    /// `false` means ids still advance but nothing is recorded.
+    pub sampled: bool,
 }
 
 /// One recorded span.

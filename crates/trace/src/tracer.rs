@@ -15,6 +15,7 @@
 //! [`crate::span::validate`] — child intervals nest in parents — holds
 //! by construction.
 
+use crate::sampler::{self, SampleConfig};
 use crate::span::{Span, SpanId, TraceContext, TraceId};
 use lc_des::SimTime;
 use std::collections::BTreeMap;
@@ -85,6 +86,8 @@ struct Inner {
     /// Per-node flight recorders.
     recorders: BTreeMap<u32, FlightRecorder>,
     recorder_cap: usize,
+    /// Head-sampling configuration; `None` keeps every trace.
+    sampling: Option<SampleConfig>,
 }
 
 /// The deterministic tracer. Cheap to clone (shared interior); a
@@ -111,6 +114,7 @@ impl Tracer {
                 current: None,
                 recorders: BTreeMap::new(),
                 recorder_cap: FLIGHT_RECORDER_CAP,
+                sampling: None,
             })),
         }
     }
@@ -128,6 +132,32 @@ impl Tracer {
     /// Is span collection on?
     pub fn is_enabled(&self) -> bool {
         self.locked().enabled
+    }
+
+    /// Install (or clear) head-based trace sampling. With a config set,
+    /// the keep/drop decision is made once per trace at root creation
+    /// (see [`crate::sampler`]); span ids are still allocated for
+    /// dropped traces, so the recorded spans of a sampled run are
+    /// byte-identical to the same spans of an unsampled run.
+    pub fn set_sampling(&self, cfg: Option<SampleConfig>) {
+        self.locked().sampling = cfg;
+    }
+
+    /// The active head-sampling configuration, if any.
+    pub fn sampling(&self) -> Option<SampleConfig> {
+        self.locked().sampling
+    }
+
+    /// Resize the per-node flight-recorder rings. Applies to recorders
+    /// created after the call, so configure it before the first span —
+    /// node construction does, via `NodeConfig::builder().tracing(..)`.
+    pub fn set_recorder_cap(&self, cap: usize) {
+        self.locked().recorder_cap = cap.max(1);
+    }
+
+    /// The configured flight-recorder ring capacity.
+    pub fn recorder_cap(&self) -> usize {
+        self.locked().recorder_cap
     }
 
     fn locked(&self) -> MutexGuard<'_, Inner> {
@@ -166,8 +196,11 @@ impl Tracer {
             return None;
         }
         let id = inner.alloc(node);
-        let ctx = TraceContext { trace: TraceId(id.0), span: id };
-        inner.open_span(ctx, None, node, name, now);
+        let sampled = inner.sample_decision(id);
+        let ctx = TraceContext { trace: TraceId(id.0), span: id, sampled };
+        if sampled {
+            inner.open_span(ctx, None, node, name, now);
+        }
         Some(ctx)
     }
 
@@ -185,8 +218,10 @@ impl Tracer {
             return None;
         }
         let id = inner.alloc(node);
-        let ctx = TraceContext { trace: parent.trace, span: id };
-        inner.open_span(ctx, Some(parent.span), node, name, now);
+        let ctx = TraceContext { trace: parent.trace, span: id, sampled: parent.sampled };
+        if parent.sampled {
+            inner.open_span(ctx, Some(parent.span), node, name, now);
+        }
         Some(ctx)
     }
 
@@ -207,19 +242,24 @@ impl Tracer {
             return None;
         }
         let id = inner.alloc(node);
-        let (trace, parent_span) = match parent {
-            Some(p) => (p.trace, Some(p.span)),
-            None => (TraceId(id.0), None),
+        let (trace, parent_span, sampled) = match parent {
+            Some(p) => (p.trace, Some(p.span), p.sampled),
+            None => (TraceId(id.0), None, inner.sample_decision(id)),
         };
-        let ctx = TraceContext { trace, span: id };
-        inner.open_span(ctx, parent_span, node, name, start);
-        inner.close_span(id, end);
+        let ctx = TraceContext { trace, span: id, sampled };
+        if sampled {
+            inner.open_span(ctx, parent_span, node, name, start);
+            inner.close_span(id, end);
+        }
         Some(ctx)
     }
 
     /// Close a span; its recorded end becomes the max of `now` and its
     /// children's ends, then propagates upward (see module docs).
     pub fn end(&self, ctx: TraceContext, now: SimTime) {
+        if !ctx.sampled {
+            return;
+        }
         let mut inner = self.locked();
         if !inner.enabled {
             return;
@@ -229,6 +269,9 @@ impl Tracer {
 
     /// Append an attribute to an open or closed span.
     pub fn set_attr(&self, ctx: TraceContext, key: &str, value: &str) {
+        if !ctx.sampled {
+            return;
+        }
         let mut inner = self.locked();
         if !inner.enabled {
             return;
@@ -240,6 +283,9 @@ impl Tracer {
 
     /// Record a non-parent causal link (retry → original attempt).
     pub fn link(&self, ctx: TraceContext, to: SpanId) {
+        if !ctx.sampled {
+            return;
+        }
         let mut inner = self.locked();
         if !inner.enabled {
             return;
@@ -289,6 +335,15 @@ impl Inner {
         let seq = self.next_seq.entry(node).or_insert(0);
         *seq += 1;
         SpanId::compose(node, *seq)
+    }
+
+    /// Head-sampling decision for a trace rooted at `root` (made once,
+    /// at root creation; descendants inherit it from the context).
+    fn sample_decision(&self, root: SpanId) -> bool {
+        match self.sampling {
+            None => true,
+            Some(cfg) => sampler::decide(cfg, root),
+        }
     }
 
     fn record_event(&mut self, node: u32, ev: SpanEvent) {
@@ -441,6 +496,52 @@ mod tests {
         // oldest first, and the ring kept the most recent events
         assert!(events[0].at <= events[events.len() - 1].at);
         assert_eq!(events[events.len() - 1].at, t(99));
+    }
+
+    #[test]
+    fn sampling_allocates_ids_but_records_only_kept_traces() {
+        // Build the full forest first, then replay with sampling on.
+        let full = Tracer::new();
+        let sampled = Tracer::new();
+        sampled.set_sampling(Some(SampleConfig::one_in(2, 11)));
+        let mut kept = 0usize;
+        for i in 0..64u64 {
+            for tr in [&full, &sampled] {
+                let root = tr.root(0, "req", t(i * 10)).unwrap();
+                let child = tr.child_of(1, "work", root, t(i * 10 + 1)).unwrap();
+                tr.set_attr(child, "i", &i.to_string());
+                tr.end(child, t(i * 10 + 2));
+                tr.end(root, t(i * 10 + 3));
+                if tr.sampling().is_some() && root.sampled {
+                    kept += 1;
+                }
+            }
+        }
+        assert!(kept > 0 && kept < 64, "kept {kept}");
+        assert_eq!(sampled.span_count(), kept * 2);
+        // the sampled set is a subset of the full forest, byte-identical
+        // span for span (ids kept advancing for dropped traces)
+        let full_spans = full.spans();
+        for s in sampled.spans() {
+            let twin = full_spans.iter().find(|f| f.id == s.id).expect("twin");
+            assert_eq!(format!("{:?}", twin), format!("{:?}", s));
+        }
+        validate(&sampled.spans()).unwrap();
+    }
+
+    #[test]
+    fn recorder_cap_is_configurable() {
+        let tr = Tracer::new();
+        tr.set_recorder_cap(8);
+        assert_eq!(tr.recorder_cap(), 8);
+        for i in 0..20u64 {
+            if let Some(c) = tr.root(0, "s", t(i)) {
+                tr.end(c, t(i));
+            }
+        }
+        let (events, dropped) = tr.flight_record(0);
+        assert_eq!(events.len(), 8);
+        assert_eq!(dropped, 40 - 8);
     }
 
     #[test]
