@@ -132,4 +132,21 @@ awk '/"n": 100000/{p=1} p && /"wall_overhead_pct"/{pct=$2+0; exit} END{if (pct >
 rm -f /tmp/e15_run1.txt /tmp/e15_run2.txt target/e15_run?.json target/e15_*.stable \
   target/e15_run?.flame.txt target/e15_run?.timeline.txt target/e15_full.*
 
+# Open-loop capacity gates (E16). The report and JSON carry only
+# virtual-time columns, so two runs must agree byte-for-byte, and the
+# run must match the committed BENCH_e16.json artefact (headline knee
+# included). The binary itself exits non-zero when the overload gates
+# fail: post-knee goodput with shedding >= 80% of the knee while the
+# no-shedding baseline collapses below 50%, and hot-replication lifts
+# capacity >= 1.3x with at least one replica spawned.
+./target/release/e16_capacity target/e16_run1.json > /tmp/e16_run1.txt
+./target/release/e16_capacity target/e16_run2.json > /tmp/e16_run2.txt
+diff /tmp/e16_run1.txt /tmp/e16_run2.txt
+diff target/e16_run1.json target/e16_run2.json
+diff target/e16_run1.json BENCH_e16.json
+# Knee-regression gate on the committed artefact: the headline capacity
+# may not drift below 5000 op/s (the worker's theoretical draw rate).
+awk '/"headline_knee_goodput_per_sec"/{g=$2+0; exit} END{if (g < 5000) {print "e16: committed knee goodput " g " < 5000 op/s"; exit 1}}' BENCH_e16.json
+rm -f /tmp/e16_run1.txt /tmp/e16_run2.txt target/e16_run?.json
+
 echo "ci: all green"

@@ -1,0 +1,500 @@
+//! E16 — open-loop capacity under overload control.
+//!
+//! An `lc-load` workload engine offers traffic to a small campus at a
+//! *configured* rate (open loop: arrivals never wait for replies — the
+//! overloaded system keeps receiving them), sweeping the offered load
+//! across three arrival shapes (steady, diurnal wave, flash crowd) and
+//! two server variants:
+//!
+//! * `shed`   — bounded admission ([`AdmissionConfig`]): the worker
+//!   refuses requests whose queue backlog exceeds 150 ms (and anything
+//!   that cannot meet the 250 ms invoke deadline) with an immediate
+//!   `OrbError::Overload`;
+//! * `noshed` — no admission control: every request queues, and under
+//!   overload replies arrive after the client's deadline (silent
+//!   goodput collapse — the failure mode shedding exists to prevent).
+//!
+//! The *knee* of the goodput-vs-offered-load curve is the headline
+//! capacity number. Past the knee the shed variant must retain most of
+//! its peak goodput while the noshed variant collapses (both gated by
+//! the binary and ci.sh). A final scenario turns on hot-component
+//! replication: when the worker saturates, it asks its group MRM for a
+//! placement and spawns a replica; drivers re-query the registry and
+//! spread zipf-keyed traffic over the replica set, lifting goodput past
+//! a single node's capacity.
+//!
+//! Everything reported derives from virtual time, so report and JSON
+//! are byte-identical across runs (ci.sh double-runs and diffs).
+
+use crate::{f2, format_table};
+use lc_core::cohesion::CohesionConfig;
+use lc_core::demo;
+use lc_core::node::{AdmissionConfig, InvokePolicy, NodeCmd, ReplicateConfig};
+use lc_core::testkit::{build_world, World};
+use lc_core::{NodeConfig, SpawnSink};
+use lc_des::SimTime;
+use lc_load::{
+    percentile, ArrivalShape, ArrivalStream, DriverArrival, DriverConfig, DriverStats,
+    LoadDriver, QueryTick, StreamConfig, ZipfKeys,
+};
+use lc_net::{HostId, Topology};
+use lc_orb::Value;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Campus: 2 sites x 4 hosts; hosts 0 and 4 are servers (4x CPU).
+const N: usize = 8;
+/// The worker hosting the Display instance (workstation: ~5000 draws/s
+/// at 200 us/draw).
+const WORKER: HostId = HostId(1);
+/// Front-end ingress hosts, one load driver each (two per site).
+const FRONTS: [HostId; 4] = [HostId(2), HostId(3), HostId(5), HostId(6)];
+/// Soft-state convergence before traffic starts.
+const WARMUP: SimTime = SimTime::from_secs(1);
+/// Open-loop offered-traffic window.
+const HORIZON: SimTime = SimTime::from_secs(2);
+/// Post-horizon drain so every in-flight call resolves (client
+/// deadline 250 ms << drain).
+const DRAIN: SimTime = SimTime::from_millis(600);
+/// Offered-load sweep, arrivals/second (base intensity of each shape).
+const RATES: [f64; 4] = [2_500.0, 5_000.0, 7_500.0, 10_000.0];
+/// Simulated user population.
+const USERS: u64 = 1_000_000;
+/// Replica re-discovery period of each driver.
+const REQUERY: SimTime = SimTime::from_millis(100);
+/// Offered load of the replication scenario (≈1.8x one worker).
+const REPLICATION_RATE: f64 = 9_000.0;
+
+fn shapes() -> [ArrivalShape; 3] {
+    [
+        ArrivalShape::Steady,
+        ArrivalShape::Diurnal { period: SimTime::from_millis(500), depth: 0.4 },
+        ArrivalShape::Flash {
+            at: SimTime::from_millis(800),
+            width: SimTime::from_millis(400),
+            magnitude: 3.0,
+        },
+    ]
+}
+
+fn config(admission: Option<AdmissionConfig>) -> NodeConfig {
+    NodeConfig {
+        cohesion: CohesionConfig {
+            fanout: 8,
+            replicas: 2,
+            report_period: SimTime::from_millis(200),
+            timeout_intervals: 3,
+        },
+        invoke: InvokePolicy {
+            deadline: Some(SimTime::from_millis(250)),
+            retries: 0,
+            ..InvokePolicy::default()
+        },
+        require_signature: false,
+        admission,
+        ..Default::default()
+    }
+}
+
+fn shed_config() -> AdmissionConfig {
+    AdmissionConfig {
+        query_queue_cap: 1024,
+        cpu_backlog_cap: SimTime::from_millis(150),
+        deadline_aware: true,
+        replicate_hot: None,
+    }
+}
+
+/// Aggregate outcome of one `(shape, rate, variant)` scenario.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Measured offered load (arrivals emitted / horizon).
+    pub offered_per_sec: f64,
+    /// Successful replies / horizon.
+    pub goodput_per_sec: f64,
+    /// Arrivals sent.
+    pub sent: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Admission-refused replies.
+    pub overload: u64,
+    /// Client-deadline expiries.
+    pub timeout: u64,
+    /// Invoke latency percentiles over successful replies, ms.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    /// First-offer latency p50 over the drivers' discovery queries, ms.
+    pub first_offer_p50_ms: f64,
+    /// Replicas spawned by hot-component replication.
+    pub replicas: u64,
+}
+
+/// Run one scenario and aggregate its four drivers.
+fn run_scenario(
+    shape: &ArrivalShape,
+    rate: f64,
+    admission: Option<AdmissionConfig>,
+    seed: u64,
+    key_count: usize,
+) -> RunStats {
+    let behaviors = lc_core::BehaviorRegistry::new();
+    demo::register_demo_behaviors(&behaviors);
+    let mut w: World = build_world(
+        Topology::campus(2, 4),
+        seed,
+        config(admission),
+        behaviors,
+        demo::demo_trust(),
+        Arc::new(demo::demo_idl()),
+        // Only non-front hosts carry the package: front ends must
+        // discover over the network (so first-offer latency is real),
+        // and the replica-placement targets (the servers and the spare
+        // workstation) can still satisfy a Spawn.
+        |h| {
+            if FRONTS.contains(&h) {
+                Vec::new()
+            } else {
+                vec![demo::display_package_sized(8 * 1024)]
+            }
+        },
+    );
+    let spawn: SpawnSink = Rc::new(RefCell::new(None));
+    w.cmd(
+        WORKER,
+        NodeCmd::SpawnLocal {
+            component: "Display".into(),
+            min_version: lc_pkg::Version::new(2, 0),
+            instance_name: None,
+            sink: spawn.clone(),
+        },
+    );
+    w.sim.run_until(WARMUP);
+    let target = match spawn.borrow().clone() {
+        Some(Ok(r)) => r,
+        other => panic!("e16: worker spawn failed: {other:?}"),
+    };
+
+    let mut drivers = Vec::new();
+    for (i, front) in FRONTS.iter().enumerate() {
+        let driver = LoadDriver::new(DriverConfig {
+            node: w.actors[front.0 as usize],
+            component: "Display".into(),
+            op: "draw".into(),
+            args: vec![Value::string("frame")],
+            initial_target: target.clone(),
+            requery: Some(REQUERY),
+        });
+        let actor = w.sim.spawn(driver);
+        // Staggered discovery so four queries never share a tick.
+        w.sim.send_in(SimTime::from_millis(13 + 7 * i as u64), actor, QueryTick);
+        let stream = StreamConfig {
+            shape: shape.clone(),
+            rate_per_sec: rate,
+            seed: seed ^ 0xE16,
+            horizon: HORIZON,
+            users: USERS,
+            keys: ZipfKeys::new(key_count, 1.0),
+        };
+        for a in ArrivalStream::split(stream, i, FRONTS.len()) {
+            w.sim.send_in(a.at, actor, DriverArrival(a));
+        }
+        drivers.push(actor);
+    }
+    w.sim.run_until(WARMUP + HORIZON + DRAIN);
+
+    let mut agg = DriverStats::default();
+    for id in drivers {
+        let Some(d) = w.sim.actor_as_mut::<LoadDriver>(id) else {
+            panic!("e16: driver actor vanished");
+        };
+        let s = d.stats();
+        agg.sent += s.sent;
+        agg.ok += s.ok;
+        agg.overload += s.overload;
+        agg.timeout += s.timeout;
+        agg.ok_latency_ms.extend(s.ok_latency_ms);
+        agg.first_offer_ms.extend(s.first_offer_ms);
+    }
+    let horizon_s = HORIZON.as_secs_f64();
+    RunStats {
+        offered_per_sec: agg.sent as f64 / horizon_s,
+        goodput_per_sec: agg.ok as f64 / horizon_s,
+        sent: agg.sent,
+        ok: agg.ok,
+        overload: agg.overload,
+        timeout: agg.timeout,
+        p50_ms: percentile(&agg.ok_latency_ms, 50.0),
+        p99_ms: percentile(&agg.ok_latency_ms, 99.0),
+        p999_ms: percentile(&agg.ok_latency_ms, 99.9),
+        first_offer_p50_ms: percentile(&agg.first_offer_ms, 50.0),
+        replicas: w.sim.metrics_ref().counter("admission.replicas"),
+    }
+}
+
+/// One point of a goodput curve: the same offered stream against both
+/// server variants.
+pub struct CurvePoint {
+    /// Base intensity handed to the generator.
+    pub rate: f64,
+    /// Shed-variant outcome.
+    pub shed: RunStats,
+    /// Noshed-variant outcome.
+    pub noshed: RunStats,
+}
+
+/// One arrival shape's sweep.
+pub struct ShapeCurve {
+    /// Shape name.
+    pub name: &'static str,
+    /// Sweep points in offered-load order.
+    pub points: Vec<CurvePoint>,
+    /// Knee: measured offered load at maximum shed goodput.
+    pub knee_offered: f64,
+    /// Goodput at the knee.
+    pub knee_goodput: f64,
+    /// Goodput at the highest offered point / knee goodput, shed.
+    pub shed_retention: f64,
+    /// Same ratio for the noshed variant (vs the *noshed* peak).
+    pub noshed_retention: f64,
+}
+
+/// The replication scenario pair.
+pub struct ReplicationResult {
+    /// Goodput with shedding only.
+    pub goodput_off: f64,
+    /// Goodput with shedding + hot-component replication.
+    pub goodput_on: f64,
+    /// `on / off`.
+    pub gain: f64,
+    /// Replicas spawned in the `on` run.
+    pub replicas: u64,
+}
+
+/// Both artefacts of one E16 run.
+pub struct E16Output {
+    /// Human-readable report.
+    pub report: String,
+    /// Machine-readable summary (sorted keys, stable formatting).
+    pub json: String,
+    /// All overload-control gates (retention + replication) passed.
+    pub gates_ok: bool,
+}
+
+fn sweep_shape(shape: &ArrivalShape, rates: &[f64], seed: u64) -> ShapeCurve {
+    let mut points = Vec::new();
+    for &rate in rates {
+        points.push(CurvePoint {
+            rate,
+            shed: run_scenario(shape, rate, Some(shed_config()), seed, 1),
+            noshed: run_scenario(shape, rate, None, seed, 1),
+        });
+    }
+    let shed_curve: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.shed.offered_per_sec, p.shed.goodput_per_sec)).collect();
+    let (knee_offered, knee_goodput) = lc_load::knee(&shed_curve);
+    let last = match points.last() {
+        Some(p) => p,
+        None => panic!("e16: empty sweep"),
+    };
+    let noshed_peak = points
+        .iter()
+        .map(|p| p.noshed.goodput_per_sec)
+        .fold(0.0f64, f64::max);
+    ShapeCurve {
+        name: shape.name(),
+        shed_retention: last.shed.goodput_per_sec / knee_goodput.max(f64::MIN_POSITIVE),
+        noshed_retention: last.noshed.goodput_per_sec / noshed_peak.max(f64::MIN_POSITIVE),
+        knee_offered,
+        knee_goodput,
+        points,
+    }
+}
+
+fn run_replication(seed: u64) -> ReplicationResult {
+    let off = run_scenario(
+        &ArrivalShape::Steady,
+        REPLICATION_RATE,
+        Some(shed_config()),
+        seed,
+        16,
+    );
+    let on = run_scenario(
+        &ArrivalShape::Steady,
+        REPLICATION_RATE,
+        Some(AdmissionConfig {
+            replicate_hot: Some(ReplicateConfig {
+                cooldown: SimTime::from_millis(200),
+                max_replicas: 1,
+            }),
+            ..shed_config()
+        }),
+        seed,
+        16,
+    );
+    ReplicationResult {
+        gain: on.goodput_per_sec / off.goodput_per_sec.max(f64::MIN_POSITIVE),
+        goodput_off: off.goodput_per_sec,
+        goodput_on: on.goodput_per_sec,
+        replicas: on.replicas,
+    }
+}
+
+fn render_json(curves: &[ShapeCurve], rep: &ReplicationResult, gates_ok: bool) -> String {
+    let mut j = String::new();
+    let headline = &curves[0];
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"e16_capacity\",");
+    let _ = writeln!(j, "  \"gates_ok\": {gates_ok},");
+    let _ = writeln!(j, "  \"headline_knee_goodput_per_sec\": {},", f2(headline.knee_goodput));
+    let _ = writeln!(j, "  \"headline_knee_offered_per_sec\": {},", f2(headline.knee_offered));
+    let _ = writeln!(j, "  \"nodes\": {N},");
+    let _ = writeln!(j, "  \"replication\": {{");
+    let _ = writeln!(j, "    \"gain\": {},", f2(rep.gain));
+    let _ = writeln!(j, "    \"goodput_off_per_sec\": {},", f2(rep.goodput_off));
+    let _ = writeln!(j, "    \"goodput_on_per_sec\": {},", f2(rep.goodput_on));
+    let _ = writeln!(j, "    \"replicas_spawned\": {}", rep.replicas);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"shapes\": [");
+    for (i, c) in curves.iter().enumerate() {
+        let comma = if i + 1 < curves.len() { "," } else { "" };
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"curve\": [");
+        for (k, p) in c.points.iter().enumerate() {
+            let pc = if k + 1 < c.points.len() { "," } else { "" };
+            let _ = writeln!(j, "        {{");
+            let _ = writeln!(j, "          \"first_offer_p50_ms\": {},", f2(p.shed.first_offer_p50_ms));
+            let _ = writeln!(j, "          \"goodput_noshed_per_sec\": {},", f2(p.noshed.goodput_per_sec));
+            let _ = writeln!(j, "          \"goodput_shed_per_sec\": {},", f2(p.shed.goodput_per_sec));
+            let _ = writeln!(j, "          \"offered_per_sec\": {},", f2(p.shed.offered_per_sec));
+            let _ = writeln!(j, "          \"overload_replies\": {},", p.shed.overload);
+            let _ = writeln!(j, "          \"p50_ms\": {},", f2(p.shed.p50_ms));
+            let _ = writeln!(j, "          \"p999_ms\": {},", f2(p.shed.p999_ms));
+            let _ = writeln!(j, "          \"p99_ms\": {},", f2(p.shed.p99_ms));
+            let _ = writeln!(j, "          \"timeouts_noshed\": {}", p.noshed.timeout);
+            let _ = writeln!(j, "        }}{pc}");
+        }
+        let _ = writeln!(j, "      ],");
+        let _ = writeln!(j, "      \"knee_goodput_per_sec\": {},", f2(c.knee_goodput));
+        let _ = writeln!(j, "      \"knee_offered_per_sec\": {},", f2(c.knee_offered));
+        let _ = writeln!(j, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(j, "      \"post_knee_noshed_retention\": {},", f2(c.noshed_retention));
+        let _ = writeln!(j, "      \"post_knee_shed_retention\": {}", f2(c.shed_retention));
+        let _ = writeln!(j, "    }}{comma}");
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Run the sweep with a rate cap (smoke mode); `None` = full matrix.
+pub fn run_limited(seed: u64, max_rate: Option<f64>) -> E16Output {
+    let rates: Vec<f64> = RATES
+        .iter()
+        .copied()
+        .filter(|r| max_rate.is_none_or(|m| *r <= m))
+        .collect();
+    let curves: Vec<ShapeCurve> =
+        shapes().iter().map(|s| sweep_shape(s, &rates, seed)).collect();
+    let rep = run_replication(seed);
+
+    // Overload-control gates. Retention gates need a post-knee point,
+    // so they only bind when the sweep reaches 1.5x the knee.
+    let mut gates_ok = rep.gain >= 1.3 && rep.replicas >= 1;
+    for c in &curves {
+        let last_offered = c.points.last().map_or(0.0, |p| p.shed.offered_per_sec);
+        if last_offered >= c.knee_offered * 1.5 {
+            gates_ok &= c.shed_retention >= 0.8;
+            gates_ok &= c.noshed_retention < 0.5;
+        }
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "E16: open-loop capacity under overload control (seed {seed})"
+    );
+    let _ = writeln!(
+        report,
+        "{N} nodes (2 sites x 4), worker at host {}, {} drivers, {}s horizon, \
+         deadline 250ms, backlog cap 150ms",
+        WORKER.0,
+        FRONTS.len(),
+        HORIZON.as_secs_f64(),
+    );
+    for c in &curves {
+        let rows: Vec<Vec<String>> = c
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    f2(p.shed.offered_per_sec),
+                    f2(p.shed.goodput_per_sec),
+                    f2(p.noshed.goodput_per_sec),
+                    p.shed.overload.to_string(),
+                    p.noshed.timeout.to_string(),
+                    f2(p.shed.p50_ms),
+                    f2(p.shed.p99_ms),
+                    f2(p.shed.p999_ms),
+                    f2(p.shed.first_offer_p50_ms),
+                ]
+            })
+            .collect();
+        report.push_str(&format_table(
+            &format!("{} arrivals", c.name),
+            &[
+                "offered/s",
+                "goodput shed",
+                "goodput noshed",
+                "shed",
+                "noshed timeouts",
+                "p50 ms",
+                "p99 ms",
+                "p99.9 ms",
+                "1st-offer p50",
+            ],
+            &rows,
+        ));
+        let _ = writeln!(
+            report,
+            "knee: {} op/s offered -> {} op/s goodput; post-knee retention shed {} vs noshed {}\n",
+            f2(c.knee_offered),
+            f2(c.knee_goodput),
+            f2(c.shed_retention),
+            f2(c.noshed_retention),
+        );
+    }
+    let _ = writeln!(
+        report,
+        "replication: goodput {} -> {} op/s ({}x) with {} replica(s) spawned",
+        f2(rep.goodput_off),
+        f2(rep.goodput_on),
+        f2(rep.gain),
+        rep.replicas,
+    );
+    let _ = writeln!(report, "gates: {}", if gates_ok { "ok" } else { "FAILED" });
+
+    E16Output { report, json: render_json(&curves, &rep, gates_ok), gates_ok }
+}
+
+/// Full sweep (the committed-artefact configuration).
+pub fn run(seed: u64) -> E16Output {
+    run_limited(seed, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_is_deterministic_and_gates_pass() {
+        let a = run(16);
+        let b = run(16);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.json, b.json);
+        assert!(a.gates_ok, "overload gates failed:\n{}", a.report);
+    }
+}

@@ -44,10 +44,12 @@ pub use behavior::BehaviorRegistry;
 pub use cohesion::{CohesionConfig, Hierarchy};
 pub use deploy::{NodeView, PlacementStrategy, ResolveAction, ResolvePolicy};
 pub use node::{
-    AssemblySink, CacheConfig, CacheStats, Continuations, InvokePolicy, InvokeSink,
+    AdmissionConfig, AssemblySink, CacheConfig, CacheStats, Continuations, InvokePolicy,
+    InvokeSink,
     LoadBalanceConfig, MigrateSink, Node, NodeCmd, NodeConfig, NodeConfigBuilder, NodeCtx,
     NodeMetrics, NodeSeed, NodeService, NodeState, QueryResult, QuerySink, RegistryConfig,
-    ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick, TraceConfig,
+    ReplicateConfig, ServiceKind, ServiceMetrics, ServiceReflect, SpawnSink, SvcMsg, Tick,
+    TraceConfig,
 };
 pub use proto::{CtrlMsg, DeltaEntry, GroupSummary, QueryId};
 pub use registry::backend::{

@@ -355,6 +355,50 @@ impl NodeCtx<'_, '_> {
             }
         }
 
+        // Admission control: refuse work the CPU FIFO cannot serve in
+        // time instead of executing it late. The decision point sits
+        // after dedup (a cached verdict — including a cached shed —
+        // must keep winning over a fresh decision, or a retried shed
+        // request could execute after the backlog drains) and before
+        // dispatch (a shed request must never reach the servant).
+        if let Some(adm) = self.state.cfg.admission.clone() {
+            let now = self.sim.now();
+            let backlog = self.state.cpu_free_at.saturating_sub(now);
+            let over_deadline = adm.deadline_aware
+                && self.state.cfg.invoke.deadline.is_some_and(|d| backlog > d);
+            self.sim.metrics().incr("admission.total");
+            self.state.metrics.note("admission.total");
+            if backlog > adm.cpu_backlog_cap || over_deadline {
+                self.sim.metrics().incr("admission.shed");
+                self.state.metrics.note("admission.shed");
+                if dedup > SimTime::ZERO && reply_to.is_some() {
+                    // Remember the refusal for the dedup window: the
+                    // shed request stays shed even if retried after the
+                    // queue drains (exactly-once under shedding).
+                    self.state.conts.replies.insert_with_deadline(
+                        id,
+                        Err(OrbError::Overload),
+                        now + dedup,
+                    );
+                    self.timer_in(dedup, Tick::DedupSweep);
+                }
+                if let Some(back) = reply_to {
+                    let _ = self.orb_reply(back, id, Err(OrbError::Overload));
+                }
+                self.maybe_replicate(target.oid);
+                return;
+            }
+            // Admitted: the queue delay this request will absorb. With
+            // `deadline_aware` this never exceeds the invoke deadline —
+            // the overload property tests pin that bound.
+            self.sim
+                .metrics()
+                .record("admission.queue_delay_ms", backlog.as_secs_f64() * 1e3);
+            if adm.replicate_hot.is_some() {
+                *self.state.instance_load.entry(target.oid).or_insert(0) += 1;
+            }
+        }
+
         // System ops (`_connect_*`, `_reply`, `_get_state`…) are raw;
         // IDL ops are type-checked. Attribute accessors (`_get_x`) exist
         // in the interface metadata, so try typed dispatch first.

@@ -99,6 +99,13 @@ impl<K: Ord + Clone, V> Continuations<K, V> {
             .collect()
     }
 
+    /// The smallest key currently pending. For sequence-keyed tables
+    /// this is the *oldest* entry — the one admission control sheds
+    /// when the table hits its cap.
+    pub fn oldest_key(&self) -> Option<&K> {
+        self.entries.keys().next()
+    }
+
     /// Iterate over live entries in key order, values mutable. Used by
     /// sweeps that must adjust an entry *without* expiring it (e.g.
     /// expiring individual coalesced followers inside a still-pending

@@ -85,6 +85,15 @@ pub struct NodeState {
     /// CPU FIFO: when the processor frees up (owned by the Resource
     /// Manager's accounting, see `resource_svc::occupy_cpu`).
     pub(crate) cpu_free_at: SimTime,
+    /// Admitted requests per local oid since boot — which instance is
+    /// hot, for replication placement. Maintained only while
+    /// [`NodeConfig::admission`] configures `replicate_hot`.
+    pub(crate) instance_load: BTreeMap<u64, u64>,
+    /// When this node last asked for a replica (replication cooldown).
+    pub(crate) last_replicate: Option<SimTime>,
+    /// Replicas this node has started (bounded by
+    /// [`super::ReplicateConfig::max_replicas`]).
+    pub(crate) replicas_started: u32,
     /// The resolution substrate behind the Component Registry service:
     /// result cache, singleflight and (when configured) the shard ring,
     /// all behind the [`RegistryBackend`] trait selected by
@@ -138,6 +147,9 @@ impl NodeState {
             subs: BTreeMap::new(),
             forwards: BTreeMap::new(),
             cpu_free_at: SimTime::ZERO,
+            instance_load: BTreeMap::new(),
+            last_replicate: None,
+            replicas_started: 0,
             backend,
         }
     }
@@ -193,6 +205,24 @@ impl NodeState {
     /// Current pending-work depth across the unified continuation table.
     pub fn continuation_depth(&self) -> usize {
         self.conts.depth()
+    }
+
+    /// Pending distributed queries right now (the bounded admission
+    /// queue of the Component Registry service).
+    pub fn query_queue_depth(&self) -> usize {
+        self.conts.queries.len()
+    }
+
+    /// Most distributed queries ever pending at once on this node. With
+    /// [`super::AdmissionConfig::query_queue_cap`] configured this never
+    /// exceeds the cap — the overload property tests pin that bound.
+    pub fn query_queue_high_water(&self) -> usize {
+        self.conts.queries.high_water()
+    }
+
+    /// Replicas this node has started through hot-component replication.
+    pub fn replicas_started(&self) -> u32 {
+        self.replicas_started
     }
 
     /// Peak pending-work depth (sum of per-table high-water marks).

@@ -136,6 +136,89 @@ impl InvokePolicy {
     }
 }
 
+/// Server-side overload control (admission queues + load shedding).
+///
+/// Off by default — a node without an [`AdmissionConfig`] behaves
+/// byte-identically to the pre-admission runtime. With one configured,
+/// the container refuses ([`lc_orb::OrbError::Overload`]) incoming
+/// requests whose queue delay at the CPU FIFO would already exceed the
+/// configured backlog cap (or, deadline-aware, the caller's
+/// [`InvokePolicy`] deadline: work that cannot possibly reply in time
+/// is refused instead of executed late), and the Component Registry
+/// bounds its pending-query table by shedding the *oldest* pending
+/// query — under sustained overload the oldest callers are the ones
+/// whose deadlines are nearest, so adaptive-LIFO service keeps the
+/// newest arrivals inside their budget. A shed request is never also
+/// executed: the shed verdict is cached in the servant's dedup window,
+/// so retries of a shed request are answered `Overload` from cache.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Pending distributed queries kept per node; starting a search
+    /// beyond this sheds the oldest pending query (leader *and*
+    /// coalesced followers complete immediately with
+    /// [`QueryResult::shed`]).
+    pub query_queue_cap: usize,
+    /// CPU-FIFO backlog above which incoming requests are shed.
+    pub cpu_backlog_cap: SimTime,
+    /// Also shed any request whose queue delay alone already exceeds
+    /// the node's [`InvokePolicy::deadline`] — the reply would arrive
+    /// after the caller stopped listening, so executing it is pure
+    /// goodput loss.
+    pub deadline_aware: bool,
+    /// Replicate the saturated component to a lighter-loaded node when
+    /// requests are being shed (`None` = shed only, never replicate).
+    pub replicate_hot: Option<ReplicateConfig>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            query_queue_cap: 1024,
+            cpu_backlog_cap: SimTime::from_millis(150),
+            deadline_aware: true,
+            replicate_hot: None,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Admission control configured but fully open: unbounded queues,
+    /// no deadline awareness, no replication. Behaviour is identical to
+    /// `admission: None`; only the `admission.*` counters are recorded.
+    /// Exists so the off-by-default contract is testable as an
+    /// equivalence, not just as an absence.
+    pub fn unbounded() -> Self {
+        AdmissionConfig {
+            query_queue_cap: usize::MAX,
+            cpu_backlog_cap: SimTime::MAX,
+            deadline_aware: false,
+            replicate_hot: None,
+        }
+    }
+}
+
+/// Hot-component replication policy (§2.4.3: "component instance
+/// migration and replication to achieve load balancing") — the
+/// *reactive* counterpart to [`LoadBalanceConfig`]'s periodic check:
+/// shedding is the trigger, so replication starts exactly when demand
+/// provably exceeds this node's capacity.
+#[derive(Clone, Debug)]
+pub struct ReplicateConfig {
+    /// Minimum virtual time between replication attempts from this
+    /// node (a spawned replica needs time to absorb load before the
+    /// next shed justifies another copy).
+    pub cooldown: SimTime,
+    /// Replicas this node will start in total (bounds runaway growth
+    /// under a flash crowd).
+    pub max_replicas: u32,
+}
+
+impl Default for ReplicateConfig {
+    fn default() -> Self {
+        ReplicateConfig { cooldown: SimTime::from_millis(200), max_replicas: 2 }
+    }
+}
+
 /// Registry query-result caching, request coalescing and control-frame
 /// batching (§2.4.2: component metadata is mostly immutable, so
 /// "caching can be performed safely"). Off by default — a node without
@@ -249,6 +332,10 @@ pub struct NodeConfig {
     pub registry: RegistryConfig,
     /// Tracing knobs.
     pub tracing: TraceConfig,
+    /// Server-side overload control: bounded admission queues, deadline-
+    /// aware load shedding and hot-component replication (off by
+    /// default).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for NodeConfig {
@@ -263,6 +350,7 @@ impl Default for NodeConfig {
             cache: None,
             registry: RegistryConfig::default(),
             tracing: TraceConfig::default(),
+            admission: None,
         }
     }
 }
@@ -346,6 +434,12 @@ impl NodeConfigBuilder {
         self
     }
 
+    /// Enable server-side overload control (admission + shedding).
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = Some(admission);
+        self
+    }
+
     /// Finish the chain.
     pub fn build(self) -> NodeConfig {
         self.cfg
@@ -371,6 +465,11 @@ pub struct QueryResult {
     /// For partial results, how old the collected offer view was at
     /// finalization (finalize time − first offer arrival).
     pub staleness: Option<SimTime>,
+    /// The query was shed by admission control before the search
+    /// completed (bounded query queue): `offers` holds whatever had
+    /// been collected, and the caller should treat the result as an
+    /// overload refusal, not a miss.
+    pub shed: bool,
 }
 
 /// Shared handle the driver polls for query results.

@@ -106,6 +106,24 @@ impl NodeCtx<'_, '_> {
                     self.sim.metrics().incr("cache.misses");
                     self.state.metrics.note("cache.misses");
                 }
+                // Bounded admission queue: starting a search beyond the
+                // cap sheds the *oldest* pending query first (adaptive
+                // LIFO — under sustained overload the oldest callers
+                // are closest to their deadlines, so the newcomer is
+                // the one still worth serving). Cache hits and
+                // coalesced followers above never hit this: they cost
+                // no table entry.
+                if let Some(cap) =
+                    self.state.cfg.admission.as_ref().map(|a| a.query_queue_cap)
+                {
+                    while self.state.conts.queries.len() >= cap {
+                        let Some(oldest) = self.state.conts.queries.oldest_key().copied()
+                        else {
+                            break;
+                        };
+                        self.shed_pending_query(oldest);
+                    }
+                }
                 let seq = self.state.conts.next_seq();
                 let qid = QueryId { origin: self.state.host, seq };
                 // Root (or continue) the per-query trace: everything the
@@ -622,6 +640,54 @@ impl NodeCtx<'_, '_> {
                     Some((_, action)) => {
                         self.apply_resolve_action(instance, port, action, sink, query)
                     }
+                }
+            }
+        }
+    }
+
+    /// Shed one pending query under admission control: the leader *and*
+    /// every coalesced follower complete immediately with
+    /// [`super::QueryResult::shed`] (Resolve purposes get an overload
+    /// error) — a deterministic refusal now instead of a silent timeout
+    /// later. The singleflight window closes without caching, so late
+    /// identical queries start a fresh search rather than coalescing
+    /// onto a dead leader.
+    pub(crate) fn shed_pending_query(&mut self, seq: u64) {
+        let Some(mut pq) = self.state.conts.queries.remove(&seq) else { return };
+        let now = self.sim.now();
+        self.sim.metrics().incr("admission.query_shed");
+        self.state.metrics.note("admission.query_shed");
+        if let Some(k) = pq.cache_key.take() {
+            self.state.backend.complete(&k, &pq.offers, now, false);
+        }
+        let tracer = self.state.tracer.clone();
+        if let Some(s) = pq.span {
+            tracer.set_attr(s, "shed", "true");
+            tracer.end(s, now);
+        }
+        let followers = std::mem::take(&mut pq.followers);
+        let offers = pq.offers.clone();
+        self.shed_complete(pq.purpose, offers.clone());
+        for f in followers {
+            self.shed_complete(f.purpose, offers.clone());
+        }
+    }
+
+    /// Complete one shed query continuation (leader or follower).
+    fn shed_complete(&mut self, purpose: QueryPurpose, offers: Vec<Offer>) {
+        let now = self.sim.now();
+        match purpose {
+            QueryPurpose::Collect { sink, .. } => {
+                let mut s = sink.borrow_mut();
+                s.offers = offers;
+                s.done = true;
+                s.done_at = Some(now);
+                s.shed = true;
+            }
+            QueryPurpose::Resolve { port, sink, .. } => {
+                if let Some(s) = sink {
+                    *s.borrow_mut() =
+                        Some(Err(format!("overload: query for port '{port}' was shed")));
                 }
             }
         }

@@ -114,9 +114,94 @@ impl NodeCtx<'_, '_> {
         self.sim.metrics().incr("lb.migrations");
         self.cmd_migrate(instance, to, None);
     }
+
+    /// A request was just shed: if replication is configured and the
+    /// cooldown/budget allow, ask the group MRM where a replica of the
+    /// hottest local component could run. `shed_oid` is the instance the
+    /// shed request addressed — the fallback when no load profile has
+    /// accumulated yet.
+    pub(crate) fn maybe_replicate(&mut self, shed_oid: u64) {
+        let Some(rep) =
+            self.state.cfg.admission.as_ref().and_then(|a| a.replicate_hot.clone())
+        else {
+            return;
+        };
+        if self.state.replicas_started >= rep.max_replicas {
+            return;
+        }
+        let now = self.sim.now();
+        if self.state.last_replicate.is_some_and(|last| now < last + rep.cooldown) {
+            return;
+        }
+        // The hottest instance by admitted-request count; ties break
+        // toward the smallest oid so the choice is deterministic.
+        let hot_oid = self
+            .state
+            .instance_load
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(oid, _)| *oid)
+            .unwrap_or(shed_oid);
+        let Some(iid) = self.state.oid_to_instance.get(&hot_oid).copied() else { return };
+        let Some(info) = self.state.registry.instance(iid) else { return };
+        let component = info.component.clone();
+        let version = info.version;
+        let cpu_needed = self.state.instance_meta.get(&iid).map_or(0.1, |m| m.qos.cpu_min);
+        self.state.last_replicate = Some(now);
+        self.sim.metrics().incr("admission.replica_queries");
+        let targets = self.state.report_targets.clone();
+        for mrm in targets {
+            if mrm == self.state.host {
+                // We are the MRM: answer ourselves.
+                let target = self.state.pick_offload_target(self.state.host, cpu_needed);
+                self.on_replica_target(component, version, target);
+                return;
+            }
+            if self.state.net.reachable(self.state.host, mrm) {
+                let from = self.state.host;
+                self.send_ctrl(
+                    mrm,
+                    CtrlMsg::ReplicaQuery { from, component, version, cpu_needed },
+                );
+                return;
+            }
+        }
+    }
+
+    /// The MRM's placement answer arrived: spawn the replica there. The
+    /// spawner's registry-change event makes the new instance visible to
+    /// queries, so clients re-querying the component spread onto it.
+    fn on_replica_target(
+        &mut self,
+        component: String,
+        version: lc_pkg::Version,
+        target: Option<HostId>,
+    ) {
+        let Some(to) = target else {
+            self.sim.metrics().incr("admission.replica_no_target");
+            return;
+        };
+        self.state.replicas_started += 1;
+        self.sim.metrics().incr("admission.replicas");
+        let rid = self.state.conts.next_seq();
+        // Fire-and-forget sink: success is observable through the
+        // registry (a new offer with a running instance), and a failed
+        // spawn simply leaves demand shedding until the next cooldown.
+        let sink: super::SpawnSink = std::rc::Rc::new(std::cell::RefCell::new(None));
+        self.state.conts.spawns.insert(rid, super::continuations::SpawnCont::Sink(sink));
+        let origin = self.state.host;
+        // `Version::satisfies` is major-pinned, so the saturated
+        // instance's own version is the right minimum: the target must
+        // hold a package of the same major at `>=` its minor.
+        self.send_ctrl(
+            to,
+            CtrlMsg::Spawn { rid, origin, component, min_version: version, instance_name: None },
+        );
+    }
 }
 
-/// Resource-owned control traffic: `OffloadQuery`, `OffloadTarget`.
+/// Resource-owned control traffic: `OffloadQuery`, `OffloadTarget`,
+/// `ReplicaQuery`, `ReplicaTarget`.
 pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg) {
     match msg {
         CtrlMsg::OffloadQuery { from: asker, cpu_needed } => {
@@ -125,6 +210,13 @@ pub(crate) fn handle_ctrl(ctx: &mut NodeCtx<'_, '_>, _from: HostId, msg: CtrlMsg
         }
         CtrlMsg::OffloadTarget { target } => {
             ctx.on_offload_target(target);
+        }
+        CtrlMsg::ReplicaQuery { from: asker, component, version, cpu_needed } => {
+            let target = ctx.state.pick_offload_target(asker, cpu_needed);
+            ctx.send_ctrl(asker, CtrlMsg::ReplicaTarget { component, version, target });
+        }
+        CtrlMsg::ReplicaTarget { component, version, target } => {
+            ctx.on_replica_target(component, version, target);
         }
         _ => {}
     }

@@ -128,7 +128,10 @@ pub(crate) fn ctrl_service(msg: &CtrlMsg) -> ServiceKind {
         | CtrlMsg::PackageBytes { .. }
         | CtrlMsg::FetchFailed { .. }
         | CtrlMsg::Install { .. } => ServiceKind::Acceptor,
-        CtrlMsg::OffloadQuery { .. } | CtrlMsg::OffloadTarget { .. } => ServiceKind::Resource,
+        CtrlMsg::OffloadQuery { .. }
+        | CtrlMsg::OffloadTarget { .. }
+        | CtrlMsg::ReplicaQuery { .. }
+        | CtrlMsg::ReplicaTarget { .. } => ServiceKind::Resource,
         CtrlMsg::Spawn { .. }
         | CtrlMsg::SpawnDone { .. }
         | CtrlMsg::Subscribe { .. }

@@ -187,6 +187,31 @@ pub enum CtrlMsg {
         /// Suggested destination, or `None` if everyone is busy.
         target: Option<lc_net::HostId>,
     },
+    /// A node shedding requests for a hot component asks its group MRM
+    /// where a replica could run (admission control's reactive
+    /// counterpart to `OffloadQuery`: migration moves the instance,
+    /// replication *adds* one while the original keeps serving).
+    ReplicaQuery {
+        /// The overloaded node.
+        from: lc_net::HostId,
+        /// The saturated component.
+        component: String,
+        /// Version of the saturated instance (the replica must match
+        /// its major, so the spawn pins it).
+        version: lc_pkg::Version,
+        /// CPU share a replica needs.
+        cpu_needed: f64,
+    },
+    /// The MRM's placement answer for a replica request.
+    ReplicaTarget {
+        /// The component to replicate (echoed so the asker needs no
+        /// correlation state).
+        component: String,
+        /// Version to replicate (echoed).
+        version: lc_pkg::Version,
+        /// Suggested host, or `None` if no member has headroom.
+        target: Option<lc_net::HostId>,
+    },
 
     // ---- registry cache coherence ---------------------------------------
     /// A node's component inventory changed (install, spawn, migration):
@@ -330,6 +355,8 @@ impl CtrlMsg {
             },
             CtrlMsg::OffloadQuery { .. } => 16,
             CtrlMsg::OffloadTarget { .. } => 8,
+            CtrlMsg::ReplicaQuery { component, .. } => component.len() as u64 + 24,
+            CtrlMsg::ReplicaTarget { component, .. } => component.len() as u64 + 16,
             CtrlMsg::CacheInvalidate { component, .. } => component.len() as u64 + 8,
             CtrlMsg::ShardLookup { query, .. } => query.wire_size() + 20,
             CtrlMsg::ShardServe { offers, .. } => {

@@ -138,6 +138,69 @@ fn follower_times_out_on_its_own_deadline_at_the_boundary_tick() {
     );
 }
 
+/// Follower–shed interaction: when admission control sheds a pending
+/// leader query (queue cap hit by a newcomer), every coalesced follower
+/// gets the same deterministic overload fan-out — done immediately with
+/// [`QueryResult::shed`] set, at the shed instant, not a silent ride to
+/// its own timeout.
+#[test]
+fn shed_leader_fans_overload_to_coalesced_followers() {
+    let behaviors = BehaviorRegistry::new();
+    lc_core::demo::register_demo_behaviors(&behaviors);
+    let plan = lc_net::FaultPlan::seeded(13)
+        .default_link(lc_net::LinkFaults::none().drop_p(1.0));
+    let mut w = lc_core::testkit::build_world_on(
+        lc_net::Net::builder(Topology::lan(8)).fault_plan(plan).build(),
+        13,
+        NodeConfig {
+            // Room for exactly one pending search: the next distinct
+            // query sheds the oldest (adaptive LIFO).
+            admission: Some(lc_core::node::AdmissionConfig {
+                query_queue_cap: 1,
+                cpu_backlog_cap: SimTime::from_secs(10),
+                deadline_aware: false,
+                replicate_hot: None,
+            }),
+            ..config(Some(CacheConfig::default()))
+        },
+        behaviors,
+        lc_core::demo::demo_trust(),
+        Arc::new(lc_core::demo::demo_idl()),
+        |_| Vec::new(), // nothing installed + total loss: searches hang
+    );
+    w.sim.run_until(SimTime::from_secs(1));
+
+    // Leader plus two coalesced followers on one hanging search.
+    let leader = issue(&mut w, HostId(5), "Ghost");
+    w.sim.run_until(w.sim.now() + SimTime::from_millis(1));
+    let followers: Vec<_> = (0..2).map(|_| issue(&mut w, HostId(5), "Ghost")).collect();
+    w.sim.run_until(w.sim.now() + SimTime::from_millis(1));
+    assert_eq!(w.sim.metrics_ref().counter("cache.coalesced"), 2);
+    assert!(!leader.borrow().done, "leader resolved before the shed — test is vacuous");
+
+    // A *distinct* query (different key, so it cannot coalesce) needs
+    // the only queue slot: the pending leader is shed.
+    let newcomer = issue(&mut w, HostId(5), "Phantom");
+    w.sim.run_until(w.sim.now() + SimTime::from_millis(1));
+    let shed_by = w.sim.now();
+
+    assert_eq!(w.sim.metrics_ref().counter("admission.query_shed"), 1);
+    for (i, s) in std::iter::once(&leader).chain(&followers).enumerate() {
+        let r = s.borrow();
+        assert!(r.done, "caller {i} not completed by the shed");
+        assert!(r.shed, "caller {i} missing the shed marker");
+        assert!(r.offers.is_empty());
+        assert!(
+            r.done_at.expect("done implies done_at") <= shed_by,
+            "caller {i} completed at its timeout, not at the shed instant"
+        );
+    }
+    // The newcomer owns the slot now and rides to its own timeout.
+    w.sim.run_until(w.sim.now() + SimTime::from_secs(4));
+    let n = newcomer.borrow();
+    assert!(n.done && !n.shed, "newcomer must keep its admitted search");
+}
+
 /// The raw singleflight primitive: a leader completing with an error
 /// hands *the same* [`OrbError`] to every follower callback.
 #[test]

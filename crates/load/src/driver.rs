@@ -1,0 +1,213 @@
+//! The load-driver actor: open-loop arrivals in, `NodeCmd` traffic out.
+//!
+//! A [`LoadDriver`] models one front-end ingress point. The harness
+//! pre-schedules each [`crate::Arrival`] of its stream slice as a
+//! [`DriverArrival`] message; the driver turns every arrival into one
+//! `NodeCmd::Invoke` against its front-end node — *without waiting for
+//! previous replies* (open loop). Per-arrival keys route over the
+//! replica set learned from periodic registry queries, so a hot
+//! component that gets replicated under overload automatically spreads
+//! subsequent keys across the new instances.
+
+use lc_core::{ComponentQuery, NodeCmd, QueryResult};
+use lc_des::{Actor, ActorId, AnyMsg, AnyMsgExt, Ctx, SimTime};
+use lc_orb::{ObjectRef, OrbError, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::arrival::Arrival;
+
+/// One pre-scheduled arrival, addressed to a driver actor.
+pub struct DriverArrival(pub Arrival);
+
+/// Periodic replica-discovery tick (self-rearming once the harness
+/// schedules the first one).
+pub struct QueryTick;
+
+/// Static configuration of one driver.
+#[derive(Clone)]
+pub struct DriverConfig {
+    /// The front-end node actor receiving this driver's commands.
+    pub node: ActorId,
+    /// Component name re-queried for replica discovery.
+    pub component: String,
+    /// Operation invoked per arrival.
+    pub op: String,
+    /// Arguments passed with every invocation.
+    pub args: Vec<Value>,
+    /// Target used until the first query returns running instances.
+    pub initial_target: ObjectRef,
+    /// Replica re-query period; `None` disables discovery (all traffic
+    /// stays on `initial_target`).
+    pub requery: Option<SimTime>,
+}
+
+type Call = (SimTime, lc_core::InvokeSink);
+
+/// The driver actor. After the run, the harness inspects it through
+/// [`lc_des::Sim::actor_as`] and calls [`LoadDriver::stats`].
+pub struct LoadDriver {
+    cfg: DriverConfig,
+    replicas: Vec<ObjectRef>,
+    pending_query: Option<(SimTime, lc_core::QuerySink)>,
+    calls: Vec<Call>,
+    first_offer_ms: Vec<f64>,
+    queries_shed: u64,
+    queries_done: u64,
+}
+
+/// Everything a capacity experiment needs from one driver, harvested
+/// after the run.
+#[derive(Clone, Debug, Default)]
+pub struct DriverStats {
+    /// Invocations sent.
+    pub sent: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Replies refused by admission control.
+    pub overload: u64,
+    /// Client-side deadline expiries.
+    pub timeout: u64,
+    /// Any other error reply.
+    pub other_err: u64,
+    /// Calls with no reply at harvest time.
+    pub unresolved: u64,
+    /// Reply latency of every successful call, milliseconds, send order.
+    pub ok_latency_ms: Vec<f64>,
+    /// First-offer latency of every finished discovery query, ms.
+    pub first_offer_ms: Vec<f64>,
+    /// Discovery queries shed by registry admission control.
+    pub queries_shed: u64,
+    /// Replica targets known at harvest.
+    pub replicas: usize,
+}
+
+impl LoadDriver {
+    /// A driver with no traffic sent yet.
+    pub fn new(cfg: DriverConfig) -> LoadDriver {
+        LoadDriver {
+            cfg,
+            replicas: Vec::new(),
+            pending_query: None,
+            calls: Vec::new(),
+            first_offer_ms: Vec::new(),
+            queries_shed: 0,
+            queries_done: 0,
+        }
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, a: Arrival) {
+        let target = if self.replicas.is_empty() {
+            self.cfg.initial_target.clone()
+        } else {
+            self.replicas[(a.key % self.replicas.len() as u64) as usize].clone()
+        };
+        let sink: lc_core::InvokeSink = Rc::new(RefCell::new(Vec::new()));
+        self.calls.push((ctx.now(), sink.clone()));
+        ctx.send_in(
+            SimTime::ZERO,
+            self.cfg.node,
+            NodeCmd::Invoke {
+                target,
+                op: self.cfg.op.clone(),
+                args: self.cfg.args.clone(),
+                oneway: false,
+                sink: Some(sink),
+            },
+        );
+    }
+
+    /// Fold the previous discovery query's outcome into the replica
+    /// set. Offers are harvested even from an unfinished query — the
+    /// registry syncs collect sinks as offers stream in.
+    fn harvest_query(&mut self) {
+        let Some((issued, sink)) = self.pending_query.take() else { return };
+        let r: &QueryResult = &sink.borrow();
+        if r.shed {
+            self.queries_shed += 1;
+            return;
+        }
+        if r.done {
+            self.queries_done += 1;
+        }
+        if let Some(t) = r.first_offer_at {
+            self.first_offer_ms.push(t.saturating_sub(issued).as_secs_f64() * 1e3);
+        }
+        let mut replicas: Vec<ObjectRef> = r
+            .offers
+            .iter()
+            .filter_map(|o| o.running_instance.clone())
+            .collect();
+        replicas.sort_by_key(|a| (a.key.host, a.key.oid));
+        replicas.dedup_by(|a, b| a.key.host == b.key.host && a.key.oid == b.key.oid);
+        if !replicas.is_empty() {
+            self.replicas = replicas;
+        }
+    }
+
+    fn on_query_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.harvest_query();
+        let sink: lc_core::QuerySink = Rc::new(RefCell::new(QueryResult::default()));
+        self.pending_query = Some((ctx.now(), sink.clone()));
+        let query = ComponentQuery {
+            name: Some(self.cfg.component.clone()),
+            ..ComponentQuery::default()
+        };
+        ctx.send_in(
+            SimTime::ZERO,
+            self.cfg.node,
+            NodeCmd::Query { query, sink, first_wins: false },
+        );
+        if let Some(period) = self.cfg.requery {
+            ctx.timer_in(period, QueryTick);
+        }
+    }
+
+    /// Harvest the end-of-run statistics.
+    pub fn stats(&mut self) -> DriverStats {
+        self.harvest_query();
+        let mut s = DriverStats {
+            sent: self.calls.len() as u64,
+            first_offer_ms: self.first_offer_ms.clone(),
+            queries_shed: self.queries_shed,
+            replicas: self.replicas.len(),
+            ..DriverStats::default()
+        };
+        for (sent_at, sink) in &self.calls {
+            let replies = sink.borrow();
+            match replies.first() {
+                None => s.unresolved += 1,
+                Some((at, Ok(_))) => {
+                    s.ok += 1;
+                    s.ok_latency_ms.push(at.saturating_sub(*sent_at).as_secs_f64() * 1e3);
+                }
+                Some((_, Err(OrbError::Overload))) => s.overload += 1,
+                Some((_, Err(OrbError::Timeout))) => s.timeout += 1,
+                Some((_, Err(_))) => s.other_err += 1,
+            }
+        }
+        s
+    }
+
+    /// Replica targets currently routed to (inspection).
+    pub fn replicas(&self) -> &[ObjectRef] {
+        &self.replicas
+    }
+
+    /// Finished discovery queries so far.
+    pub fn queries_done(&self) -> u64 {
+        self.queries_done
+    }
+}
+
+impl Actor for LoadDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: AnyMsg) {
+        let msg = match msg.downcast_msg::<DriverArrival>() {
+            Ok(DriverArrival(a)) => return self.on_arrival(ctx, a),
+            Err(m) => m,
+        };
+        if msg.downcast_msg::<QueryTick>().is_ok() {
+            self.on_query_tick(ctx);
+        }
+    }
+}

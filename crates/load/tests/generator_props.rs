@@ -1,0 +1,121 @@
+//! Property tests for the open-loop arrival generator: a stream is a
+//! pure function of its configuration (reproducible), strictly monotone
+//! in virtual time, dense in its indices, and its driver-split slices
+//! partition it exactly — no arrival lost, duplicated, or reordered
+//! across shape × seed × rate.
+
+use lc_des::SimTime;
+use lc_load::{Arrival, ArrivalShape, ArrivalStream, StreamConfig, ZipfKeys};
+use lc_prop::check;
+
+/// One of the three shapes, with parameters drawn from the generator.
+fn gen_shape(g: &mut lc_prop::Gen, horizon: SimTime) -> ArrivalShape {
+    match g.gen_range(0..3u64) {
+        0 => ArrivalShape::Steady,
+        1 => ArrivalShape::Diurnal {
+            period: SimTime::from_millis(g.gen_range(20..200u64)),
+            depth: g.gen_f64(),
+        },
+        _ => ArrivalShape::Flash {
+            at: SimTime::from_nanos(g.gen_range(0..horizon.as_nanos().max(1))),
+            width: SimTime::from_millis(g.gen_range(10..100u64)),
+            magnitude: 1.0 + g.gen_f64() * 4.0,
+        },
+    }
+}
+
+fn gen_config(g: &mut lc_prop::Gen) -> StreamConfig {
+    let horizon = SimTime::from_millis(g.gen_range(50..400u64));
+    StreamConfig {
+        shape: gen_shape(g, horizon),
+        rate_per_sec: 200.0 + g.gen_f64() * 9_800.0,
+        seed: g.next_u64(),
+        horizon,
+        users: 1 + g.gen_range(0..1_000_000u64),
+        keys: ZipfKeys::new(1 + g.gen_range(0..256u64) as usize, g.gen_f64() * 2.0),
+    }
+}
+
+#[test]
+fn stream_is_reproducible_and_monotone() {
+    check("arrival_repro_monotone", |g| {
+        let cfg = gen_config(g);
+        let a: Vec<Arrival> = ArrivalStream::new(cfg.clone()).collect();
+        let b: Vec<Arrival> = ArrivalStream::new(cfg.clone()).collect();
+        // Reproducible: the stream is a pure function of its config.
+        assert_eq!(a, b, "same config produced different streams");
+
+        let mut prev: Option<SimTime> = None;
+        for (i, arr) in a.iter().enumerate() {
+            // Strictly monotone virtual time, bounded by the horizon.
+            if let Some(p) = prev {
+                assert!(
+                    arr.at > p,
+                    "arrival {i} at {:?} not after its predecessor at {p:?}",
+                    arr.at
+                );
+            }
+            prev = Some(arr.at);
+            assert!(arr.at < cfg.horizon, "arrival {i} at {:?} past horizon", arr.at);
+            // Dense indices: position i carries index i.
+            assert_eq!(arr.index, i as u64, "index gap at position {i}");
+            // Draws stay inside their domains.
+            assert!(arr.user < cfg.users, "user {} out of range", arr.user);
+            assert!(arr.key < cfg.keys.len() as u64, "key {} out of range", arr.key);
+        }
+    });
+}
+
+#[test]
+fn split_slices_partition_the_stream() {
+    check("arrival_split_conservation", |g| {
+        let cfg = gen_config(g);
+        let full: Vec<Arrival> = ArrivalStream::new(cfg.clone()).collect();
+        let count = 1 + g.gen_range(0..8u64) as usize;
+
+        // Conservation: merging the slices by index recovers the full
+        // stream exactly — every arrival lands in exactly one slice.
+        let mut merged: Vec<Arrival> = (0..count)
+            .flat_map(|i| ArrivalStream::split(cfg.clone(), i, count))
+            .collect();
+        merged.sort_by_key(|a| a.index);
+        assert_eq!(merged, full, "split slices do not partition the stream");
+
+        // Each slice sees exactly its residue class.
+        for i in 0..count {
+            for a in ArrivalStream::split(cfg.clone(), i, count) {
+                assert_eq!(
+                    a.index % count as u64,
+                    i as u64,
+                    "slice {i}/{count} leaked index {}",
+                    a.index
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn rate_tracks_intensity_integral() {
+    check("arrival_rate_tracks_integral", |g| {
+        // With a fat horizon and a steady shape, the emitted count
+        // concentrates around rate × horizon (law of large numbers; the
+        // 25% tolerance is ~10σ at the smallest rate drawn here).
+        let rate = 2_000.0 + g.gen_f64() * 8_000.0;
+        let horizon = SimTime::from_secs(1);
+        let cfg = StreamConfig {
+            shape: ArrivalShape::Steady,
+            rate_per_sec: rate,
+            seed: g.next_u64(),
+            horizon,
+            users: 100,
+            keys: ZipfKeys::new(16, 1.0),
+        };
+        let n = ArrivalStream::new(cfg).count() as f64;
+        let expect = rate * horizon.as_secs_f64();
+        assert!(
+            (n - expect).abs() < expect * 0.25,
+            "steady stream emitted {n}, expected ~{expect}"
+        );
+    });
+}

@@ -91,6 +91,12 @@ pub enum OrbError {
     /// A reply did not arrive in time (deadline elapsed, retry budget
     /// exhausted).
     Timeout,
+    /// The servant's node shed the request under admission control: it
+    /// could not be served within its deadline at the current queue
+    /// depth. Deliberately distinct from [`OrbError::Timeout`] — the
+    /// caller learns *immediately* that the work was refused (and never
+    /// executed), instead of burning its deadline waiting.
+    Overload,
     /// Application-level exception raised by the servant, by repository id.
     UserException {
         /// Exception repository id.
@@ -110,6 +116,7 @@ impl std::fmt::Display for OrbError {
             OrbError::BadParam(m) => write!(f, "BAD_PARAM: {m}"),
             OrbError::CommFailure(r) => write!(f, "COMM_FAILURE ({r})"),
             OrbError::Timeout => write!(f, "TIMEOUT"),
+            OrbError::Overload => write!(f, "OVERLOAD"),
             OrbError::UserException { id, detail } => write!(f, "user exception {id}: {detail}"),
             OrbError::Internal(m) => write!(f, "INTERNAL: {m}"),
         }
